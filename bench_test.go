@@ -1,0 +1,148 @@
+package metamess
+
+// The root benchmark suite regenerates every exhibit of the poster, one
+// benchmark per table/figure (plus the DESIGN.md ablations). Each bench
+// prints its experiment table once, then times repeated runs, so
+//
+//	go test -bench=. -benchmem
+//
+// both reproduces the paper's exhibits and measures the system.
+
+import (
+	"sync"
+	"testing"
+
+	"metamess/internal/experiments"
+)
+
+// benchSizes keeps the bench suite fast enough for CI while large enough
+// that the shapes (who wins, by what factor) are stable.
+const (
+	benchDatasets = 45
+	benchQueries  = 25
+	benchSeed     = 42
+)
+
+var printOnce sync.Map
+
+func report(b *testing.B, tab *experiments.Table) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(tab.ID, true); !done {
+		b.Log("\n" + tab.String())
+	}
+}
+
+// BenchmarkTable1SemanticDiversity regenerates the poster's Table 1:
+// categories of semantic diversity, detection quality, and resolution
+// success per category.
+func BenchmarkTable1SemanticDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table1SemanticDiversity(b.TempDir(), benchDatasets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkFigure1RankedSearch regenerates the "Data Near Here" search
+// figure: retrieval quality and latency, raw vs wrangled catalog.
+func BenchmarkFigure1RankedSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure1RankedSearch(b.TempDir(), b.TempDir(),
+			benchDatasets, benchQueries, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkFigure2CatalogBuild regenerates the IR-architecture figure:
+// scan-once summarization throughput and feature compression ratio.
+func BenchmarkFigure2CatalogBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure2CatalogBuild(
+			[]string{b.TempDir(), b.TempDir(), b.TempDir()},
+			[]int{15, 45, 90}, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkFigure3WranglingChain regenerates the wrangling-process
+// figure: per-stage mess reduction and incremental rerun cost.
+func BenchmarkFigure3WranglingChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure3WranglingChain(b.TempDir(), benchDatasets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkFigure4Discovery regenerates the Google-Refine figure:
+// transformation discovery precision/recall per method per mess level,
+// and rule replay fidelity.
+func BenchmarkFigure4Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure4Discovery(
+			[]string{b.TempDir(), b.TempDir(), b.TempDir()},
+			[]float64{0.5, 1.0, 2.0}, benchDatasets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkFigure5DatasetSummary regenerates the dataset-summary-page
+// figure: completeness audit of every rendered page.
+func BenchmarkFigure5DatasetSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure5DatasetSummary(b.TempDir(), benchDatasets, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkAblationCuratorLoop measures curatorial activity 3: coverage
+// convergence across improve-and-rerun iterations.
+func BenchmarkAblationCuratorLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationCuratorLoop(b.TempDir(), benchDatasets, benchSeed, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkAblationValidation measures curatorial activity 4: fault
+// injection against the validation checks.
+func BenchmarkAblationValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationValidation(b.TempDir(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}
+
+// BenchmarkAblationScoring measures the contribution of each query
+// dimension to ranking quality.
+func BenchmarkAblationScoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationScoring(b.TempDir(), benchDatasets, benchQueries, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, tab)
+	}
+}

@@ -1,0 +1,182 @@
+// Command refinectl works with transformation rule files in the poster's
+// JSON format: discover rules from a CSV grid by clustering, apply a
+// rule file to a grid, or validate a rule file.
+//
+// Usage:
+//
+//	refinectl discover -in values.csv -column field -method fingerprint -out rules.json
+//	refinectl apply -in values.csv -rules rules.json -out cleaned.csv
+//	refinectl check -rules rules.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metamess/internal/cluster"
+	"metamess/internal/refine"
+	"metamess/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "discover":
+		err = discover(os.Args[2:])
+	case "apply":
+		err = apply(os.Args[2:])
+	case "check":
+		err = check(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "refinectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  refinectl discover -in grid.csv -column field [-method fingerprint|ngram|phonetic|levenshtein|jaro] [-threshold 0.84] -out rules.json
+  refinectl apply -in grid.csv -rules rules.json -out cleaned.csv
+  refinectl check -rules rules.json`)
+}
+
+func loadGrid(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadCSV(f)
+}
+
+func discover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV grid (required)")
+	column := fs.String("column", "field", "column to cluster")
+	methodName := fs.String("method", "fingerprint", "clustering method")
+	threshold := fs.Float64("threshold", 0.84, "similarity threshold for nearest-neighbour methods")
+	out := fs.String("out", "", "output rule file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	var method cluster.Method
+	switch *methodName {
+	case "fingerprint":
+		method = cluster.Fingerprint()
+	case "ngram":
+		method = cluster.NGramFingerprint(2)
+	case "phonetic":
+		method = cluster.Phonetic()
+	case "levenshtein":
+		method = cluster.Levenshtein(*threshold)
+	case "jaro":
+		method = cluster.JaroWinkler(*threshold)
+	default:
+		return fmt.Errorf("unknown method %q", *methodName)
+	}
+	grid, err := loadGrid(*in)
+	if err != nil {
+		return err
+	}
+	clusters, err := cluster.Discover(grid, *column, method)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "discovered %d clusters with %s\n", len(clusters), method.Name())
+	for _, c := range clusters {
+		fmt.Fprintf(os.Stderr, "  -> %s (%d values, %d rows)\n", c.Recommended, c.Size(), c.RowCount())
+	}
+	op := cluster.ToMassEdit(*column, clusters, "")
+	var ops []refine.Operation
+	if op != nil {
+		ops = append(ops, op)
+	}
+	data, err := refine.ExportJSON(ops)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func apply(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV grid (required)")
+	rulesPath := fs.String("rules", "", "rule file (required)")
+	out := fs.String("out", "", "output CSV (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *rulesPath == "" {
+		return fmt.Errorf("-in and -rules are required")
+	}
+	grid, err := loadGrid(*in)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		return err
+	}
+	ops, err := refine.ImportJSON(data)
+	if err != nil {
+		return err
+	}
+	project := refine.NewProject(grid)
+	results, err := project.ApplyAll(ops)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		fmt.Fprintf(os.Stderr, "op %d (%s): %d cells changed\n", i, ops[i].OpName(), r.CellsChanged)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return project.Table().WriteCSV(w)
+}
+
+func check(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	rulesPath := fs.String("rules", "", "rule file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rulesPath == "" {
+		return fmt.Errorf("-rules is required")
+	}
+	data, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		return err
+	}
+	ops, err := refine.ImportJSON(data)
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		fmt.Printf("op %d: %s — %s\n", i, op.OpName(), op.Description())
+	}
+	fmt.Printf("%d operations OK\n", len(ops))
+	return nil
+}

@@ -1,0 +1,91 @@
+// Hierarchies: Table 1's last two rows in action. Source-context naming
+// variations (temperature under air and water) link to multiple
+// taxonomies, and concepts at multiple levels of detail (fluores375,
+// fluores400 under fluorescence) collapse or expose through hierarchical
+// menus. Queries for a parent concept find member variables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"metamess"
+	"metamess/internal/archive"
+	"metamess/internal/hierarchy"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "metamess-hier-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	cfg := archive.DefaultGenConfig(45, 21)
+	cfg.Mess.MultiLevelRate = 0.15 // plenty of fluoresNNN-style members
+	if _, err := archive.Generate(root, cfg); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Wrangle(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("generated variable hierarchy, fully expanded:")
+	for _, line := range sys.VariableMenu(0) {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("\ncollapsed to one level (hidden descendants counted):")
+	for _, line := range sys.VariableMenu(1) {
+		fmt.Println("  " + line)
+	}
+
+	// Parent-concept search: querying "fluorescence" finds fluoresNNN
+	// members through their hierarchy parent.
+	hits, err := sys.Search(metamess.Query{
+		Variables: []metamess.VariableTerm{{Name: "fluorescence"}},
+		K:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsearching the parent concept \"fluorescence\":")
+	for i, h := range hits {
+		fmt.Printf("%d. score %.3f — %s\n", i+1, h.Score, h.Path)
+		for _, m := range h.MatchedVariables {
+			fmt.Println("   matched:", m)
+		}
+	}
+
+	// Multiple taxonomies: the same base concept in different contexts.
+	air := hierarchy.NewTaxonomy("air")
+	water := hierarchy.NewTaxonomy("water")
+	for _, term := range []string{"temperature", "pressure"} {
+		if _, err := air.AddPath(term); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := water.AddPath(term); err != nil {
+			log.Fatal(err)
+		}
+	}
+	set := hierarchy.NewSet()
+	if err := set.Add(air); err != nil {
+		log.Fatal(err)
+	}
+	if err := set.Add(water); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsource contexts of bare concepts (Table 1, row 6):")
+	for _, term := range []string{"temperature", "pressure"} {
+		ctxs := set.TaxonomiesOf(term)
+		fmt.Printf("  %-12s occurs in %v; qualified:", term, ctxs)
+		for _, c := range ctxs {
+			fmt.Printf(" %s", hierarchy.Qualified(c, term))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: generate a small messy archive, wrangle it, and run the
+// poster's motivating query — "observations collected near
+// [lat=45.5, lon=-124.4] in mid-2010, with temperature between 5-10C" —
+// through the public metamess API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"metamess"
+	"metamess/internal/archive"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "metamess-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	// 1. A stand-in archive: 45 station/cruise/AUV datasets with messy
+	// variable names (see DESIGN.md for the substitution rationale).
+	if _, err := archive.Generate(root, archive.DefaultGenConfig(45, 42)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Wrangle: scan once, translate known names, discover the rest,
+	// generate hierarchies, validate, publish.
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Wrangle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrangled %d datasets: name coverage %.1f%% -> %.1f%%\n\n",
+		rep.Datasets, 100*rep.CoverageBefore, 100*rep.CoverageAfter)
+
+	// 3. The poster's example information need.
+	lo, hi := 5.0, 10.0
+	hits, err := sys.Search(metamess.Query{
+		Near:      &metamess.LatLon{Lat: 45.5, Lon: -124.4},
+		From:      time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+		To:        time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC),
+		Variables: []metamess.VariableTerm{{Name: "temperature", Min: &lo, Max: &hi}},
+		K:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top datasets near 45.5,-124.4 in mid-2010 with temperature 5-10C:")
+	for i, h := range hits {
+		fmt.Printf("%d. score %.3f — %s\n", i+1, h.Score, h.Path)
+		for _, m := range h.MatchedVariables {
+			fmt.Println("   matched:", m)
+		}
+	}
+	if len(hits) > 0 {
+		fmt.Println("\nsummary page of the best hit:")
+		fmt.Println(hits[0].Summary)
+	}
+}

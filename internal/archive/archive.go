@@ -1,0 +1,150 @@
+// Package archive provides the synthetic scientific-data archive that
+// stands in for the CMOP observatory archive the poster wrangles. The
+// generator emits station, cruise, and AUV datasets in three on-disk
+// formats (CSV, key-value "obs" text, and JSON lines), injects semantic
+// diversity of every Table-1 category at configurable rates, and records
+// a ground-truth manifest so experiments can score detection and
+// resolution exactly.
+//
+// The substitution is documented in DESIGN.md: real observatory data is
+// unavailable, and what the wrangling pipeline exercises is precisely the
+// heterogeneity this generator reproduces — directory conventions, mixed
+// formats, and messy variable names with known canonical answers.
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"metamess/internal/geo"
+	"metamess/internal/semdiv"
+)
+
+// Format identifies an on-disk dataset format.
+type Format string
+
+// The archive's file formats.
+const (
+	FormatCSV   Format = "csv"   // header row, comma-separated observations
+	FormatOBS   Format = "obs"   // "#key: value" header plus whitespace rows
+	FormatJSONL Format = "jsonl" // JSON-lines header and observations
+)
+
+// Ext returns the file extension for the format.
+func (f Format) Ext() string {
+	switch f {
+	case FormatCSV:
+		return ".csv"
+	case FormatOBS:
+		return ".obs"
+	case FormatJSONL:
+		return ".jsonl"
+	default:
+		return ".dat"
+	}
+}
+
+// VarTruth records the ground truth for one emitted variable name.
+type VarTruth struct {
+	// Raw is the name as written into the file.
+	Raw string `json:"raw"`
+	// Canonical is the name the wrangling process should recover; for
+	// excessive variables it equals Raw (they are marked, not renamed).
+	Canonical string `json:"canonical"`
+	// Category is the semantic-diversity category that was injected.
+	Category semdiv.Category `json:"category"`
+	// Unit is the unit string as written; CanonicalUnit the registry
+	// symbol it should resolve to.
+	Unit          string `json:"unit"`
+	CanonicalUnit string `json:"canonicalUnit"`
+}
+
+// DatasetInfo describes one generated dataset and its ground truth.
+type DatasetInfo struct {
+	// Path is relative to the archive root.
+	Path   string        `json:"path"`
+	Format Format        `json:"format"`
+	Source string        `json:"source"`
+	BBox   geo.BBox      `json:"bbox"`
+	Time   geo.TimeRange `json:"time"`
+	Rows   int           `json:"rows"`
+	Vars   []VarTruth    `json:"vars"`
+}
+
+// Manifest is the generator's ground-truth record for a whole archive.
+// The scanner never reads it; only experiments do.
+type Manifest struct {
+	Root     string        `json:"root"`
+	Seed     int64         `json:"seed"`
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// ByPath indexes the manifest's datasets by relative path.
+func (m *Manifest) ByPath() map[string]DatasetInfo {
+	out := make(map[string]DatasetInfo, len(m.Datasets))
+	for _, d := range m.Datasets {
+		out[d.Path] = d
+	}
+	return out
+}
+
+// CanonicalFor returns the ground-truth raw->canonical mapping across the
+// archive. Conflicting truths for the same raw name (possible when a raw
+// form is reused) keep the first mapping; experiments treat those rows as
+// inherently ambiguous.
+func (m *Manifest) CanonicalFor() map[string]string {
+	out := make(map[string]string)
+	for _, d := range m.Datasets {
+		for _, v := range d.Vars {
+			if _, seen := out[v.Raw]; !seen {
+				out[v.Raw] = v.Canonical
+			}
+		}
+	}
+	return out
+}
+
+// CategoryCounts tallies injected categories across the archive.
+func (m *Manifest) CategoryCounts() map[semdiv.Category]int {
+	out := make(map[semdiv.Category]int)
+	for _, d := range m.Datasets {
+		for _, v := range d.Vars {
+			out[v.Category]++
+		}
+	}
+	return out
+}
+
+// WriteJSON saves the manifest next to the archive.
+func (m *Manifest) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("archive: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("archive: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by WriteJSON.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("archive: decode manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// Observation is one generated data row, shared by the format writers.
+type Observation struct {
+	Time   time.Time
+	Point  geo.Point
+	Values []float64 // aligned with the dataset's variable list
+}

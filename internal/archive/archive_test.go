@@ -1,0 +1,268 @@
+package archive
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metamess/internal/semdiv"
+	"metamess/internal/vocab"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(9, 42)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	mA, err := Generate(dirA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := Generate(dirB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mA.Datasets) != len(mB.Datasets) {
+		t.Fatal("dataset counts differ")
+	}
+	for i := range mA.Datasets {
+		a, b := mA.Datasets[i], mB.Datasets[i]
+		if a.Path != b.Path || a.Rows != b.Rows || len(a.Vars) != len(b.Vars) {
+			t.Fatalf("dataset %d differs: %+v vs %+v", i, a, b)
+		}
+		fa, err := os.ReadFile(filepath.Join(dirA, a.Path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.ReadFile(filepath.Join(dirB, b.Path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fa) != string(fb) {
+			t.Fatalf("dataset %s bytes differ between runs", a.Path)
+		}
+	}
+}
+
+func TestGenerateCoversSourcesAndFormats(t *testing.T) {
+	m, err := Generate(t.TempDir(), DefaultGenConfig(9, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	formats := map[Format]int{}
+	sourceSet := map[string]int{}
+	for _, d := range m.Datasets {
+		formats[d.Format]++
+		sourceSet[d.Source]++
+		if !d.BBox.Valid() {
+			t.Errorf("%s: invalid bbox %v", d.Path, d.BBox)
+		}
+		if !d.Time.Valid() {
+			t.Errorf("%s: invalid time range", d.Path)
+		}
+		if d.Rows < 40 || d.Rows > 160 {
+			t.Errorf("%s: rows %d out of configured bounds", d.Path, d.Rows)
+		}
+	}
+	for _, f := range []Format{FormatCSV, FormatOBS, FormatJSONL} {
+		if formats[f] == 0 {
+			t.Errorf("format %s never generated", f)
+		}
+	}
+	for _, s := range []string{"stations", "cruises", "auv"} {
+		if sourceSet[s] == 0 {
+			t.Errorf("source %s never generated", s)
+		}
+	}
+}
+
+func TestGenerateMessCoversCategories(t *testing.T) {
+	// Rare categories (ambiguous applies only to temperature/depth
+	// variables) need a larger corpus and heavier mess to appear reliably.
+	cfg := DefaultGenConfig(90, 11)
+	cfg.Mess = DefaultMess().Scale(1.5)
+	m, err := Generate(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.CategoryCounts()
+	for _, cat := range semdiv.Categories() {
+		if counts[cat] == 0 {
+			t.Errorf("category %s never injected in 90 datasets", cat)
+		}
+	}
+	if counts[semdiv.CatClean] == 0 {
+		t.Error("no clean names at default mess rates")
+	}
+	// Clean should dominate at default rates.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if counts[semdiv.CatClean]*2 < total-counts[semdiv.CatExcessive] {
+		t.Errorf("clean names not the majority: %v", counts)
+	}
+}
+
+func TestGenerateNoMessIsClean(t *testing.T) {
+	cfg := DefaultGenConfig(6, 3)
+	cfg.Mess = NoMess()
+	m, err := Generate(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Datasets {
+		for _, v := range d.Vars {
+			if v.Category != semdiv.CatClean {
+				t.Errorf("%s: %q injected %s with NoMess", d.Path, v.Raw, v.Category)
+			}
+			if v.Raw != v.Canonical {
+				t.Errorf("%s: raw %q != canonical %q with NoMess", d.Path, v.Raw, v.Canonical)
+			}
+			if v.Unit != v.CanonicalUnit {
+				t.Errorf("%s: unit %q != canonical %q with NoMess", d.Path, v.Unit, v.CanonicalUnit)
+			}
+		}
+	}
+}
+
+func TestGenerateUniqueRawNamesPerDataset(t *testing.T) {
+	m, err := Generate(t.TempDir(), DefaultGenConfig(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Datasets {
+		seen := map[string]bool{}
+		for _, v := range d.Vars {
+			if seen[v.Raw] {
+				t.Errorf("%s: duplicate raw name %q", d.Path, v.Raw)
+			}
+			seen[v.Raw] = true
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	base := DefaultGenConfig(3, 1)
+	cases := []func(*GenConfig){
+		func(c *GenConfig) { c.Datasets = 0 },
+		func(c *GenConfig) { c.RowsMin = 0 },
+		func(c *GenConfig) { c.RowsMax = c.RowsMin - 1 },
+		func(c *GenConfig) { c.VarsMin = 0 },
+		func(c *GenConfig) { c.Region.MaxLat = c.Region.MinLat - 1 },
+		func(c *GenConfig) { c.TimeSpan.End = c.TimeSpan.Start.Add(-1) },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Generate(t.TempDir(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Generate(dir, DefaultGenConfig(6, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Datasets) != len(m.Datasets) {
+		t.Fatalf("round trip datasets = %d, want %d", len(back.Datasets), len(m.Datasets))
+	}
+	byPath := back.ByPath()
+	for _, d := range m.Datasets {
+		got, ok := byPath[d.Path]
+		if !ok {
+			t.Fatalf("dataset %s missing from manifest", d.Path)
+		}
+		if got.Rows != d.Rows || len(got.Vars) != len(d.Vars) {
+			t.Errorf("dataset %s corrupted: %+v", d.Path, got)
+		}
+	}
+	if _, err := ReadManifest(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing manifest should fail")
+	}
+}
+
+func TestCanonicalForFirstWins(t *testing.T) {
+	m := &Manifest{Datasets: []DatasetInfo{
+		{Path: "a", Vars: []VarTruth{{Raw: "temp", Canonical: "water_temperature"}}},
+		{Path: "b", Vars: []VarTruth{{Raw: "temp", Canonical: "air_temperature"}}},
+	}}
+	cf := m.CanonicalFor()
+	if cf["temp"] != "water_temperature" {
+		t.Errorf("CanonicalFor = %q, want first mapping", cf["temp"])
+	}
+}
+
+func TestMessScale(t *testing.T) {
+	m := DefaultMess()
+	half := m.Scale(0.5)
+	if half.MisspellRate != m.MisspellRate*0.5 {
+		t.Error("Scale did not halve misspell rate")
+	}
+	if half.ExcessivePerDataset != 1 {
+		t.Errorf("scaled excessive = %d, want 1", half.ExcessivePerDataset)
+	}
+	zero := m.Scale(0)
+	if zero.MisspellRate != 0 || zero.ExcessivePerDataset != 0 {
+		t.Error("Scale(0) should zero everything")
+	}
+}
+
+func TestMisspellProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		out := misspell("water_temperature", rng)
+		if out == "" {
+			t.Fatal("misspell produced empty name")
+		}
+		if out[0] != 'w' {
+			t.Errorf("misspell changed first letter: %q", out)
+		}
+		diff := len(out) - len("water_temperature")
+		if diff < -1 || diff > 1 {
+			t.Errorf("misspell changed length by %d: %q", diff, out)
+		}
+	}
+	if got := misspell("ab", rng); got != "ab" {
+		t.Errorf("short names should be untouched, got %q", got)
+	}
+}
+
+func TestFormatExt(t *testing.T) {
+	if FormatCSV.Ext() != ".csv" || FormatOBS.Ext() != ".obs" || FormatJSONL.Ext() != ".jsonl" {
+		t.Error("format extensions wrong")
+	}
+	if Format("x").Ext() != ".dat" {
+		t.Error("unknown format extension wrong")
+	}
+}
+
+func TestGenerateWithCustomVocabulary(t *testing.T) {
+	cfg := DefaultGenConfig(3, 2)
+	cfg.Vocabulary = vocab.Standard()[:5]
+	cfg.VarsMin, cfg.VarsMax = 2, 4
+	m, err := Generate(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, v := range cfg.Vocabulary {
+		allowed[v.Name] = true
+	}
+	for _, d := range m.Datasets {
+		for _, v := range d.Vars {
+			if v.Category == semdiv.CatExcessive {
+				continue
+			}
+			if !allowed[v.Canonical] {
+				t.Errorf("canonical %q outside custom vocabulary", v.Canonical)
+			}
+		}
+	}
+}

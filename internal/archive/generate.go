@@ -1,0 +1,401 @@
+package archive
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"metamess/internal/geo"
+	"metamess/internal/semdiv"
+	"metamess/internal/units"
+	"metamess/internal/vocab"
+)
+
+// GenConfig configures archive generation. All randomness flows from
+// Seed, so equal configs produce byte-identical archives.
+type GenConfig struct {
+	// Seed drives all randomness.
+	Seed int64 `json:"seed"`
+	// Datasets is the number of dataset files to emit.
+	Datasets int `json:"datasets"`
+	// Region bounds all observation locations (Columbia River estuary by
+	// default).
+	Region geo.BBox `json:"region"`
+	// TimeSpan bounds all observation times.
+	TimeSpan geo.TimeRange `json:"timeSpan"`
+	// RowsMin and RowsMax bound per-dataset observation counts.
+	RowsMin int `json:"rowsMin"`
+	RowsMax int `json:"rowsMax"`
+	// VarsMin and VarsMax bound per-dataset variable counts (before
+	// excessive variables are appended).
+	VarsMin int `json:"varsMin"`
+	VarsMax int `json:"varsMax"`
+	// Mess sets the semantic-diversity injection profile.
+	Mess MessConfig `json:"mess"`
+	// Vocabulary is the canonical variable list; nil means vocab.Standard.
+	Vocabulary []vocab.Variable `json:"-"`
+}
+
+// DefaultGenConfig returns the configuration the experiments use, sized
+// for n datasets.
+func DefaultGenConfig(n int, seed int64) GenConfig {
+	return GenConfig{
+		Seed:     seed,
+		Datasets: n,
+		Region:   geo.BBox{MinLat: 45.8, MinLon: -124.3, MaxLat: 46.6, MaxLon: -122.8},
+		TimeSpan: geo.NewTimeRange(
+			time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(2012, 12, 31, 0, 0, 0, 0, time.UTC)),
+		RowsMin: 40, RowsMax: 160,
+		VarsMin: 3, VarsMax: 8,
+		Mess: DefaultMess(),
+	}
+}
+
+// sourceSpec fixes each source's format and spatial character.
+type sourceSpec struct {
+	name   string
+	format Format
+	extent float64 // degrees of spatial spread within a dataset
+	moving bool
+}
+
+var sources = []sourceSpec{
+	{name: "stations", format: FormatOBS, extent: 0.002, moving: false},
+	{name: "cruises", format: FormatCSV, extent: 0.4, moving: true},
+	{name: "auv", format: FormatJSONL, extent: 0.08, moving: true},
+}
+
+// Generate writes a synthetic archive under root and returns its
+// ground-truth manifest (which it also saves as root/manifest.json).
+func Generate(root string, cfg GenConfig) (*Manifest, error) {
+	if cfg.Datasets <= 0 {
+		return nil, fmt.Errorf("archive: config needs a positive dataset count")
+	}
+	if cfg.RowsMin <= 0 || cfg.RowsMax < cfg.RowsMin {
+		return nil, fmt.Errorf("archive: bad row bounds [%d,%d]", cfg.RowsMin, cfg.RowsMax)
+	}
+	if cfg.VarsMin <= 0 || cfg.VarsMax < cfg.VarsMin {
+		return nil, fmt.Errorf("archive: bad variable bounds [%d,%d]", cfg.VarsMin, cfg.VarsMax)
+	}
+	if !cfg.Region.Valid() {
+		return nil, fmt.Errorf("archive: invalid region %v", cfg.Region)
+	}
+	if !cfg.TimeSpan.Valid() {
+		return nil, fmt.Errorf("archive: invalid time span")
+	}
+	vars := cfg.Vocabulary
+	if vars == nil {
+		vars = vocab.Standard()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ms := newMesser(cfg.Mess, rng, vars)
+	byName := vocab.ByName(vars)
+	unitReg := units.NewRegistry()
+
+	m := &Manifest{Root: root, Seed: cfg.Seed}
+	for i := 0; i < cfg.Datasets; i++ {
+		spec := sources[i%len(sources)]
+		info, err := generateDataset(root, i, spec, cfg, vars, byName, rng, ms, unitReg)
+		if err != nil {
+			return nil, err
+		}
+		m.Datasets = append(m.Datasets, *info)
+	}
+	if err := m.WriteJSON(filepath.Join(root, "manifest.json")); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func generateDataset(root string, i int, spec sourceSpec, cfg GenConfig,
+	vars []vocab.Variable, byName map[string]vocab.Variable,
+	rng *rand.Rand, ms *messer, unitReg *units.Registry) (*DatasetInfo, error) {
+
+	// Time extent: 1-30 days somewhere in the span.
+	span := cfg.TimeSpan.Duration()
+	maxStartOff := span - 30*24*time.Hour
+	if maxStartOff < 0 {
+		maxStartOff = 0
+	}
+	start := cfg.TimeSpan.Start.Add(time.Duration(rng.Int63n(int64(maxStartOff) + 1)))
+	duration := time.Duration(1+rng.Intn(30)) * 24 * time.Hour
+
+	// Anchor location.
+	anchor := geo.Point{
+		Lat: cfg.Region.MinLat + rng.Float64()*(cfg.Region.MaxLat-cfg.Region.MinLat),
+		Lon: cfg.Region.MinLon + rng.Float64()*(cfg.Region.MaxLon-cfg.Region.MinLon),
+	}
+
+	// Pick variables and mess their names; raw names must stay unique
+	// within the dataset.
+	k := cfg.VarsMin + rng.Intn(cfg.VarsMax-cfg.VarsMin+1)
+	perm := rng.Perm(len(vars))
+	var chosen []vocab.Variable
+	var truths []VarTruth
+	// convertTo holds the emitted unit for variables recorded in a
+	// different (same-family) unit; values convert at emission time.
+	var convertTo []string
+	used := make(map[string]bool)
+	for _, pi := range perm {
+		if len(chosen) >= k {
+			break
+		}
+		v := vars[pi]
+		raw, cat := ms.messName(v)
+		if used[raw] {
+			raw, cat = v.Name, semdiv.CatClean
+			if used[raw] {
+				continue
+			}
+		}
+		used[raw] = true
+		unit, convert := ms.messUnit(v.Unit)
+		target := ""
+		if convert {
+			target = unit
+		}
+		chosen = append(chosen, v)
+		convertTo = append(convertTo, target)
+		truths = append(truths, VarTruth{
+			Raw: raw, Canonical: v.Name, Category: cat,
+			Unit: unit, CanonicalUnit: v.Unit,
+		})
+	}
+	for _, name := range ms.excessiveNames() {
+		if used[name] {
+			continue
+		}
+		used[name] = true
+		chosen = append(chosen, vocab.Variable{
+			Name: name, Base: name, Unit: "1",
+			Typical: geo.ValueRange{Min: 0, Max: 5},
+		})
+		convertTo = append(convertTo, "")
+		truths = append(truths, VarTruth{
+			Raw: name, Canonical: name, Category: semdiv.CatExcessive,
+			Unit: "1", CanonicalUnit: "1",
+		})
+	}
+
+	// Generate observations.
+	rows := cfg.RowsMin + rng.Intn(cfg.RowsMax-cfg.RowsMin+1)
+	obs := make([]Observation, rows)
+	bbox := geo.EmptyBBox()
+	var trange geo.TimeRange
+	for r := 0; r < rows; r++ {
+		frac := float64(r) / float64(rows)
+		at := start.Add(time.Duration(frac * float64(duration)))
+		var p geo.Point
+		if spec.moving {
+			p = geo.Point{
+				Lat: clampLat(anchor.Lat + (rng.Float64()-0.5)*spec.extent),
+				Lon: clampLon(anchor.Lon + (rng.Float64()-0.5)*spec.extent),
+			}
+		} else {
+			p = anchor
+		}
+		values := make([]float64, len(chosen))
+		for vi, v := range chosen {
+			tr := v.Typical
+			if cv, ok := byName[v.Name]; ok {
+				tr = cv.Typical
+			}
+			val := tr.Min + rng.Float64()*tr.Width()
+			if target := convertTo[vi]; target != "" {
+				conv, err := unitReg.Convert(val, v.Unit, target)
+				if err != nil {
+					return nil, fmt.Errorf("archive: convert %s %s->%s: %w", v.Name, v.Unit, target, err)
+				}
+				val = conv
+			}
+			values[vi] = val
+		}
+		obs[r] = Observation{Time: at, Point: p, Values: values}
+		bbox = bbox.ExtendPoint(p)
+		trange = trange.Extend(at)
+	}
+
+	// Write the file.
+	year := start.Year()
+	rel := filepath.Join(spec.name, strconv.Itoa(year),
+		fmt.Sprintf("%s-%04d%s", spec.name, i, spec.format.Ext()))
+	abs := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		return nil, fmt.Errorf("archive: mkdir: %w", err)
+	}
+	var werr error
+	switch spec.format {
+	case FormatCSV:
+		werr = writeCSV(abs, truths, obs)
+	case FormatOBS:
+		werr = writeOBS(abs, fmt.Sprintf("%s-%04d", spec.name, i), anchor, truths, obs)
+	case FormatJSONL:
+		werr = writeJSONL(abs, fmt.Sprintf("%s-%04d", spec.name, i), truths, obs)
+	default:
+		werr = fmt.Errorf("archive: unknown format %q", spec.format)
+	}
+	if werr != nil {
+		return nil, werr
+	}
+
+	return &DatasetInfo{
+		Path: rel, Format: spec.format, Source: spec.name,
+		BBox: bbox, Time: trange, Rows: rows, Vars: truths,
+	}, nil
+}
+
+func clampLat(v float64) float64 {
+	if v > 90 {
+		return 90
+	}
+	if v < -90 {
+		return -90
+	}
+	return v
+}
+
+func clampLon(v float64) float64 {
+	if v > 180 {
+		return 180
+	}
+	if v < -180 {
+		return -180
+	}
+	return v
+}
+
+// writeCSV emits the cruise format: a header row
+// time,latitude,longitude,<name [unit]>... then one record per row.
+func writeCSV(path string, truths []VarTruth, obs []Observation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("archive: create %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	header := []string{"time", "latitude", "longitude"}
+	for _, t := range truths {
+		cell := t.Raw
+		if t.Unit != "" {
+			cell = fmt.Sprintf("%s [%s]", t.Raw, t.Unit)
+		}
+		header = append(header, cell)
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: write %s: %w", path, err)
+	}
+	rec := make([]string, len(header))
+	for _, o := range obs {
+		rec[0] = o.Time.UTC().Format(time.RFC3339)
+		rec[1] = strconv.FormatFloat(o.Point.Lat, 'f', 5, 64)
+		rec[2] = strconv.FormatFloat(o.Point.Lon, 'f', 5, 64)
+		for i, v := range o.Values {
+			rec[3+i] = strconv.FormatFloat(v, 'f', 3, 64)
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("archive: write %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// writeOBS emits the fixed-station format: "#key: value" headers with
+// tab-separated field and unit lists, then tab-separated rows of unix
+// seconds and values.
+func writeOBS(path, station string, loc geo.Point, truths []VarTruth, obs []Observation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("archive: create %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# CMOP-style observation file")
+	fmt.Fprintf(w, "#station: %s\n", station)
+	fmt.Fprintf(w, "#lat: %.5f\n", loc.Lat)
+	fmt.Fprintf(w, "#lon: %.5f\n", loc.Lon)
+	fmt.Fprintf(w, "#fields:")
+	for _, t := range truths {
+		fmt.Fprintf(w, "\t%s", t.Raw)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "#units:")
+	for _, t := range truths {
+		fmt.Fprintf(w, "\t%s", t.Unit)
+	}
+	fmt.Fprintln(w)
+	for _, o := range obs {
+		fmt.Fprintf(w, "%d", o.Time.Unix())
+		for _, v := range o.Values {
+			fmt.Fprintf(w, "\t%.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// jsonlHeader and jsonlObs are the JSON-lines records of the AUV format.
+type jsonlHeader struct {
+	Type     string     `json:"type"` // "header"
+	Platform string     `json:"platform"`
+	Fields   []jsonlVar `json:"fields"`
+}
+
+type jsonlVar struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+type jsonlObs struct {
+	Type   string    `json:"type"` // "obs"
+	Time   time.Time `json:"time"`
+	Lat    float64   `json:"lat"`
+	Lon    float64   `json:"lon"`
+	Values []float64 `json:"values"`
+}
+
+// writeJSONL emits the AUV format: a header line then one JSON object per
+// observation.
+func writeJSONL(path, platform string, truths []VarTruth, obs []Observation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("archive: create %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	hdr := jsonlHeader{Type: "header", Platform: platform}
+	for _, t := range truths {
+		hdr.Fields = append(hdr.Fields, jsonlVar{Name: t.Raw, Unit: t.Unit})
+	}
+	if err := enc.Encode(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: write %s: %w", path, err)
+	}
+	for _, o := range obs {
+		rec := jsonlObs{Type: "obs", Time: o.Time.UTC(), Lat: o.Point.Lat, Lon: o.Point.Lon, Values: o.Values}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("archive: write %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: flush %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,271 @@
+package archive
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"metamess/internal/semdiv"
+	"metamess/internal/vocab"
+)
+
+// MessConfig sets the injection rate for each Table-1 category. Rates are
+// probabilities per emitted variable and should sum to less than 1; the
+// remaining mass emits the clean canonical name.
+type MessConfig struct {
+	// MisspellRate injects minor variations (transpositions, drops,
+	// doubled letters) of the canonical name.
+	MisspellRate float64 `json:"misspellRate"`
+	// SynonymRate emits a curated synonym instead of the canonical name.
+	SynonymRate float64 `json:"synonymRate"`
+	// AbbrevRate emits an abbreviation (MWHLA-style).
+	AbbrevRate float64 `json:"abbrevRate"`
+	// AmbiguousRate emits an ambiguous short form ("temp").
+	AmbiguousRate float64 `json:"ambiguousRate"`
+	// BareBaseRate emits the bare base concept for multi-context
+	// variables ("temperature" instead of "water_temperature").
+	BareBaseRate float64 `json:"bareBaseRate"`
+	// MultiLevelRate emits a numeric-suffix family member
+	// ("fluores410"-style) for the variable's base concept.
+	MultiLevelRate float64 `json:"multiLevelRate"`
+	// ExcessivePerDataset appends this many bookkeeping variables
+	// (qa_level, ..._flag) to every dataset.
+	ExcessivePerDataset int `json:"excessivePerDataset"`
+	// UnitAliasRate writes a unit alias ("C", "Centigrade") instead of
+	// the canonical symbol.
+	UnitAliasRate float64 `json:"unitAliasRate"`
+	// UnitConvertRate records a variable in a genuinely different unit of
+	// the same family (degF instead of degC, cm/s instead of m/s), with
+	// the observation values converted accordingly — legacy-instrument
+	// data that the wrangling chain must convert back.
+	UnitConvertRate float64 `json:"unitConvertRate"`
+}
+
+// DefaultMess returns the mess profile used by the experiments: every
+// category present, clean names still the majority.
+func DefaultMess() MessConfig {
+	return MessConfig{
+		MisspellRate:        0.08,
+		SynonymRate:         0.12,
+		AbbrevRate:          0.08,
+		AmbiguousRate:       0.04,
+		BareBaseRate:        0.06,
+		MultiLevelRate:      0.05,
+		ExcessivePerDataset: 2,
+		UnitAliasRate:       0.30,
+		UnitConvertRate:     0.06,
+	}
+}
+
+// NoMess returns a profile that emits only clean canonical names.
+func NoMess() MessConfig { return MessConfig{} }
+
+// Scale returns a copy of the profile with every rate multiplied by f
+// (ExcessivePerDataset is scaled and rounded). Used by mess-level sweeps.
+func (m MessConfig) Scale(f float64) MessConfig {
+	s := m
+	s.MisspellRate *= f
+	s.SynonymRate *= f
+	s.AbbrevRate *= f
+	s.AmbiguousRate *= f
+	s.BareBaseRate *= f
+	s.MultiLevelRate *= f
+	s.UnitAliasRate *= f
+	s.UnitConvertRate *= f
+	s.ExcessivePerDataset = int(float64(m.ExcessivePerDataset)*f + 0.5)
+	return s
+}
+
+// messer applies the profile deterministically from a seeded rng.
+type messer struct {
+	cfg MessConfig
+	rng *rand.Rand
+	// multiContextBases are bases that occur under 2+ contexts, eligible
+	// for bare-base (source-context) injection.
+	multiContextBases map[string]bool
+	unitAliases       map[string][]string
+}
+
+func newMesser(cfg MessConfig, rng *rand.Rand, vars []vocab.Variable) *messer {
+	contexts := make(map[string]map[string]bool)
+	for _, v := range vars {
+		if v.Context == "" {
+			continue
+		}
+		set := contexts[v.Base]
+		if set == nil {
+			set = make(map[string]bool)
+			contexts[v.Base] = set
+		}
+		set[v.Context] = true
+	}
+	names := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		names[v.Name] = true
+	}
+	multi := make(map[string]bool)
+	for base, ctxs := range contexts {
+		// A bare base that is itself a canonical variable name ("pressure")
+		// cannot be injected as source-context mess: it already denotes a
+		// specific variable.
+		if len(ctxs) >= 2 && !names[base] {
+			multi[base] = true
+		}
+	}
+	return &messer{
+		cfg:               cfg,
+		rng:               rng,
+		multiContextBases: multi,
+		unitAliases: map[string][]string{
+			"degC": {"C", "Centigrade", "deg C", "celsius"},
+			"PSU":  {"psu", "practical salinity units", "ppt"},
+			"m/s":  {"m s-1", "meters per second"},
+			"mg/L": {"mg l-1", "milligrams per liter"},
+			"NTU":  {"ntu"},
+			"m":    {"meters", "metres"},
+			"dbar": {"decibar", "db"},
+			"kPa":  {"kilopascal"},
+			"%":    {"percent", "pct"},
+			"ug/L": {"µg/L", "ug l-1"},
+			"1":    {"count", "unitless", "n/a"},
+			"pH":   {"ph units"},
+		},
+	}
+}
+
+// messName derives the emitted (possibly messy) name and its ground-truth
+// category for one canonical variable.
+func (m *messer) messName(v vocab.Variable) (raw string, cat semdiv.Category) {
+	roll := m.rng.Float64()
+	cum := m.cfg.MisspellRate
+	if roll < cum {
+		if mis := misspell(v.Name, m.rng); mis != v.Name {
+			return mis, semdiv.CatMinorVariation
+		}
+		return v.Name, semdiv.CatClean
+	}
+	cum += m.cfg.SynonymRate
+	if roll < cum {
+		if len(v.Synonyms) > 0 {
+			return v.Synonyms[m.rng.Intn(len(v.Synonyms))], semdiv.CatSynonym
+		}
+		return v.Name, semdiv.CatClean
+	}
+	cum += m.cfg.AbbrevRate
+	if roll < cum {
+		if len(v.Abbrevs) > 0 {
+			return v.Abbrevs[m.rng.Intn(len(v.Abbrevs))], semdiv.CatAbbreviation
+		}
+		return v.Name, semdiv.CatClean
+	}
+	cum += m.cfg.AmbiguousRate
+	if roll < cum {
+		if amb, ok := ambiguousFormFor(v); ok {
+			return amb, semdiv.CatAmbiguous
+		}
+		return v.Name, semdiv.CatClean
+	}
+	cum += m.cfg.BareBaseRate
+	if roll < cum {
+		if m.multiContextBases[v.Base] {
+			return v.Base, semdiv.CatSourceContext
+		}
+		return v.Name, semdiv.CatClean
+	}
+	cum += m.cfg.MultiLevelRate
+	if roll < cum {
+		if stem, ok := multiLevelStem(v.Base); ok {
+			return fmt.Sprintf("%s%d", stem, 100+m.rng.Intn(900)), semdiv.CatMultiLevel
+		}
+		return v.Name, semdiv.CatClean
+	}
+	return v.Name, semdiv.CatClean
+}
+
+// crossUnits maps a vocabulary unit to same-family units with
+// non-identity conversions a legacy instrument might report in.
+var crossUnits = map[string][]string{
+	"degC": {"degF"},
+	"m/s":  {"cm/s", "knots"},
+	"m":    {"ft"},
+	"dbar": {"kPa"},
+}
+
+// messUnit derives the emitted unit string for the canonical symbol and
+// reports whether observation values must be converted into it.
+func (m *messer) messUnit(canonical string) (unit string, convert bool) {
+	if cross := crossUnits[canonical]; len(cross) > 0 && m.rng.Float64() < m.cfg.UnitConvertRate {
+		return cross[m.rng.Intn(len(cross))], true
+	}
+	aliases := m.unitAliases[canonical]
+	if len(aliases) == 0 || m.rng.Float64() >= m.cfg.UnitAliasRate {
+		return canonical, false
+	}
+	return aliases[m.rng.Intn(len(aliases))], false
+}
+
+// excessiveNames returns the dataset's bookkeeping variables.
+func (m *messer) excessiveNames() []string {
+	pool := []string{"qa_level", "qc_flags", "instrument_serial", "sigma_theta_qc", "sensor_serial_no", "salinity_flag"}
+	n := m.cfg.ExcessivePerDataset
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Deterministic subset: shuffle a copy with the shared rng.
+	idx := m.rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// misspell applies one random small edit: transpose, drop, or double a
+// letter (never the first character, keeping names recognizable).
+func misspell(name string, rng *rand.Rand) string {
+	r := []rune(name)
+	if len(r) < 4 {
+		return name
+	}
+	pos := 1 + rng.Intn(len(r)-2)
+	switch rng.Intn(3) {
+	case 0: // transpose pos and pos+1
+		r[pos], r[pos+1] = r[pos+1], r[pos]
+		return string(r)
+	case 1: // drop pos
+		return string(append(r[:pos:pos], r[pos+1:]...))
+	default: // double pos
+		out := make([]rune, 0, len(r)+1)
+		out = append(out, r[:pos+1]...)
+		out = append(out, r[pos])
+		out = append(out, r[pos+1:]...)
+		return string(out)
+	}
+}
+
+// ambiguousFormFor maps a variable to its ambiguous short form, when the
+// ambiguity dictionary has one for its base.
+func ambiguousFormFor(v vocab.Variable) (string, bool) {
+	switch v.Base {
+	case "temperature":
+		return "temp", true
+	case "depth":
+		return "level", true
+	default:
+		return "", false
+	}
+}
+
+// multiLevelStem returns the truncated stem used for numeric-suffix
+// family members, mirroring the poster's fluores375 example.
+func multiLevelStem(base string) (string, bool) {
+	b := strings.ReplaceAll(base, " ", "")
+	if len(b) < 6 {
+		return "", false
+	}
+	cut := len(b) * 7 / 10
+	if cut < 4 {
+		cut = 4
+	}
+	return b[:cut], true
+}

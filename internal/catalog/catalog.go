@@ -1,0 +1,347 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"metamess/internal/table"
+)
+
+// Catalog is an in-memory feature store with secondary indexes. It is
+// safe for concurrent use; search reads run under a shared lock while
+// wrangling writes take the exclusive lock.
+type Catalog struct {
+	mu       sync.RWMutex
+	features map[string]*Feature
+	// byName indexes dataset IDs by current searchable variable name;
+	// byParent indexes them by the hierarchy parent of searchable
+	// variables, so querying a parent concept can use the index too.
+	byName   map[string]map[string]bool
+	byParent map[string]map[string]bool
+	// generation counts mutations, letting long-running searchers detect
+	// that a published catalog replaced this one.
+	generation uint64
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		features: make(map[string]*Feature),
+		byName:   make(map[string]map[string]bool),
+		byParent: make(map[string]map[string]bool),
+	}
+}
+
+// Len returns the number of features.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.features)
+}
+
+// Generation returns the mutation counter.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.generation
+}
+
+// Upsert validates and stores a feature, replacing any previous feature
+// with the same ID. The catalog stores a private clone, so callers may
+// keep mutating their copy.
+func (c *Catalog) Upsert(f *Feature) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	clone := f.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.features[clone.ID]; ok {
+		c.unindexLocked(old)
+	}
+	c.features[clone.ID] = clone
+	c.indexLocked(clone)
+	c.generation++
+	return nil
+}
+
+// Get returns a copy of the feature with the given ID.
+func (c *Catalog) Get(id string) (*Feature, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.features[id]
+	if !ok {
+		return nil, false
+	}
+	return f.Clone(), true
+}
+
+// Delete removes a feature; it reports whether the ID was present.
+func (c *Catalog) Delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.features[id]
+	if !ok {
+		return false
+	}
+	c.unindexLocked(f)
+	delete(c.features, id)
+	c.generation++
+	return true
+}
+
+// All returns copies of every feature, ordered by ID for determinism.
+func (c *Catalog) All() []*Feature {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, 0, len(c.features))
+	for id := range c.features {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Feature, len(ids))
+	for i, id := range ids {
+		out[i] = c.features[id].Clone()
+	}
+	return out
+}
+
+// IDs returns all feature IDs, sorted.
+func (c *Catalog) IDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, 0, len(c.features))
+	for id := range c.features {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DatasetsWithVariable returns the IDs of datasets whose searchable
+// variables include name, sorted.
+func (c *Catalog) DatasetsWithVariable(name string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := c.byName[name]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DatasetsWithParent returns the IDs of datasets having a searchable
+// variable whose hierarchy parent is name, sorted.
+func (c *Catalog) DatasetsWithParent(name string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := c.byParent[name]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VariableNameCounts tallies every *current* variable name (including
+// excluded ones) across the catalog — the facet the wrangling chain and
+// discovery cluster over.
+func (c *Catalog) VariableNameCounts() []table.ValueCount {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	counts := make(map[string]int)
+	for _, f := range c.features {
+		for _, v := range f.Variables {
+			counts[v.Name]++
+		}
+	}
+	out := make([]table.ValueCount, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, table.ValueCount{Value: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// DistinctVariableNames returns the sorted distinct current names.
+func (c *Catalog) DistinctVariableNames() []string {
+	counts := c.VariableNameCounts()
+	out := make([]string, len(counts))
+	for i, vc := range counts {
+		out[i] = vc.Value
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MutateVariables applies fn to every feature's variable list under the
+// write lock; fn returns true if it changed the variables. The method
+// reindexes changed features and returns how many features changed.
+// This is the hook the wrangling chain uses to write transformation
+// results back from the working grid into the catalog.
+func (c *Catalog) MutateVariables(fn func(f *Feature) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := 0
+	for _, f := range c.features {
+		c.unindexLocked(f)
+		if fn(f) {
+			changed++
+		}
+		c.indexLocked(f)
+	}
+	if changed > 0 {
+		c.generation++
+	}
+	return changed
+}
+
+// Clone returns a deep copy of the catalog (used by Publish).
+func (c *Catalog) Clone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := New()
+	for id, f := range c.features {
+		clone := f.Clone()
+		n.features[id] = clone
+		n.indexLocked(clone)
+	}
+	n.generation = c.generation
+	return n
+}
+
+// ReplaceAll swaps this catalog's contents for those of other — the
+// atomic Publish step. The source catalog is left untouched.
+func (c *Catalog) ReplaceAll(other *Catalog) {
+	snapshot := other.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.features = snapshot.features
+	c.byName = snapshot.byName
+	c.byParent = snapshot.byParent
+	c.generation++
+}
+
+// ToTable extracts the catalog's variable occurrences into a refine grid
+// with columns (dataset, source, field, unit): the "extract catalog
+// entries to Google Refine" arrow in the poster's discovery figure.
+// Rows are ordered by dataset ID then variable position.
+func (c *Catalog) ToTable() *table.Table {
+	t := table.MustNew("dataset", "source", "field", "unit")
+	for _, f := range c.All() {
+		for _, v := range f.Variables {
+			// All() returns deep copies sorted by ID; AppendRow only fails
+			// on width mismatch, which is impossible here.
+			_ = t.AppendRow(f.ID, f.Source, v.Name, v.Unit)
+		}
+	}
+	return t
+}
+
+// ApplyTable writes a wrangled grid produced by ToTable back into the
+// catalog: for each (dataset, field) row the variable's current name is
+// replaced by the grid's field cell. The grid must have the ToTable
+// schema and row order (one row per variable occurrence).
+func (c *Catalog) ApplyTable(t *table.Table) (int, error) {
+	for _, col := range []string{"dataset", "field"} {
+		if _, ok := t.ColumnIndex(col); !ok {
+			return 0, fmt.Errorf("catalog: grid missing column %q", col)
+		}
+	}
+	// Collect new names per dataset in row order.
+	type rename struct{ names []string }
+	byDataset := make(map[string]*rename)
+	for i := 0; i < t.NumRows(); i++ {
+		id, err := t.Cell(i, "dataset")
+		if err != nil {
+			return 0, err
+		}
+		name, err := t.Cell(i, "field")
+		if err != nil {
+			return 0, err
+		}
+		r := byDataset[id]
+		if r == nil {
+			r = &rename{}
+			byDataset[id] = r
+		}
+		r.names = append(r.names, name)
+	}
+	missing := ""
+	changed := c.MutateVariables(func(f *Feature) bool {
+		r, ok := byDataset[f.ID]
+		if !ok {
+			return false
+		}
+		if len(r.names) != len(f.Variables) {
+			missing = fmt.Sprintf("catalog: grid has %d rows for dataset %s, want %d",
+				len(r.names), f.ID, len(f.Variables))
+			return false
+		}
+		dirty := false
+		for i := range f.Variables {
+			if f.Variables[i].Name != r.names[i] {
+				f.Variables[i].Name = r.names[i]
+				dirty = true
+			}
+		}
+		return dirty
+	})
+	if missing != "" {
+		return changed, fmt.Errorf("%s", missing)
+	}
+	return changed, nil
+}
+
+// indexLocked adds f to the secondary indexes; callers hold the lock.
+func (c *Catalog) indexLocked(f *Feature) {
+	for _, name := range f.SearchableNames() {
+		set := c.byName[name]
+		if set == nil {
+			set = make(map[string]bool)
+			c.byName[name] = set
+		}
+		set[f.ID] = true
+	}
+	for _, v := range f.Variables {
+		if v.Excluded || v.Parent == "" {
+			continue
+		}
+		set := c.byParent[v.Parent]
+		if set == nil {
+			set = make(map[string]bool)
+			c.byParent[v.Parent] = set
+		}
+		set[f.ID] = true
+	}
+}
+
+// unindexLocked removes f from the secondary indexes.
+func (c *Catalog) unindexLocked(f *Feature) {
+	for _, name := range f.SearchableNames() {
+		set := c.byName[name]
+		delete(set, f.ID)
+		if len(set) == 0 {
+			delete(c.byName, name)
+		}
+	}
+	for _, v := range f.Variables {
+		if v.Excluded || v.Parent == "" {
+			continue
+		}
+		set := c.byParent[v.Parent]
+		delete(set, f.ID)
+		if len(set) == 0 {
+			delete(c.byParent, v.Parent)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"metamess/internal/geo"
+)
+
+func feat(path string, vars ...string) *Feature {
+	f := &Feature{
+		ID:     IDForPath(path),
+		Path:   path,
+		Source: "stations",
+		Format: "csv",
+		BBox:   geo.BBox{MinLat: 46, MinLon: -124, MaxLat: 46.2, MaxLon: -123.8},
+		Time: geo.NewTimeRange(
+			time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(2010, 6, 30, 0, 0, 0, 0, time.UTC)),
+		RowCount:  100,
+		Bytes:     4096,
+		ScannedAt: time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, v := range vars {
+		f.Variables = append(f.Variables, VarFeature{
+			RawName: v, Name: v, Unit: "degC",
+			Range: geo.ValueRange{Min: 5, Max: 15}, Count: 100,
+		})
+	}
+	return f
+}
+
+func TestUpsertGetDelete(t *testing.T) {
+	c := New()
+	f := feat("stations/2010/saturn01.csv", "water_temperature", "salinity")
+	if err := c.Upsert(f); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got, ok := c.Get(f.ID)
+	if !ok || got.Path != f.Path || len(got.Variables) != 2 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// Returned copies are isolated.
+	got.Variables[0].Name = "mutated"
+	again, _ := c.Get(f.ID)
+	if again.Variables[0].Name == "mutated" {
+		t.Error("Get returned a live reference")
+	}
+	if !c.Delete(f.ID) {
+		t.Error("Delete returned false")
+	}
+	if c.Delete(f.ID) {
+		t.Error("double Delete returned true")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after delete = %d", c.Len())
+	}
+}
+
+func TestUpsertValidates(t *testing.T) {
+	c := New()
+	bad := feat("a.csv")
+	bad.ID = "wrong"
+	if err := c.Upsert(bad); err == nil {
+		t.Error("mismatched ID accepted")
+	}
+	dup := feat("b.csv", "x")
+	dup.Variables = append(dup.Variables, VarFeature{RawName: "x", Name: "x"})
+	if err := c.Upsert(dup); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	noName := feat("c.csv", "x")
+	noName.Variables[0].Name = ""
+	if err := c.Upsert(noName); err == nil {
+		t.Error("empty variable name accepted")
+	}
+}
+
+func TestUpsertReplacesAndReindexes(t *testing.T) {
+	c := New()
+	f := feat("a.csv", "old_name")
+	if err := c.Upsert(f); err != nil {
+		t.Fatal(err)
+	}
+	f2 := feat("a.csv", "new_name")
+	if err := c.Upsert(f2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if ids := c.DatasetsWithVariable("old_name"); len(ids) != 0 {
+		t.Errorf("old index entry survived: %v", ids)
+	}
+	if ids := c.DatasetsWithVariable("new_name"); len(ids) != 1 {
+		t.Errorf("new index entry missing: %v", ids)
+	}
+}
+
+func TestIndexExcludesExcludedVariables(t *testing.T) {
+	c := New()
+	f := feat("a.csv", "salinity")
+	f.Variables = append(f.Variables, VarFeature{
+		RawName: "qa_level", Name: "qa_level", Excluded: true, Count: 10,
+	})
+	if err := c.Upsert(f); err != nil {
+		t.Fatal(err)
+	}
+	if ids := c.DatasetsWithVariable("qa_level"); len(ids) != 0 {
+		t.Errorf("excluded variable indexed: %v", ids)
+	}
+	if ids := c.DatasetsWithVariable("salinity"); len(ids) != 1 {
+		t.Errorf("searchable variable missing: %v", ids)
+	}
+	// But the variable remains in the detailed feature view.
+	got, _ := c.Get(f.ID)
+	if len(got.Variables) != 2 {
+		t.Error("excluded variable dropped from feature")
+	}
+}
+
+func TestAllSortedAndIsolated(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		if err := c.Upsert(feat(fmt.Sprintf("d%02d.csv", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.All()
+	if len(all) != 10 {
+		t.Fatalf("All = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All not sorted by ID")
+		}
+	}
+	ids := c.IDs()
+	if len(ids) != 10 || ids[0] != all[0].ID {
+		t.Error("IDs disagree with All")
+	}
+}
+
+func TestVariableNameCounts(t *testing.T) {
+	c := New()
+	_ = c.Upsert(feat("a.csv", "salinity", "temp"))
+	_ = c.Upsert(feat("b.csv", "salinity"))
+	counts := c.VariableNameCounts()
+	if counts[0].Value != "salinity" || counts[0].Count != 2 {
+		t.Errorf("top count = %+v", counts[0])
+	}
+	names := c.DistinctVariableNames()
+	if len(names) != 2 || names[0] != "salinity" || names[1] != "temp" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMutateVariables(t *testing.T) {
+	c := New()
+	_ = c.Upsert(feat("a.csv", "airtemp"))
+	_ = c.Upsert(feat("b.csv", "salinity"))
+	gen := c.Generation()
+	changed := c.MutateVariables(func(f *Feature) bool {
+		for i := range f.Variables {
+			if f.Variables[i].Name == "airtemp" {
+				f.Variables[i].Name = "air_temperature"
+				return true
+			}
+		}
+		return false
+	})
+	if changed != 1 {
+		t.Errorf("changed = %d", changed)
+	}
+	if c.Generation() == gen {
+		t.Error("generation not bumped")
+	}
+	if ids := c.DatasetsWithVariable("air_temperature"); len(ids) != 1 {
+		t.Errorf("index not updated: %v", ids)
+	}
+	if ids := c.DatasetsWithVariable("airtemp"); len(ids) != 0 {
+		t.Errorf("stale index: %v", ids)
+	}
+}
+
+func TestCloneAndReplaceAll(t *testing.T) {
+	working := New()
+	_ = working.Upsert(feat("a.csv", "salinity"))
+	published := New()
+	_ = published.Upsert(feat("old.csv", "oldvar"))
+
+	published.ReplaceAll(working)
+	if published.Len() != 1 {
+		t.Fatalf("published Len = %d", published.Len())
+	}
+	if ids := published.DatasetsWithVariable("salinity"); len(ids) != 1 {
+		t.Error("published index missing")
+	}
+	if ids := published.DatasetsWithVariable("oldvar"); len(ids) != 0 {
+		t.Error("stale published entry")
+	}
+	// Publishing is a snapshot: later working changes do not leak.
+	working.MutateVariables(func(f *Feature) bool {
+		f.Variables[0].Name = "renamed"
+		return true
+	})
+	if ids := published.DatasetsWithVariable("renamed"); len(ids) != 0 {
+		t.Error("working mutation leaked into published catalog")
+	}
+}
+
+func TestToTableApplyTableRoundTrip(t *testing.T) {
+	c := New()
+	_ = c.Upsert(feat("a.csv", "airtemp", "salinity"))
+	_ = c.Upsert(feat("b.csv", "ATastn"))
+	grid := c.ToTable()
+	if grid.NumRows() != 3 {
+		t.Fatalf("grid rows = %d", grid.NumRows())
+	}
+	// Wrangle the grid: rename every temperature variant.
+	for i := 0; i < grid.NumRows(); i++ {
+		v, _ := grid.Cell(i, "field")
+		if v == "airtemp" || v == "ATastn" {
+			_ = grid.SetCell(i, "field", "air_temperature")
+		}
+	}
+	changed, err := c.ApplyTable(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 2 {
+		t.Errorf("changed = %d, want 2", changed)
+	}
+	if ids := c.DatasetsWithVariable("air_temperature"); len(ids) != 2 {
+		t.Errorf("renamed variable index = %v", ids)
+	}
+	// RawName preserved for provenance.
+	f, _ := c.Get(IDForPath("b.csv"))
+	if f.Variables[0].RawName != "ATastn" || f.Variables[0].Name != "air_temperature" {
+		t.Errorf("provenance lost: %+v", f.Variables[0])
+	}
+}
+
+func TestApplyTableErrors(t *testing.T) {
+	c := New()
+	_ = c.Upsert(feat("a.csv", "x", "y"))
+	grid := c.ToTable()
+	// Drop a row: row count mismatch must fail.
+	grid.FilterRows(func(i int, _ []string) bool { return i != 0 })
+	if _, err := c.ApplyTable(grid); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	bad := c.ToTable()
+	_ = bad.RemoveColumn("field")
+	if _, err := c.ApplyTable(bad); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestSearchableNamesAndVariable(t *testing.T) {
+	f := feat("a.csv", "salinity", "water_temperature")
+	f.Variables[0].Excluded = true
+	names := f.SearchableNames()
+	if len(names) != 1 || names[0] != "water_temperature" {
+		t.Errorf("searchable = %v", names)
+	}
+	if _, ok := f.Variable("salinity"); !ok {
+		t.Error("Variable lookup failed")
+	}
+	if _, ok := f.Variable("ghost"); ok {
+		t.Error("Variable found ghost")
+	}
+}
+
+func TestIDForPathStable(t *testing.T) {
+	a := IDForPath("stations/2010/x.csv")
+	b := IDForPath("stations/2010/x.csv")
+	if a != b {
+		t.Error("ID not stable")
+	}
+	if a == IDForPath("stations/2010/y.csv") {
+		t.Error("distinct paths collided")
+	}
+	if len(a) != 16 {
+		t.Errorf("ID length = %d, want 16 hex chars", len(a))
+	}
+}

@@ -1,0 +1,250 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The catalog persists as an append-only log of checksummed JSON records,
+// one per line:
+//
+//	<crc32-hex8> <json-payload>\n
+//
+// where the payload is {"op":"put","feature":{...}} or
+// {"op":"delete","id":"..."}. Replay applies records in order; a torn
+// final line (crash during append) is tolerated and ignored, while
+// corruption anywhere earlier fails loudly. Compact rewrites the log as
+// a snapshot of put records and atomically renames it into place.
+
+// logRecord is the payload of one log line.
+type logRecord struct {
+	Op      string   `json:"op"`
+	ID      string   `json:"id,omitempty"`
+	Feature *Feature `json:"feature,omitempty"`
+}
+
+// Log is an open append-only catalog log.
+type Log struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenLog opens (creating if needed) the log at path for appending.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: open log: %w", err)
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Put appends a put record for the feature.
+func (l *Log) Put(f *Feature) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	return l.append(logRecord{Op: "put", Feature: f})
+}
+
+// Delete appends a delete record for the ID.
+func (l *Log) Delete(id string) error {
+	if id == "" {
+		return fmt.Errorf("catalog: delete needs an id")
+	}
+	return l.append(logRecord{Op: "delete", ID: id})
+}
+
+func (l *Log) append(rec logRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("catalog: encode log record: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(payload)
+	if _, err := fmt.Fprintf(l.w, "%08x %s\n", crc, payload); err != nil {
+		return fmt.Errorf("catalog: append log record: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("catalog: flush log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("catalog: sync log: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("catalog: flush log: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("catalog: close log: %w", err)
+	}
+	return nil
+}
+
+// Replay rebuilds a catalog from the log at path. A missing file yields
+// an empty catalog. A torn final line is ignored; any earlier corruption
+// (bad checksum, bad JSON, unknown op) is an error.
+func Replay(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return New(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: open log: %w", err)
+	}
+	defer f.Close()
+
+	c := New()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// A bad line followed by more lines means mid-file corruption.
+			return nil, pendingErr
+		}
+		line := sc.Text()
+		rec, err := decodeLine(line)
+		if err != nil {
+			// Remember the error; only fatal if another line follows.
+			pendingErr = fmt.Errorf("catalog: log line %d: %w", lineNo, err)
+			continue
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Feature == nil {
+				return nil, fmt.Errorf("catalog: log line %d: put without feature", lineNo)
+			}
+			if err := c.Upsert(rec.Feature); err != nil {
+				return nil, fmt.Errorf("catalog: log line %d: %w", lineNo, err)
+			}
+		case "delete":
+			c.Delete(rec.ID)
+		default:
+			return nil, fmt.Errorf("catalog: log line %d: unknown op %q", lineNo, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("catalog: read log: %w", err)
+	}
+	// pendingErr on the very last line is a torn append: tolerated.
+	return c, nil
+}
+
+func decodeLine(line string) (logRecord, error) {
+	var rec logRecord
+	space := strings.IndexByte(line, ' ')
+	if space != 8 {
+		return rec, fmt.Errorf("malformed record header")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(line[:8], "%08x", &want); err != nil {
+		return rec, fmt.Errorf("bad checksum field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE([]byte(payload)); got != want {
+		return rec, fmt.Errorf("checksum mismatch: %08x != %08x", got, want)
+	}
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return rec, fmt.Errorf("bad payload: %w", err)
+	}
+	return rec, nil
+}
+
+// Compact writes the catalog as a fresh snapshot log (one put per
+// feature, ID order) and atomically renames it over path.
+func Compact(path string, c *Catalog) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".catalog-compact-*")
+	if err != nil {
+		return fmt.Errorf("catalog: compact: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) // no-op after successful rename
+
+	w := bufio.NewWriter(tmp)
+	for _, f := range c.All() {
+		payload, err := json.Marshal(logRecord{Op: "put", Feature: f})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("catalog: compact encode: %w", err)
+		}
+		crc := crc32.ChecksumIEEE(payload)
+		if _, err := fmt.Fprintf(w, "%08x %s\n", crc, payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("catalog: compact write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: compact flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("catalog: compact rename: %w", err)
+	}
+	return nil
+}
+
+// Save persists the catalog as a compact snapshot at path.
+func Save(path string, c *Catalog) error { return Compact(path, c) }
+
+// Load is Replay with a clearer name for snapshot files.
+func Load(path string) (*Catalog, error) { return Replay(path) }
+
+// LogSize returns the byte size of the log file (0 when missing), for
+// compaction heuristics and the summarization-ratio experiment.
+func LogSize(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// CopyLog duplicates a log file byte-for-byte (working-catalog forks).
+func CopyLog(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("catalog: copy log: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("catalog: copy log: %w", err)
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return fmt.Errorf("catalog: copy log: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("catalog: copy log: %w", err)
+	}
+	return nil
+}

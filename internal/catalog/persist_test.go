@@ -1,0 +1,273 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLogReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.log")
+	log, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := feat("a.csv", "salinity")
+	f2 := feat("b.csv", "water_temperature")
+	if err := log.Put(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Put(f2); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Delete(f1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("replayed Len = %d, want 1 (put, put, delete)", c.Len())
+	}
+	if _, ok := c.Get(f2.ID); !ok {
+		t.Error("surviving feature missing")
+	}
+	if _, ok := c.Get(f1.ID); ok {
+		t.Error("deleted feature resurrected")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	c, err := Replay(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Error("missing log should replay to empty catalog")
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.log")
+	log, _ := OpenLog(path)
+	_ = log.Put(feat("a.csv", "x"))
+	_ = log.Put(feat("b.csv", "y"))
+	_ = log.Close()
+
+	// Simulate a crash mid-append: truncate the last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-20]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Replay(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (second put torn off)", c.Len())
+	}
+}
+
+func TestReplayRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.log")
+	log, _ := OpenLog(path)
+	_ = log.Put(feat("a.csv", "x"))
+	_ = log.Put(feat("b.csv", "y"))
+	_ = log.Close()
+
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a byte inside the first record's payload.
+	corrupted := strings.Replace(lines[0], `"op":"put"`, `"op":"pXt"`, 1) + lines[1]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+func TestReplayRejectsBadChecksumMidFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.log")
+	log, _ := OpenLog(path)
+	_ = log.Put(feat("a.csv", "x"))
+	_ = log.Put(feat("b.csv", "y"))
+	_ = log.Close()
+
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Zero the first line's checksum.
+	corrupted := "00000000" + lines[0][8:] + lines[1]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("checksum corruption error = %v", err)
+	}
+}
+
+func TestCompactAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.log")
+	log, _ := OpenLog(path)
+	// Many redundant puts of the same feature.
+	f := feat("a.csv", "x")
+	for i := 0; i < 50; i++ {
+		if err := log.Put(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = log.Put(feat("b.csv", "y"))
+	_ = log.Close()
+
+	before, _ := LogSize(path)
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(path, c); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := LogSize(path)
+	if after >= before {
+		t.Errorf("compaction did not shrink log: %d -> %d", before, after)
+	}
+	again, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 2 {
+		t.Errorf("post-compact Len = %d, want 2", again.Len())
+	}
+}
+
+func TestSaveLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.log")
+	c := New()
+	for i := 0; i < 20; i++ {
+		if err := c.Upsert(feat(fmt.Sprintf("d%02d.csv", i), "salinity", "temp")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), c.Len())
+	}
+	for _, id := range c.IDs() {
+		orig, _ := c.Get(id)
+		got, ok := back.Get(id)
+		if !ok {
+			t.Fatalf("feature %s missing", id)
+		}
+		if got.Path != orig.Path || len(got.Variables) != len(orig.Variables) {
+			t.Errorf("feature %s corrupted in round trip", id)
+		}
+		if !got.Time.Start.Equal(orig.Time.Start) {
+			t.Errorf("feature %s time corrupted", id)
+		}
+	}
+}
+
+func TestCopyLog(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.log")
+	dst := filepath.Join(dir, "dst.log")
+	c := New()
+	_ = c.Upsert(feat("a.csv", "x"))
+	if err := Save(src, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyLog(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Errorf("copied Len = %d", back.Len())
+	}
+	if err := CopyLog(filepath.Join(dir, "ghost.log"), dst); err == nil {
+		t.Error("copying missing file should fail")
+	}
+}
+
+func TestLogSizeMissing(t *testing.T) {
+	n, err := LogSize(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || n != 0 {
+		t.Errorf("LogSize missing = %d, %v", n, err)
+	}
+}
+
+func TestLogPutValidates(t *testing.T) {
+	dir := t.TempDir()
+	log, _ := OpenLog(filepath.Join(dir, "l.log"))
+	defer log.Close()
+	bad := feat("a.csv", "x")
+	bad.ID = "mismatch"
+	if err := log.Put(bad); err == nil {
+		t.Error("invalid feature logged")
+	}
+	if err := log.Delete(""); err == nil {
+		t.Error("empty delete id accepted")
+	}
+}
+
+func BenchmarkLogPut(b *testing.B) {
+	dir := b.TempDir()
+	log, err := OpenLog(filepath.Join(dir, "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	f := feat("bench.csv", "salinity", "water_temperature", "turbidity")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := log.Put(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay1000(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.log")
+	c := New()
+	for i := 0; i < 1000; i++ {
+		_ = c.Upsert(feat(fmt.Sprintf("d%04d.csv", i), "salinity", "temp"))
+	}
+	if err := Save(path, c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package cluster implements the "discover transformations" step of the
+// metadata wrangling process: grouping the distinct values of a column
+// that likely denote the same thing, exactly as Google Refine's
+// clustering feature does, then emitting mass-edit rules that fold each
+// cluster onto a recommended canonical value.
+//
+// Two families of methods are provided, following Refine:
+//
+//   - Key collision: values that normalize to the same key (fingerprint,
+//     n-gram fingerprint, phonetic code) form a cluster. Fast and precise.
+//   - Nearest neighbour: values whose pairwise string similarity exceeds a
+//     threshold are connected; connected components form clusters.
+//     Catches typos key collision misses, at higher cost and lower
+//     precision.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"metamess/internal/fingerprint"
+	"metamess/internal/refine"
+	"metamess/internal/strdist"
+	"metamess/internal/table"
+)
+
+// Cluster is a group of distinct column values judged to denote the same
+// thing, plus the value the method recommends folding onto.
+type Cluster struct {
+	// Key is the collision key (key-collision methods) or a synthetic
+	// component id (nearest-neighbour methods).
+	Key string
+	// Values lists the member values with their row frequencies, ordered
+	// by descending count then ascending value.
+	Values []table.ValueCount
+	// Recommended is the member the cluster folds onto: the most frequent
+	// value, ties broken by ascending value for determinism.
+	Recommended string
+}
+
+// Size returns the number of distinct values in the cluster.
+func (c Cluster) Size() int { return len(c.Values) }
+
+// RowCount returns the total number of rows covered by the cluster.
+func (c Cluster) RowCount() int {
+	n := 0
+	for _, v := range c.Values {
+		n += v.Count
+	}
+	return n
+}
+
+// Method is one clustering algorithm.
+type Method interface {
+	// Name identifies the method in reports ("fingerprint", "levenshtein", ...).
+	Name() string
+	// Cluster groups the distinct values; only clusters with at least two
+	// distinct members are returned, ordered by descending row count.
+	Cluster(values []table.ValueCount) []Cluster
+}
+
+// keyCollision clusters values sharing a normalization key.
+type keyCollision struct {
+	name  string
+	keyer func(string) string
+}
+
+// Fingerprint returns the key-collision method over fingerprint.Key —
+// Refine's default and the poster's primary discovery tool.
+func Fingerprint() Method {
+	return keyCollision{name: "fingerprint", keyer: fingerprint.Key}
+}
+
+// NGramFingerprint returns the key-collision method over n-gram
+// fingerprints, which tolerates small in-word typos.
+func NGramFingerprint(n int) Method {
+	return keyCollision{
+		name:  fmt.Sprintf("ngram-fingerprint-%d", n),
+		keyer: func(s string) string { return fingerprint.NGram(s, n) },
+	}
+}
+
+// Phonetic returns the key-collision method over the simplified phonetic
+// code, which catches sound-alike misspellings.
+func Phonetic() Method {
+	return keyCollision{name: "phonetic", keyer: fingerprint.Phonetic}
+}
+
+// Name implements Method.
+func (k keyCollision) Name() string { return k.name }
+
+// Cluster implements Method.
+func (k keyCollision) Cluster(values []table.ValueCount) []Cluster {
+	groups := make(map[string][]table.ValueCount)
+	for _, v := range values {
+		if v.Value == "" {
+			continue // blanks are handled by fromBlank edits, not clustering
+		}
+		key := k.keyer(v.Value)
+		if key == "" {
+			continue
+		}
+		groups[key] = append(groups[key], v)
+	}
+	var out []Cluster
+	for key, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		out = append(out, finalize(key, members))
+	}
+	orderClusters(out)
+	return out
+}
+
+// nearestNeighbor clusters values by pairwise similarity >= threshold.
+type nearestNeighbor struct {
+	name      string
+	sim       func(a, b string) float64
+	threshold float64
+	// lengthPrune enables the length-difference prune, which is only a
+	// sound bound for normalized Levenshtein similarity.
+	lengthPrune bool
+}
+
+// Levenshtein returns the nearest-neighbour method over normalized
+// Levenshtein similarity with the given threshold in (0,1].
+func Levenshtein(threshold float64) Method {
+	return nearestNeighbor{
+		name:        "levenshtein",
+		sim:         strdist.LevenshteinSimilarity,
+		threshold:   threshold,
+		lengthPrune: true,
+	}
+}
+
+// JaroWinkler returns the nearest-neighbour method over Jaro-Winkler
+// similarity with the given threshold in (0,1].
+func JaroWinkler(threshold float64) Method {
+	return nearestNeighbor{
+		name:      "jaro-winkler",
+		sim:       strdist.JaroWinkler,
+		threshold: threshold,
+	}
+}
+
+// Name implements Method.
+func (nn nearestNeighbor) Name() string { return nn.name }
+
+// Cluster implements Method.
+func (nn nearestNeighbor) Cluster(values []table.ValueCount) []Cluster {
+	// Work over non-blank distinct values; union-find connected components.
+	var vals []table.ValueCount
+	for _, v := range values {
+		if v.Value != "" {
+			vals = append(vals, v)
+		}
+	}
+	n := len(vals)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Blocking: sort by value so similar strings are near one another and
+	// compare each value with a bounded window plus all same-first-rune
+	// values. For catalog-scale distinct counts (thousands) the plain
+	// O(n^2) over distinct values is acceptable; we keep it exact.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if nn.lengthPrune && !lengthCompatible(vals[i].Value, vals[j].Value, nn.threshold) {
+				continue
+			}
+			if nn.sim(vals[i].Value, vals[j].Value) >= nn.threshold {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]table.ValueCount)
+	for i, v := range vals {
+		root := find(i)
+		groups[root] = append(groups[root], v)
+	}
+	var out []Cluster
+	for root, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		c := finalize(fmt.Sprintf("nn-%d", root), members)
+		out = append(out, c)
+	}
+	orderClusters(out)
+	return out
+}
+
+// lengthCompatible prunes pairs whose length difference alone already
+// caps similarity below the threshold (valid for normalized Levenshtein;
+// conservative for Jaro-Winkler).
+func lengthCompatible(a, b string, threshold float64) bool {
+	la, lb := len(a), len(b)
+	longest, diff := la, la-lb
+	if lb > la {
+		longest, diff = lb, lb-la
+	}
+	if longest == 0 {
+		return true
+	}
+	return 1-float64(diff)/float64(longest) >= threshold
+}
+
+// finalize orders members and picks the recommended value.
+func finalize(key string, members []table.ValueCount) Cluster {
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Count != members[j].Count {
+			return members[i].Count > members[j].Count
+		}
+		return members[i].Value < members[j].Value
+	})
+	return Cluster{Key: key, Values: members, Recommended: members[0].Value}
+}
+
+// orderClusters sorts clusters by descending row count, then by key, so
+// reports and generated rules are deterministic.
+func orderClusters(cs []Cluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		ri, rj := cs[i].RowCount(), cs[j].RowCount()
+		if ri != rj {
+			return ri > rj
+		}
+		return cs[i].Key < cs[j].Key
+	})
+}
+
+// Discover runs a method over a table column and returns the clusters.
+func Discover(t *table.Table, column string, m Method) ([]Cluster, error) {
+	counts, err := t.ValueCounts(column)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return m.Cluster(counts), nil
+}
+
+// ToMassEdit converts clusters into a replayable mass-edit rule on the
+// given column: every non-recommended member maps to the recommended
+// value. Returns nil when there is nothing to edit.
+func ToMassEdit(column string, clusters []Cluster, description string) *refine.MassEdit {
+	var edits []refine.Edit
+	for _, c := range clusters {
+		var from []string
+		for _, v := range c.Values {
+			if v.Value != c.Recommended {
+				from = append(from, v.Value)
+			}
+		}
+		if len(from) == 0 {
+			continue
+		}
+		edits = append(edits, refine.Edit{From: from, To: c.Recommended})
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	if description == "" {
+		description = fmt.Sprintf("Mass edit cells in column %s (%d clusters)", column, len(edits))
+	}
+	return &refine.MassEdit{
+		Desc:       description,
+		Engine:     refine.EngineConfig{Mode: "row-based"},
+		ColumnName: column,
+		Expression: "value",
+		Edits:      edits,
+	}
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"testing"
+
+	"metamess/internal/table"
+)
+
+func counts(pairs ...interface{}) []table.ValueCount {
+	var out []table.ValueCount
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, table.ValueCount{Value: pairs[i].(string), Count: pairs[i+1].(int)})
+	}
+	return out
+}
+
+func TestFingerprintClusters(t *testing.T) {
+	vals := counts(
+		"air_temperature", 10,
+		"Air Temperature", 4,
+		"AIR-TEMPERATURE", 1,
+		"salinity", 7,
+		"Salinity", 2,
+		"oxygen", 3,
+	)
+	cs := Fingerprint().Cluster(vals)
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(cs))
+	}
+	// Ordered by row count: air temperature (15) before salinity (9).
+	if cs[0].Recommended != "air_temperature" {
+		t.Errorf("recommended = %q, want air_temperature (most frequent)", cs[0].Recommended)
+	}
+	if cs[0].Size() != 3 || cs[0].RowCount() != 15 {
+		t.Errorf("cluster 0: size=%d rows=%d", cs[0].Size(), cs[0].RowCount())
+	}
+	if cs[1].Recommended != "salinity" {
+		t.Errorf("cluster 1 recommended = %q", cs[1].Recommended)
+	}
+}
+
+func TestFingerprintIgnoresBlanksAndSingletons(t *testing.T) {
+	vals := counts("", 100, "unique_name", 5, "other_name", 2)
+	cs := Fingerprint().Cluster(vals)
+	if len(cs) != 0 {
+		t.Errorf("clusters = %d, want 0 (blanks and singletons excluded)", len(cs))
+	}
+}
+
+func TestRecommendedTieBreak(t *testing.T) {
+	vals := counts("b_name", 3, "a_name", 3)
+	cs := Levenshtein(0.7).Cluster(vals)
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cs))
+	}
+	if cs[0].Recommended != "a_name" {
+		t.Errorf("tie break picked %q, want a_name (ascending value)", cs[0].Recommended)
+	}
+}
+
+func TestNGramFingerprintCatchesTypos(t *testing.T) {
+	// Transposition changes word fingerprint but not 1-gram fingerprint.
+	vals := counts("air_temperature", 9, "air_temperatrue", 1)
+	if got := Fingerprint().Cluster(vals); len(got) != 0 {
+		t.Errorf("word fingerprint unexpectedly clustered a transposition")
+	}
+	cs := NGramFingerprint(1).Cluster(vals)
+	if len(cs) != 1 {
+		t.Fatalf("1-gram clusters = %d, want 1", len(cs))
+	}
+	if cs[0].Recommended != "air_temperature" {
+		t.Errorf("recommended = %q", cs[0].Recommended)
+	}
+}
+
+func TestPhoneticCatchesSoundAlikes(t *testing.T) {
+	vals := counts("fluorescence", 8, "fluoresence", 2, "salinity", 5)
+	cs := Phonetic().Cluster(vals)
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cs))
+	}
+	if cs[0].Recommended != "fluorescence" {
+		t.Errorf("recommended = %q", cs[0].Recommended)
+	}
+}
+
+func TestLevenshteinNearestNeighbor(t *testing.T) {
+	vals := counts(
+		"salinity", 10,
+		"salinty", 2, // deletion
+		"salinityy", 1, // insertion
+		"temperature", 8,
+	)
+	cs := Levenshtein(0.8).Cluster(vals)
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cs))
+	}
+	if cs[0].Size() != 3 {
+		t.Errorf("cluster size = %d, want 3", cs[0].Size())
+	}
+	if cs[0].Recommended != "salinity" {
+		t.Errorf("recommended = %q", cs[0].Recommended)
+	}
+}
+
+func TestLevenshteinThresholdRespected(t *testing.T) {
+	vals := counts("abc", 1, "xyz", 1)
+	if cs := Levenshtein(0.5).Cluster(vals); len(cs) != 0 {
+		t.Errorf("dissimilar values clustered: %+v", cs)
+	}
+	// Threshold 1.0 means only identical strings cluster — and distinct
+	// values are never identical, so nothing clusters.
+	vals = counts("abc", 1, "abd", 1)
+	if cs := Levenshtein(1.0).Cluster(vals); len(cs) != 0 {
+		t.Errorf("threshold 1.0 clustered non-identical values")
+	}
+}
+
+func TestJaroWinklerMethod(t *testing.T) {
+	vals := counts("water_temperature", 5, "water_temperatur", 1, "oxygen", 3)
+	cs := JaroWinkler(0.95).Cluster(vals)
+	if len(cs) != 1 || cs[0].Recommended != "water_temperature" {
+		t.Fatalf("clusters = %+v", cs)
+	}
+}
+
+func TestTransitiveChaining(t *testing.T) {
+	// a~b and b~c should produce one component {a,b,c} even if a!~c.
+	vals := counts("abcdefgh", 3, "abcdefgx", 2, "abcdefxx", 1)
+	cs := Levenshtein(0.85).Cluster(vals)
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1 (transitive closure)", len(cs))
+	}
+	if cs[0].Size() != 3 {
+		t.Errorf("component size = %d, want 3", cs[0].Size())
+	}
+}
+
+func TestDiscoverOverTable(t *testing.T) {
+	tb := table.MustNew("field")
+	for _, v := range []string{"airtemp", "airtemp", "air temp", "salinity"} {
+		_ = tb.AppendRow(v)
+	}
+	cs, err := Discover(tb, "field", NGramFingerprint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(cs))
+	}
+	if cs[0].Recommended != "airtemp" {
+		t.Errorf("recommended = %q (most frequent)", cs[0].Recommended)
+	}
+	if _, err := Discover(tb, "ghost", Fingerprint()); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestToMassEdit(t *testing.T) {
+	cs := []Cluster{
+		{
+			Key:         "air temperature",
+			Values:      counts("air_temperature", 10, "Air Temperature", 4),
+			Recommended: "air_temperature",
+		},
+	}
+	me := ToMassEdit("field", cs, "")
+	if me == nil {
+		t.Fatal("nil mass edit")
+	}
+	if me.ColumnName != "field" || me.Expression != "value" {
+		t.Errorf("op = %+v", me)
+	}
+	if len(me.Edits) != 1 {
+		t.Fatalf("edits = %d, want 1", len(me.Edits))
+	}
+	if me.Edits[0].To != "air_temperature" || me.Edits[0].From[0] != "Air Temperature" {
+		t.Errorf("edit = %+v", me.Edits[0])
+	}
+
+	// Applying the generated rule folds the cluster.
+	tb := table.MustNew("field")
+	_ = tb.AppendRow("Air Temperature")
+	_ = tb.AppendRow("air_temperature")
+	res, err := me.Apply(tb)
+	if err != nil || res.CellsChanged != 1 {
+		t.Fatalf("apply: %v changed=%d", err, res.CellsChanged)
+	}
+	got, _ := tb.Cell(0, "field")
+	if got != "air_temperature" {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+func TestToMassEditEmpty(t *testing.T) {
+	if me := ToMassEdit("field", nil, ""); me != nil {
+		t.Error("no clusters should produce nil op")
+	}
+	// A cluster whose only member is the recommended value yields nothing.
+	cs := []Cluster{{Values: counts("x", 3), Recommended: "x"}}
+	if me := ToMassEdit("field", cs, ""); me != nil {
+		t.Error("degenerate cluster should produce nil op")
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	vals := counts(
+		"aa bb", 2, "bb aa", 2, // cluster A, 4 rows
+		"cc dd", 3, "dd cc", 1, // cluster B, 4 rows
+	)
+	first := Fingerprint().Cluster(vals)
+	for i := 0; i < 5; i++ {
+		again := Fingerprint().Cluster(vals)
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic cluster count")
+		}
+		for j := range again {
+			if again[j].Key != first[j].Key || again[j].Recommended != first[j].Recommended {
+				t.Fatalf("nondeterministic ordering at %d: %+v vs %+v", j, again[j], first[j])
+			}
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	methods := []Method{
+		Fingerprint(), NGramFingerprint(2), Phonetic(), Levenshtein(0.8), JaroWinkler(0.9),
+	}
+	seen := map[string]bool{}
+	for _, m := range methods {
+		if m.Name() == "" {
+			t.Error("empty method name")
+		}
+		if seen[m.Name()] {
+			t.Errorf("duplicate method name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func BenchmarkFingerprintCluster1000(b *testing.B) {
+	var vals []table.ValueCount
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, table.ValueCount{Value: benchName(i), Count: 1 + i%7})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fingerprint().Cluster(vals)
+	}
+}
+
+func BenchmarkLevenshteinCluster300(b *testing.B) {
+	var vals []table.ValueCount
+	for i := 0; i < 300; i++ {
+		vals = append(vals, table.ValueCount{Value: benchName(i), Count: 1 + i%7})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(0.85).Cluster(vals)
+	}
+}
+
+var baseNames = []string{
+	"air_temperature", "water_temperature", "salinity", "dissolved_oxygen",
+	"turbidity", "chlorophyll", "ph", "conductivity", "pressure", "depth",
+}
+
+func benchName(i int) string {
+	base := baseNames[i%len(baseNames)]
+	switch i % 4 {
+	case 0:
+		return base
+	case 1:
+		return base + "_raw"
+	case 2:
+		return "obs_" + base
+	default:
+		return base + "_qc"
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"metamess/internal/table"
+)
+
+// TestClustersPartitionValues verifies key-collision clusters never
+// place one value in two clusters, and every recommended value is a
+// member of its own cluster.
+func TestClustersPartitionValues(t *testing.T) {
+	methods := []Method{Fingerprint(), NGramFingerprint(1), Phonetic()}
+	f := func(raw []string) bool {
+		var vals []table.ValueCount
+		seen := map[string]bool{}
+		for i, r := range raw {
+			if len(r) > 30 {
+				r = r[:30]
+			}
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			vals = append(vals, table.ValueCount{Value: r, Count: 1 + i%5})
+		}
+		for _, m := range methods {
+			assigned := map[string]bool{}
+			for _, c := range m.Cluster(vals) {
+				if c.Size() < 2 {
+					return false // singleton clusters must be filtered
+				}
+				memberIsRecommended := false
+				for _, v := range c.Values {
+					if assigned[v.Value] {
+						return false // value in two clusters
+					}
+					assigned[v.Value] = true
+					if v.Value == c.Recommended {
+						memberIsRecommended = true
+					}
+				}
+				if !memberIsRecommended {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNearestNeighborSymmetricThreshold verifies the union-find clusters
+// are independent of input order.
+func TestNearestNeighborOrderIndependent(t *testing.T) {
+	vals := []table.ValueCount{
+		{Value: "salinity", Count: 5},
+		{Value: "salinty", Count: 2},
+		{Value: "turbidity", Count: 4},
+		{Value: "turbidty", Count: 1},
+		{Value: "oxygen", Count: 3},
+	}
+	reversed := make([]table.ValueCount, len(vals))
+	for i, v := range vals {
+		reversed[len(vals)-1-i] = v
+	}
+	a := Levenshtein(0.85).Cluster(vals)
+	b := Levenshtein(0.85).Cluster(reversed)
+	if len(a) != len(b) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a), len(b))
+	}
+	key := func(cs []Cluster) map[string]string {
+		out := map[string]string{}
+		for _, c := range cs {
+			for _, v := range c.Values {
+				out[v.Value] = c.Recommended
+			}
+		}
+		return out
+	}
+	ka, kb := key(a), key(b)
+	for v, rec := range ka {
+		if kb[v] != rec {
+			t.Errorf("order-dependent recommendation for %q: %q vs %q", v, rec, kb[v])
+		}
+	}
+}
+
+// TestMassEditFromGeneratedClustersIsIdempotent applies a generated rule
+// twice and checks a fixed point.
+func TestMassEditFromGeneratedClustersIsIdempotent(t *testing.T) {
+	grid := table.MustNew("field")
+	values := []string{
+		"Air Temperature", "air_temperature", "air_temperature",
+		"AIR-TEMPERATURE", "salinity", "Salinity", "turbidity",
+	}
+	for _, v := range values {
+		if err := grid.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := grid.ValueCounts("field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ToMassEdit("field", Fingerprint().Cluster(counts), "")
+	if op == nil {
+		t.Fatal("no rule generated")
+	}
+	if _, err := op.Apply(grid); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := grid.Clone()
+	res, err := op.Apply(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 0 || !grid.Equal(snapshot) {
+		t.Error("generated mass edit is not idempotent")
+	}
+}
+
+func BenchmarkNGram1Cluster1000(b *testing.B) {
+	var vals []table.ValueCount
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, table.ValueCount{Value: fmt.Sprintf("%s_%d", benchName(i), i%17), Count: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NGramFingerprint(1).Cluster(vals)
+	}
+}

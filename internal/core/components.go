@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"metamess/internal/catalog"
+	"metamess/internal/cluster"
+	"metamess/internal/geo"
+	"metamess/internal/hierarchy"
+	"metamess/internal/refine"
+	"metamess/internal/scan"
+	"metamess/internal/semdiv"
+	"metamess/internal/synonym"
+	"metamess/internal/validate"
+)
+
+// ScanArchive is the chain's first component: walk the configured
+// directories and upsert a feature per dataset into the working catalog
+// (incremental across reruns).
+type ScanArchive struct{}
+
+// Name implements Component.
+func (ScanArchive) Name() string { return "scan-archive" }
+
+// Run implements Component.
+func (ScanArchive) Run(ctx *Context) (StepReport, error) {
+	res, err := scan.New(ctx.ScanConfig).ScanInto(ctx.Working)
+	if err != nil {
+		return StepReport{}, err
+	}
+	step := StepReport{Counters: map[string]int{
+		"filesSeen":        res.Stats.FilesSeen,
+		"parsed":           res.Stats.Parsed,
+		"skippedUnchanged": res.Stats.SkippedUnchanged,
+		"failed":           res.Stats.Failed,
+	}}
+	for _, e := range res.Errors {
+		step.Notes = append(step.Notes, e.Error())
+	}
+	return step, nil
+}
+
+// KnownTransforms performs the "perform known transformations"
+// component: translate names the curated knowledge already understands
+// (synonyms, abbreviations, minor variations, single-context bases),
+// mark excessive variables as excluded, canonicalize units, and fold in
+// any pending curator decisions.
+type KnownTransforms struct{}
+
+// Name implements Component.
+func (KnownTransforms) Name() string { return "known-transforms" }
+
+// Run implements Component.
+func (KnownTransforms) Run(ctx *Context) (StepReport, error) {
+	cls := semdiv.NewClassifier(ctx.Knowledge)
+	counts := ctx.Working.VariableNameCounts()
+	names := make([]string, len(counts))
+	for i, vc := range counts {
+		names[i] = vc.Value
+	}
+	plan := semdiv.Resolve(cls.ClassifyAll(names))
+	if len(ctx.PendingDecisions) > 0 {
+		if err := plan.ApplyDecisions(ctx.PendingDecisions); err != nil {
+			return StepReport{}, err
+		}
+		ctx.PendingDecisions = nil
+	}
+
+	step := StepReport{Counters: map[string]int{
+		"translations": len(plan.Translations),
+		"exclusions":   len(plan.Exclusions),
+		"curatorQueue": len(plan.CuratorQueue),
+	}}
+
+	// Translations run through the refine grid so the rule is auditable.
+	if op := plan.TranslationOp("field"); op != nil {
+		grid := ctx.Working.ToTable()
+		if _, err := op.Apply(grid); err != nil {
+			return StepReport{}, err
+		}
+		changed, err := ctx.Working.ApplyTable(grid)
+		if err != nil {
+			return StepReport{}, err
+		}
+		step.Counters["datasetsChanged"] = changed
+	}
+
+	// Exclusions and unit canonicalization mutate features directly. A
+	// variable harvested in a different unit than its vocabulary entry
+	// prescribes (temperatures in degF, speeds in cm/s) has its observed
+	// range converted into the variable's canonical unit, so range
+	// queries and plausibility checks compare like with like.
+	excluded := make(map[string]bool, len(plan.Exclusions))
+	for _, e := range plan.Exclusions {
+		excluded[e] = true
+	}
+	vocabUnit := make(map[string]string, len(ctx.Knowledge.Vocabulary))
+	for _, cv := range ctx.Knowledge.Vocabulary {
+		vocabUnit[cv.Name] = cv.Unit
+	}
+	unitMiss := make(map[string]bool)
+	marked, converted := 0, 0
+	ctx.Working.MutateVariables(func(f *catalog.Feature) bool {
+		dirty := false
+		for i := range f.Variables {
+			v := &f.Variables[i]
+			if excluded[v.Name] && !v.Excluded {
+				v.Excluded = true
+				marked++
+				dirty = true
+			}
+			if v.Unit != "" && v.CanonicalUnit == "" {
+				u, ok := ctx.Units.Lookup(v.Unit)
+				if !ok {
+					unitMiss[v.Unit] = true
+					continue
+				}
+				target := vocabUnit[v.Name]
+				if target == "" || target == u.Symbol || v.Count == 0 {
+					// Same unit (or no vocabulary entry): just record the
+					// resolved symbol, values need no conversion.
+					v.CanonicalUnit = u.Symbol
+					dirty = true
+					continue
+				}
+				lo, err1 := ctx.Units.Convert(v.Range.Min, v.Unit, target)
+				hi, err2 := ctx.Units.Convert(v.Range.Max, v.Unit, target)
+				if err1 != nil || err2 != nil {
+					// Cross-family surprise: keep the resolved symbol and
+					// leave values alone for the curator to inspect.
+					v.CanonicalUnit = u.Symbol
+					dirty = true
+					continue
+				}
+				v.Range = geo.NewValueRange(lo, hi)
+				v.CanonicalUnit = target
+				converted++
+				dirty = true
+			}
+		}
+		return dirty
+	})
+	step.Counters["variablesExcluded"] = marked
+	step.Counters["unitsConverted"] = converted
+	step.Counters["unknownUnits"] = len(unitMiss)
+	for _, f := range plan.CuratorQueue {
+		step.Notes = append(step.Notes, fmt.Sprintf("curator: %q is %s (%s)", f.RawName, f.Category, f.Evidence))
+	}
+	return step, nil
+}
+
+// AddExternalMetadata merges external translation tables (CSV files in
+// the synonym package's format) into the knowledge base — the chain's
+// "add external metadata" component, which the poster notes "often
+// exists as a translation table".
+type AddExternalMetadata struct {
+	// TablePaths are CSV translation tables to merge.
+	TablePaths []string
+	// Tables are in-memory tables to merge (tests, embedded defaults).
+	Tables []*synonym.Table
+}
+
+// Name implements Component.
+func (AddExternalMetadata) Name() string { return "add-external-metadata" }
+
+// Run implements Component.
+func (a AddExternalMetadata) Run(ctx *Context) (StepReport, error) {
+	merged := 0
+	for _, p := range a.TablePaths {
+		f, err := os.Open(p)
+		if err != nil {
+			return StepReport{}, fmt.Errorf("external table %s: %w", p, err)
+		}
+		t, err := synonym.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return StepReport{}, fmt.Errorf("external table %s: %w", p, err)
+		}
+		if err := ctx.Knowledge.Synonyms.Merge(t); err != nil {
+			return StepReport{}, fmt.Errorf("external table %s: %w", p, err)
+		}
+		merged++
+	}
+	for _, t := range a.Tables {
+		if err := ctx.Knowledge.Synonyms.Merge(t); err != nil {
+			return StepReport{}, err
+		}
+		merged++
+	}
+	return StepReport{Counters: map[string]int{"tablesMerged": merged}}, nil
+}
+
+// DiscoverTransforms clusters "the mess that's left" — names the
+// classifier cannot resolve — and converts each cluster into a mass-edit
+// rule, exactly as the poster's Google Refine round trip does. Rules are
+// accumulated on the context; PerformDiscovered applies them.
+type DiscoverTransforms struct {
+	// Methods run in order over the residual; nil means the default
+	// ladder (fingerprint, 1-gram fingerprint, phonetic, Levenshtein 0.84).
+	Methods []cluster.Method
+}
+
+// Name implements Component.
+func (DiscoverTransforms) Name() string { return "discover-transforms" }
+
+// Run implements Component.
+func (d DiscoverTransforms) Run(ctx *Context) (StepReport, error) {
+	methods := d.Methods
+	if methods == nil {
+		methods = []cluster.Method{
+			cluster.Fingerprint(),
+			cluster.NGramFingerprint(1),
+			cluster.Phonetic(),
+			cluster.Levenshtein(0.84),
+		}
+	}
+	cls := semdiv.NewClassifier(ctx.Knowledge)
+	// The residual: names with no curated resolution.
+	var residual []string
+	for _, vc := range ctx.Working.VariableNameCounts() {
+		if cls.Classify(vc.Value).Category == semdiv.CatUnknown {
+			residual = append(residual, vc.Value)
+		}
+	}
+	residualSet := make(map[string]bool, len(residual))
+	for _, r := range residual {
+		residualSet[r] = true
+	}
+
+	step := StepReport{Counters: map[string]int{"residualNames": len(residual)}}
+	if len(residual) == 0 {
+		return step, nil
+	}
+
+	grid := ctx.Working.ToTable()
+	counts, err := grid.ValueCounts("field")
+	if err != nil {
+		return StepReport{}, err
+	}
+	// Cluster over all names so residual values can collide with known
+	// ones, but keep only clusters containing at least one residual name.
+	folded := make(map[string]bool)
+	rules := 0
+	for _, m := range methods {
+		clusters := m.Cluster(counts)
+		var keep []cluster.Cluster
+		for _, c := range clusters {
+			hasResidual, allFolded := false, true
+			for _, v := range c.Values {
+				if residualSet[v.Value] && !folded[v.Value] {
+					hasResidual = true
+				}
+				if !folded[v.Value] {
+					allFolded = false
+				}
+			}
+			if !hasResidual || allFolded {
+				continue
+			}
+			// Prefer a canonical target: if any member resolves cleanly,
+			// fold the cluster onto its canonical form.
+			c.Recommended = bestTarget(c, cls)
+			keep = append(keep, c)
+			for _, v := range c.Values {
+				folded[v.Value] = true
+			}
+		}
+		if op := cluster.ToMassEdit("field", keep,
+			fmt.Sprintf("Discovered by %s over the residual mess", m.Name())); op != nil {
+			ctx.DiscoveredRules = append(ctx.DiscoveredRules, op)
+			rules++
+		}
+	}
+	step.Counters["rulesDiscovered"] = rules
+	return step, nil
+}
+
+// bestTarget picks a cluster's fold target: the canonical resolution of
+// the first member that classifies cleanly (in frequency order), else
+// the cluster's own recommendation.
+func bestTarget(c cluster.Cluster, cls *semdiv.Classifier) string {
+	for _, v := range c.Values {
+		f := cls.Classify(v.Value)
+		switch f.Category {
+		case semdiv.CatClean:
+			return v.Value
+		case semdiv.CatSynonym, semdiv.CatAbbreviation, semdiv.CatMinorVariation:
+			if f.Canonical != "" {
+				return f.Canonical
+			}
+		}
+	}
+	return c.Recommended
+}
+
+// PerformDiscovered applies the accumulated discovered rules to the
+// working catalog through the refine grid — the poster's "run rules
+// against metadata" arrow.
+type PerformDiscovered struct{}
+
+// Name implements Component.
+func (PerformDiscovered) Name() string { return "perform-discovered" }
+
+// Run implements Component.
+func (PerformDiscovered) Run(ctx *Context) (StepReport, error) {
+	step := StepReport{Counters: map[string]int{"rules": len(ctx.DiscoveredRules)}}
+	if len(ctx.DiscoveredRules) == 0 {
+		return step, nil
+	}
+	grid := ctx.Working.ToTable()
+	project := refine.NewProject(grid)
+	if _, err := project.ApplyAll(ctx.DiscoveredRules); err != nil {
+		return StepReport{}, err
+	}
+	changed, err := ctx.Working.ApplyTable(project.Table())
+	if err != nil {
+		return StepReport{}, err
+	}
+	step.Counters["datasetsChanged"] = changed
+	step.Counters["cellsChanged"] = project.TotalCellsChanged()
+	return step, nil
+}
+
+// GenerateHierarchies builds the variable taxonomy over the wrangled
+// names (configure: levels, aggregation), records each variable's
+// hierarchy parent, and links source-context variables to their
+// taxonomies.
+type GenerateHierarchies struct {
+	Options hierarchy.GenerateOptions
+	// Taxonomy receives the generated tree (for menus); optional.
+	Taxonomy **hierarchy.Taxonomy
+}
+
+// Name implements Component.
+func (GenerateHierarchies) Name() string { return "generate-hierarchies" }
+
+// Run implements Component.
+func (g GenerateHierarchies) Run(ctx *Context) (StepReport, error) {
+	opts := g.Options
+	if opts.MinGroupSize == 0 {
+		opts = hierarchy.DefaultGenerateOptions()
+	}
+	var names []string
+	for _, n := range ctx.Working.DistinctVariableNames() {
+		names = append(names, n)
+	}
+	tax, err := hierarchy.Generate("variables", names, opts)
+	if err != nil {
+		return StepReport{}, err
+	}
+	if g.Taxonomy != nil {
+		*g.Taxonomy = tax
+	}
+
+	// Context links per canonical variable.
+	contextsFor := make(map[string][]string)
+	for _, v := range ctx.Knowledge.Vocabulary {
+		if v.Context != "" {
+			contextsFor[v.Name] = []string{v.Context}
+		}
+	}
+
+	// Classifier-driven parents: a multi-level name whose stem family has
+	// only one member never earns a taxonomy group, but the classifier
+	// still knows its parent concept (fluores410 under fluorescence).
+	cls := semdiv.NewClassifier(ctx.Knowledge)
+	classifiedParent := make(map[string]string)
+	for _, name := range names {
+		if f := cls.Classify(name); f.Category == semdiv.CatMultiLevel && f.GroupParent != "" {
+			classifiedParent[name] = f.GroupParent
+		}
+	}
+
+	parents, linked := 0, 0
+	ctx.Working.MutateVariables(func(f *catalog.Feature) bool {
+		dirty := false
+		for i := range f.Variables {
+			v := &f.Variables[i]
+			if p, ok := tax.Parent(v.Name); ok && v.Parent != p {
+				v.Parent = p
+				parents++
+				dirty = true
+			} else if p, ok := classifiedParent[v.Name]; ok && v.Parent == "" {
+				v.Parent = p
+				parents++
+				dirty = true
+			}
+			if ctxs, ok := contextsFor[v.Name]; ok && len(v.Contexts) == 0 {
+				v.Contexts = append([]string(nil), ctxs...)
+				linked++
+				dirty = true
+			}
+		}
+		return dirty
+	})
+	return StepReport{Counters: map[string]int{
+		"taxonomyTerms":  tax.Size(),
+		"parentsSet":     parents,
+		"contextsLinked": linked,
+	}}, nil
+}
+
+// Validate runs the validation suite and records the report on the
+// context; it fails the chain when a check errors, so Publish never runs
+// over a broken catalog.
+type Validate struct {
+	// Checks defaults to validate.DefaultChecks.
+	Checks []validate.Check
+	// AllowErrors records the report but lets the chain continue
+	// (curator-inspection runs).
+	AllowErrors bool
+}
+
+// Name implements Component.
+func (Validate) Name() string { return "validate" }
+
+// Run implements Component.
+func (v Validate) Run(ctx *Context) (StepReport, error) {
+	checks := v.Checks
+	if checks == nil {
+		checks = validate.DefaultChecks()
+	}
+	report := validate.Run(&validate.Context{
+		Catalog:       ctx.Working,
+		Knowledge:     ctx.Knowledge,
+		Units:         ctx.Units,
+		ExpectedPaths: ctx.ExpectedPaths,
+	}, checks...)
+	ctx.LastValidation = report
+	step := StepReport{Counters: map[string]int{
+		"checks":   len(report.ChecksRun),
+		"errors":   report.Errors(),
+		"warnings": report.Warnings(),
+	}}
+	findings := report.Findings
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Detail < findings[j].Detail })
+	for i, f := range findings {
+		if i >= 20 {
+			step.Notes = append(step.Notes, fmt.Sprintf("... %d more findings", len(findings)-i))
+			break
+		}
+		step.Notes = append(step.Notes, fmt.Sprintf("[%s] %s: %s", f.Severity, f.Check, f.Detail))
+	}
+	if !report.OK() && !v.AllowErrors {
+		return step, fmt.Errorf("validation failed with %d errors", report.Errors())
+	}
+	return step, nil
+}
+
+// Publish atomically replaces the published catalog with the working
+// catalog's current contents — the chain's final box.
+type Publish struct{}
+
+// Name implements Component.
+func (Publish) Name() string { return "publish" }
+
+// Run implements Component.
+func (Publish) Run(ctx *Context) (StepReport, error) {
+	if ctx.Published == nil {
+		return StepReport{}, fmt.Errorf("no published catalog configured")
+	}
+	ctx.Published.ReplaceAll(ctx.Working)
+	return StepReport{Counters: map[string]int{"datasetsPublished": ctx.Published.Len()}}, nil
+}
+
+// DefaultChain assembles the poster's full chain in order.
+func DefaultChain() []Component {
+	return []Component{
+		ScanArchive{},
+		KnownTransforms{},
+		AddExternalMetadata{},
+		DiscoverTransforms{},
+		PerformDiscovered{},
+		KnownTransforms{}, // re-run: discovered folds may land on known names
+		GenerateHierarchies{},
+		Validate{AllowErrors: true},
+		Publish{},
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"metamess/internal/cluster"
+	"metamess/internal/hierarchy"
+	"metamess/internal/validate"
+)
+
+// ProcessConfig is the declarative form of a wrangling process — the
+// poster's curatorial activity 1, "creating metadata wrangling process
+// for archive from composable components", as a JSON document a curator
+// edits and versions. Each entry of Chain names a component and carries
+// its parameters.
+//
+//	{
+//	  "name": "cmop-nightly",
+//	  "chain": [
+//	    {"component": "scan-archive"},
+//	    {"component": "known-transforms"},
+//	    {"component": "add-external-metadata", "tables": ["synonyms.csv"]},
+//	    {"component": "discover-transforms", "methods": ["fingerprint", "levenshtein:0.84"]},
+//	    {"component": "perform-discovered"},
+//	    {"component": "generate-hierarchies", "minGroupSize": 2},
+//	    {"component": "validate", "allowErrors": false},
+//	    {"component": "publish"}
+//	  ]
+//	}
+type ProcessConfig struct {
+	Name  string       `json:"name"`
+	Chain []StepConfig `json:"chain"`
+}
+
+// StepConfig configures one chain component.
+type StepConfig struct {
+	Component string `json:"component"`
+	// Tables parameterizes add-external-metadata (CSV paths).
+	Tables []string `json:"tables,omitempty"`
+	// Methods parameterizes discover-transforms: "fingerprint",
+	// "ngram:N", "phonetic", "levenshtein:T", "jaro-winkler:T".
+	Methods []string `json:"methods,omitempty"`
+	// MinGroupSize parameterizes generate-hierarchies.
+	MinGroupSize int `json:"minGroupSize,omitempty"`
+	// AllowErrors parameterizes validate.
+	AllowErrors bool `json:"allowErrors,omitempty"`
+}
+
+// ParseProcessConfig decodes a JSON process configuration.
+func ParseProcessConfig(data []byte) (*ProcessConfig, error) {
+	var cfg ProcessConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("core: parse process config: %w", err)
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: process config needs a name")
+	}
+	if len(cfg.Chain) == 0 {
+		return nil, fmt.Errorf("core: process config needs a non-empty chain")
+	}
+	return &cfg, nil
+}
+
+// Build assembles the runnable process from the configuration.
+func (cfg *ProcessConfig) Build() (*Process, error) {
+	var components []Component
+	for i, step := range cfg.Chain {
+		comp, err := step.build()
+		if err != nil {
+			return nil, fmt.Errorf("core: chain step %d: %w", i, err)
+		}
+		components = append(components, comp)
+	}
+	return NewProcess(cfg.Name, components...), nil
+}
+
+func (s StepConfig) build() (Component, error) {
+	switch s.Component {
+	case "scan-archive":
+		return ScanArchive{}, nil
+	case "known-transforms":
+		return KnownTransforms{}, nil
+	case "add-external-metadata":
+		return AddExternalMetadata{TablePaths: s.Tables}, nil
+	case "discover-transforms":
+		methods, err := parseMethods(s.Methods)
+		if err != nil {
+			return nil, err
+		}
+		return DiscoverTransforms{Methods: methods}, nil
+	case "perform-discovered":
+		return PerformDiscovered{}, nil
+	case "generate-hierarchies":
+		opts := hierarchy.DefaultGenerateOptions()
+		if s.MinGroupSize > 0 {
+			opts.MinGroupSize = s.MinGroupSize
+		}
+		return GenerateHierarchies{Options: opts}, nil
+	case "validate":
+		return Validate{Checks: validate.DefaultChecks(), AllowErrors: s.AllowErrors}, nil
+	case "publish":
+		return Publish{}, nil
+	case "":
+		return nil, fmt.Errorf("missing component name")
+	default:
+		return nil, fmt.Errorf("unknown component %q", s.Component)
+	}
+}
+
+// parseMethods decodes the "name[:param]" method specs.
+func parseMethods(specs []string) ([]cluster.Method, error) {
+	if len(specs) == 0 {
+		return nil, nil // DiscoverTransforms applies its default ladder
+	}
+	var out []cluster.Method
+	for _, spec := range specs {
+		name, param := spec, ""
+		if i := indexByte(spec, ':'); i >= 0 {
+			name, param = spec[:i], spec[i+1:]
+		}
+		switch name {
+		case "fingerprint":
+			out = append(out, cluster.Fingerprint())
+		case "ngram":
+			n := 1
+			if param != "" {
+				if _, err := fmt.Sscanf(param, "%d", &n); err != nil || n < 1 {
+					return nil, fmt.Errorf("bad ngram size %q", param)
+				}
+			}
+			out = append(out, cluster.NGramFingerprint(n))
+		case "phonetic":
+			out = append(out, cluster.Phonetic())
+		case "levenshtein":
+			t := 0.84
+			if param != "" {
+				if _, err := fmt.Sscanf(param, "%g", &t); err != nil || t <= 0 || t > 1 {
+					return nil, fmt.Errorf("bad levenshtein threshold %q", param)
+				}
+			}
+			out = append(out, cluster.Levenshtein(t))
+		case "jaro-winkler":
+			t := 0.93
+			if param != "" {
+				if _, err := fmt.Sscanf(param, "%g", &t); err != nil || t <= 0 || t > 1 {
+					return nil, fmt.Errorf("bad jaro-winkler threshold %q", param)
+				}
+			}
+			out = append(out, cluster.JaroWinkler(t))
+		default:
+			return nil, fmt.Errorf("unknown clustering method %q", name)
+		}
+	}
+	return out, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultProcessConfig returns the configuration equivalent of
+// DefaultChain, as a starting point for curators.
+func DefaultProcessConfig(name string) *ProcessConfig {
+	return &ProcessConfig{
+		Name: name,
+		Chain: []StepConfig{
+			{Component: "scan-archive"},
+			{Component: "known-transforms"},
+			{Component: "add-external-metadata"},
+			{Component: "discover-transforms"},
+			{Component: "perform-discovered"},
+			{Component: "known-transforms"},
+			{Component: "generate-hierarchies"},
+			{Component: "validate", AllowErrors: true},
+			{Component: "publish"},
+		},
+	}
+}
+
+// MarshalJSON renders the config with stable indentation for rule files.
+func (cfg *ProcessConfig) Marshal() ([]byte, error) {
+	return json.MarshalIndent(cfg, "", "  ")
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndBuildProcessConfig(t *testing.T) {
+	src := `{
+	  "name": "cmop-nightly",
+	  "chain": [
+	    {"component": "scan-archive"},
+	    {"component": "known-transforms"},
+	    {"component": "discover-transforms", "methods": ["fingerprint", "ngram:2", "levenshtein:0.9"]},
+	    {"component": "perform-discovered"},
+	    {"component": "generate-hierarchies", "minGroupSize": 3},
+	    {"component": "validate", "allowErrors": true},
+	    {"component": "publish"}
+	  ]
+	}`
+	cfg, err := ParseProcessConfig([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "cmop-nightly" || len(p.Components) != 7 {
+		t.Fatalf("process = %q with %d components", p.Name, len(p.Components))
+	}
+	wantOrder := []string{
+		"scan-archive", "known-transforms", "discover-transforms",
+		"perform-discovered", "generate-hierarchies", "validate", "publish",
+	}
+	for i, c := range p.Components {
+		if c.Name() != wantOrder[i] {
+			t.Errorf("component %d = %s, want %s", i, c.Name(), wantOrder[i])
+		}
+	}
+	dt := p.Components[2].(DiscoverTransforms)
+	if len(dt.Methods) != 3 {
+		t.Errorf("methods = %d", len(dt.Methods))
+	}
+	if dt.Methods[1].Name() != "ngram-fingerprint-2" {
+		t.Errorf("method 1 = %s", dt.Methods[1].Name())
+	}
+	gh := p.Components[4].(GenerateHierarchies)
+	if gh.Options.MinGroupSize != 3 {
+		t.Errorf("minGroupSize = %d", gh.Options.MinGroupSize)
+	}
+}
+
+func TestBuiltProcessRunsEndToEnd(t *testing.T) {
+	ctx, m := newTestContext(t, 12, 31)
+	cfg := DefaultProcessConfig("from-config")
+	p, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Published.Len() != len(m.Datasets) {
+		t.Errorf("published = %d, want %d", ctx.Published.Len(), len(m.Datasets))
+	}
+	if report.MessAfter.OccurrenceCoverage < 0.9 {
+		t.Errorf("coverage = %.3f", report.MessAfter.OccurrenceCoverage)
+	}
+}
+
+func TestProcessConfigRoundTrip(t *testing.T) {
+	cfg := DefaultProcessConfig("rt")
+	data, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProcessConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != cfg.Name || len(back.Chain) != len(cfg.Chain) {
+		t.Errorf("round trip changed config: %+v", back)
+	}
+	if _, err := back.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseProcessConfigErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"chain": [{"component": "scan-archive"}]}`,            // no name
+		`{"name": "x", "chain": []}`,                            // empty chain
+		`{"name": "x", "chain": [{"component": "warp-drive"}]}`, // unknown component
+		`{"name": "x", "chain": [{}]}`,                          // missing component
+		`{"name": "x", "chain": [{"component": "discover-transforms", "methods": ["sorcery"]}]}`,
+		`{"name": "x", "chain": [{"component": "discover-transforms", "methods": ["ngram:zero"]}]}`,
+		`{"name": "x", "chain": [{"component": "discover-transforms", "methods": ["levenshtein:7"]}]}`,
+	}
+	for _, src := range cases {
+		cfg, err := ParseProcessConfig([]byte(src))
+		if err != nil {
+			continue // parse-level rejection
+		}
+		if _, err := cfg.Build(); err == nil {
+			t.Errorf("config %q should fail to build", src)
+		}
+	}
+}
+
+func TestMethodSpecDefaults(t *testing.T) {
+	methods, err := parseMethods([]string{"ngram", "levenshtein", "jaro-winkler"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name()
+	}
+	want := "ngram-fingerprint-1 levenshtein jaro-winkler"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("defaults = %q, want %q", got, want)
+	}
+	// Empty spec list means nil (component default ladder).
+	if ms, err := parseMethods(nil); err != nil || ms != nil {
+		t.Errorf("nil specs = %v, %v", ms, err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements the poster's primary contribution: the
+// metadata wrangling process. A Process is a chain of composable
+// components — scan archive, perform known transformations, add external
+// metadata, discover transformations, perform discovered
+// transformations, generate hierarchies, validate, publish — run over a
+// *working catalog* before its contents replace the published metadata
+// catalog that search serves.
+//
+// The four curatorial activities map onto this package directly:
+//
+//  1. Creating a process from composable components: build a Process
+//     from the Component implementations here (or from a ProcessConfig).
+//  2. Running & rerunning: Process.Run is idempotent over unchanged
+//     inputs and incremental over re-scans.
+//  3. Improving the process: mutate the Context's Knowledge (add synonym
+//     entries, unit aliases, scan directories, hierarchy edits) between
+//     runs.
+//  4. Validating results: the Validate component gates Publish.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/refine"
+	"metamess/internal/scan"
+	"metamess/internal/semdiv"
+	"metamess/internal/units"
+	"metamess/internal/validate"
+)
+
+// Context carries the mutable state a chain threads through its
+// components: the working catalog, the curated knowledge, the unit
+// registry, and the rules discovered so far.
+type Context struct {
+	// Working is the working catalog components mutate.
+	Working *catalog.Catalog
+	// Published is the catalog search serves; only Publish touches it.
+	Published *catalog.Catalog
+	// Knowledge is the curated state (synonym table, abbreviations,
+	// contexts, vocabulary). Curators improve it between runs.
+	Knowledge *semdiv.Knowledge
+	// Units resolves unit strings.
+	Units *units.Registry
+	// ScanConfig selects directories and file types.
+	ScanConfig scan.Config
+	// DiscoveredRules accumulates the mass edits produced by the
+	// discovery component, applied by PerformDiscovered and exportable as
+	// the poster's JSON rule files.
+	DiscoveredRules []refine.Operation
+	// PendingDecisions holds curator rulings applied by the next
+	// KnownTransforms run.
+	PendingDecisions []semdiv.Decision
+	// ExpectedPaths parameterizes the expected-datasets validation check.
+	ExpectedPaths []string
+	// LastValidation holds the most recent validation report.
+	LastValidation *validate.Report
+}
+
+// NewContext builds a context with empty catalogs.
+func NewContext(k *semdiv.Knowledge, scanCfg scan.Config) *Context {
+	return &Context{
+		Working:    catalog.New(),
+		Published:  catalog.New(),
+		Knowledge:  k,
+		Units:      units.NewRegistry(),
+		ScanConfig: scanCfg,
+	}
+}
+
+// Component is one composable step of a metadata processing chain.
+type Component interface {
+	// Name identifies the component in reports and configs.
+	Name() string
+	// Run executes the step against the context.
+	Run(ctx *Context) (StepReport, error)
+}
+
+// StepReport summarizes one component execution.
+type StepReport struct {
+	Component string         `json:"component"`
+	Duration  time.Duration  `json:"duration"`
+	Counters  map[string]int `json:"counters,omitempty"`
+	Notes     []string       `json:"notes,omitempty"`
+	// MessAfter snapshots the mess metric after the step.
+	MessAfter MessReport `json:"messAfter"`
+}
+
+// RunReport summarizes a whole chain run.
+type RunReport struct {
+	Process    string        `json:"process"`
+	Steps      []StepReport  `json:"steps"`
+	Duration   time.Duration `json:"duration"`
+	MessBefore MessReport    `json:"messBefore"`
+	MessAfter  MessReport    `json:"messAfter"`
+}
+
+// Process is a named chain of components — the poster's "metadata
+// processing chain".
+type Process struct {
+	Name       string
+	Components []Component
+	// History records every run for provenance.
+	History []*RunReport
+}
+
+// NewProcess assembles a process.
+func NewProcess(name string, components ...Component) *Process {
+	return &Process{Name: name, Components: components}
+}
+
+// Run executes the chain in order, stopping at the first component
+// error. The report records the mess metric before and after every step.
+func (p *Process) Run(ctx *Context) (*RunReport, error) {
+	start := time.Now()
+	report := &RunReport{
+		Process:    p.Name,
+		MessBefore: Mess(ctx.Working, ctx.Knowledge),
+	}
+	for _, comp := range p.Components {
+		stepStart := time.Now()
+		step, err := comp.Run(ctx)
+		if err != nil {
+			return report, fmt.Errorf("core: component %s: %w", comp.Name(), err)
+		}
+		step.Component = comp.Name()
+		step.Duration = time.Since(stepStart)
+		step.MessAfter = Mess(ctx.Working, ctx.Knowledge)
+		report.Steps = append(report.Steps, step)
+	}
+	report.Duration = time.Since(start)
+	report.MessAfter = Mess(ctx.Working, ctx.Knowledge)
+	p.History = append(p.History, report)
+	return report, nil
+}
+
+// MessReport quantifies "the mess": how far the working catalog's
+// variable names are from the canonical vocabulary.
+type MessReport struct {
+	// DistinctNames counts distinct current variable names.
+	DistinctNames int `json:"distinctNames"`
+	// CanonicalNames counts distinct names that are exactly canonical.
+	CanonicalNames int `json:"canonicalNames"`
+	// ExcludedNames counts distinct names marked excluded.
+	ExcludedNames int `json:"excludedNames"`
+	// GroupedNames counts distinct multi-level names resolved by
+	// hierarchy grouping (kept under a parent, per Table 1).
+	GroupedNames int `json:"groupedNames"`
+	// UnresolvedNames counts distinct names that are neither canonical,
+	// excluded, nor grouped — the mess that's left.
+	UnresolvedNames int `json:"unresolvedNames"`
+	// OccurrenceCoverage is the fraction of variable occurrences whose
+	// name is canonical, excluded, or hierarchy-grouped (i.e. fully
+	// wrangled), in [0,1].
+	OccurrenceCoverage float64 `json:"occurrenceCoverage"`
+}
+
+// Mess computes the metric for a catalog against a knowledge base.
+func Mess(c *catalog.Catalog, k *semdiv.Knowledge) MessReport {
+	r := MessReport{}
+	if c == nil || k == nil {
+		return r
+	}
+	cls := semdiv.NewClassifier(k)
+	excludedNames := make(map[string]bool)
+	groupedNames := make(map[string]bool)
+	for _, f := range c.All() {
+		for _, v := range f.Variables {
+			if v.Excluded {
+				excludedNames[v.Name] = true
+			}
+			if v.Parent != "" {
+				groupedNames[v.Name] = true
+			}
+		}
+	}
+	totalOcc, wrangledOcc := 0, 0
+	for _, vc := range c.VariableNameCounts() {
+		r.DistinctNames++
+		totalOcc += vc.Count
+		f := cls.Classify(vc.Value)
+		switch {
+		case f.Category == semdiv.CatClean:
+			r.CanonicalNames++
+			wrangledOcc += vc.Count
+		case excludedNames[vc.Value]:
+			r.ExcludedNames++
+			wrangledOcc += vc.Count
+		case f.Category == semdiv.CatMultiLevel && groupedNames[vc.Value]:
+			r.GroupedNames++
+			wrangledOcc += vc.Count
+		default:
+			r.UnresolvedNames++
+		}
+	}
+	if totalOcc > 0 {
+		r.OccurrenceCoverage = float64(wrangledOcc) / float64(totalOcc)
+	}
+	return r
+}

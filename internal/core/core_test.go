@@ -1,0 +1,339 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"metamess/internal/archive"
+	"metamess/internal/refine"
+	"metamess/internal/scan"
+	"metamess/internal/semdiv"
+	"metamess/internal/synonym"
+	"metamess/internal/vocab"
+)
+
+// newTestContext generates an archive and a ready context.
+func newTestContext(t testing.TB, datasets int, seed int64) (*Context, *archive.Manifest) {
+	t.Helper()
+	root := t.TempDir()
+	m, err := archive.Generate(root, archive.DefaultGenConfig(datasets, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := semdiv.NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewContext(k, scan.Config{Root: root}), m
+}
+
+func TestFullChainReducesMess(t *testing.T) {
+	ctx, m := newTestContext(t, 30, 42)
+	p := NewProcess("full", DefaultChain()...)
+	report, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != len(p.Components) {
+		t.Fatalf("steps = %d, want %d", len(report.Steps), len(p.Components))
+	}
+	if ctx.Working.Len() != len(m.Datasets) {
+		t.Errorf("working catalog = %d datasets, want %d", ctx.Working.Len(), len(m.Datasets))
+	}
+	if ctx.Published.Len() != len(m.Datasets) {
+		t.Errorf("published catalog = %d datasets, want %d", ctx.Published.Len(), len(m.Datasets))
+	}
+	// The chain's whole point: coverage rises substantially.
+	if report.MessAfter.OccurrenceCoverage <= report.MessBefore.OccurrenceCoverage {
+		t.Errorf("coverage did not improve: %.3f -> %.3f",
+			report.MessBefore.OccurrenceCoverage, report.MessAfter.OccurrenceCoverage)
+	}
+	if report.MessAfter.OccurrenceCoverage < 0.9 {
+		t.Errorf("final coverage = %.3f, want >= 0.9", report.MessAfter.OccurrenceCoverage)
+	}
+	// Coverage never decreases across steps.
+	prev := report.MessBefore.OccurrenceCoverage
+	for _, s := range report.Steps {
+		if s.MessAfter.OccurrenceCoverage < prev-1e-9 {
+			t.Errorf("step %s decreased coverage: %.3f -> %.3f",
+				s.Component, prev, s.MessAfter.OccurrenceCoverage)
+		}
+		prev = s.MessAfter.OccurrenceCoverage
+	}
+	if len(p.History) != 1 {
+		t.Errorf("history = %d runs", len(p.History))
+	}
+}
+
+func TestChainResolvesGroundTruth(t *testing.T) {
+	ctx, m := newTestContext(t, 30, 7)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Score against the generator's ground truth: translatable categories
+	// must overwhelmingly land on their canonical names.
+	truth := m.ByPath()
+	total, correct := 0, 0
+	for _, f := range ctx.Published.All() {
+		d := truth[f.Path]
+		for i, v := range f.Variables {
+			want := d.Vars[i]
+			switch want.Category {
+			case semdiv.CatSynonym, semdiv.CatAbbreviation, semdiv.CatMinorVariation:
+				total++
+				if v.Name == want.Canonical {
+					correct++
+				}
+			case semdiv.CatExcessive:
+				if !v.Excluded {
+					t.Errorf("%s: excessive %q not excluded", f.Path, v.RawName)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no translatable mess generated")
+	}
+	accuracy := float64(correct) / float64(total)
+	if accuracy < 0.90 {
+		t.Errorf("translation accuracy = %.3f (%d/%d), want >= 0.90 (residual errors concentrate in the inherently confusable fluoresNNN family)", accuracy, correct, total)
+	}
+}
+
+func TestRerunIsIdempotentAndIncremental(t *testing.T) {
+	ctx, _ := newTestContext(t, 15, 13)
+	p := NewProcess("full", DefaultChain()...)
+	r1, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Published.Generation()
+	snapshot := ctx.Working.VariableNameCounts()
+
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental: nothing re-parsed.
+	if r2.Steps[0].Counters["parsed"] != 0 {
+		t.Errorf("rerun parsed %d files, want 0", r2.Steps[0].Counters["parsed"])
+	}
+	if r2.Steps[0].Counters["skippedUnchanged"] != ctx.Working.Len() {
+		t.Errorf("rerun skipped %d, want %d", r2.Steps[0].Counters["skippedUnchanged"], ctx.Working.Len())
+	}
+	// Idempotent: names unchanged.
+	after := ctx.Working.VariableNameCounts()
+	if len(snapshot) != len(after) {
+		t.Fatalf("rerun changed distinct names: %d -> %d", len(snapshot), len(after))
+	}
+	for i := range snapshot {
+		if snapshot[i] != after[i] {
+			t.Errorf("rerun changed name %v -> %v", snapshot[i], after[i])
+		}
+	}
+	if r2.MessAfter != r1.MessAfter {
+		t.Errorf("rerun changed mess: %+v vs %+v", r2.MessAfter, r1.MessAfter)
+	}
+	if ctx.Published.Generation() == before {
+		t.Error("publish should still bump generation on rerun")
+	}
+}
+
+func TestCuratorImprovementLoop(t *testing.T) {
+	ctx, _ := newTestContext(t, 30, 99)
+	p := NewProcess("full", DefaultChain()...)
+	r1, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unresolved1 := r1.MessAfter.UnresolvedNames
+	if unresolved1 == 0 {
+		t.Skip("archive produced no residual mess at this seed")
+	}
+	// Curatorial activity 3: add the unresolved names to the synonym
+	// table, and rule on source-context names (simulating a curator
+	// consulting the ground truth).
+	cls := semdiv.NewClassifier(ctx.Knowledge)
+	for _, vc := range ctx.Working.VariableNameCounts() {
+		switch f := cls.Classify(vc.Value); f.Category {
+		case semdiv.CatUnknown, semdiv.CatAmbiguous:
+			if err := ctx.Knowledge.Synonyms.Add("water_velocity", vc.Value); err != nil {
+				t.Logf("curation skip %q: %v", vc.Value, err)
+			}
+		case semdiv.CatSourceContext:
+			ctx.PendingDecisions = append(ctx.PendingDecisions,
+				semdiv.Decision{RawName: vc.Value, Action: semdiv.ClarifyTo, Target: "water_temperature"})
+		}
+	}
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MessAfter.UnresolvedNames >= unresolved1 {
+		t.Errorf("improvement did not reduce unresolved: %d -> %d",
+			unresolved1, r2.MessAfter.UnresolvedNames)
+	}
+}
+
+func TestCuratorDecisionsFlowThroughChain(t *testing.T) {
+	ctx, _ := newTestContext(t, 21, 5)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Find an ambiguous name in the catalog (the generator injects "temp").
+	hasTemp := false
+	for _, vc := range ctx.Working.VariableNameCounts() {
+		if vc.Value == "temp" {
+			hasTemp = true
+		}
+	}
+	if !hasTemp {
+		t.Skip("no ambiguous name at this seed")
+	}
+	ctx.PendingDecisions = []semdiv.Decision{
+		{RawName: "temp", Action: semdiv.ClarifyTo, Target: "water_temperature"},
+	}
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, vc := range ctx.Working.VariableNameCounts() {
+		if vc.Value == "temp" {
+			t.Error("clarified name still present after decision")
+		}
+	}
+	if ctx.PendingDecisions != nil {
+		t.Error("decisions not consumed")
+	}
+}
+
+func TestValidateGatesPublish(t *testing.T) {
+	ctx, m := newTestContext(t, 9, 3)
+	ctx.ExpectedPaths = []string{"stations/never/exists.obs"}
+	chain := []Component{
+		ScanArchive{},
+		KnownTransforms{},
+		Validate{}, // strict: errors abort
+		Publish{},
+	}
+	p := NewProcess("gated", chain...)
+	_, err := p.Run(ctx)
+	if err == nil {
+		t.Fatal("chain should fail on validation errors")
+	}
+	if !strings.Contains(err.Error(), "validation failed") {
+		t.Errorf("error = %v", err)
+	}
+	if ctx.Published.Len() != 0 {
+		t.Error("publish ran despite failed validation")
+	}
+	if ctx.LastValidation == nil || ctx.LastValidation.OK() {
+		t.Error("validation report not recorded")
+	}
+	// Fix the expectation: chain completes and publishes.
+	ctx.ExpectedPaths = []string{m.Datasets[0].Path}
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Published.Len() == 0 {
+		t.Error("publish did not run after validation passed")
+	}
+}
+
+func TestDiscoveredRulesExportable(t *testing.T) {
+	ctx, _ := newTestContext(t, 30, 42)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.DiscoveredRules) == 0 {
+		t.Skip("no rules discovered at this seed")
+	}
+	data, err := refine.ExportJSON(ctx.DiscoveredRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "core/mass-edit") {
+		t.Error("exported rules missing mass-edit op")
+	}
+	back, err := refine.ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ctx.DiscoveredRules) {
+		t.Errorf("round trip = %d rules, want %d", len(back), len(ctx.DiscoveredRules))
+	}
+}
+
+func TestAddExternalMetadataComponent(t *testing.T) {
+	ctx, _ := newTestContext(t, 6, 1)
+	ext := synonym.NewTable()
+	if err := ext.Add("water_temperature", "exotic_wt_name"); err != nil {
+		t.Fatal(err)
+	}
+	comp := AddExternalMetadata{Tables: []*synonym.Table{ext}}
+	step, err := comp.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Counters["tablesMerged"] != 1 {
+		t.Errorf("counters = %v", step.Counters)
+	}
+	if !ctx.Knowledge.Synonyms.Covers("exotic_wt_name") {
+		t.Error("external table not merged")
+	}
+	// Missing file path fails loudly.
+	bad := AddExternalMetadata{TablePaths: []string{"/does/not/exist.csv"}}
+	if _, err := bad.Run(ctx); err == nil {
+		t.Error("missing external table accepted")
+	}
+}
+
+func TestMessMetric(t *testing.T) {
+	ctx, _ := newTestContext(t, 9, 2)
+	empty := Mess(ctx.Working, ctx.Knowledge)
+	if empty.DistinctNames != 0 || empty.OccurrenceCoverage != 0 {
+		t.Errorf("empty mess = %+v", empty)
+	}
+	if _, err := NewProcess("scan", ScanArchive{}).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	raw := Mess(ctx.Working, ctx.Knowledge)
+	if raw.DistinctNames == 0 {
+		t.Fatal("no names after scan")
+	}
+	if raw.CanonicalNames+raw.UnresolvedNames+raw.ExcludedNames+raw.GroupedNames != raw.DistinctNames {
+		t.Errorf("mess partitions do not sum: %+v", raw)
+	}
+	if Mess(nil, nil).DistinctNames != 0 {
+		t.Error("nil mess should be zero")
+	}
+}
+
+func TestProcessStopsAtFailingComponent(t *testing.T) {
+	ctx, _ := newTestContext(t, 3, 1)
+	ctx.ScanConfig.Root = "/nonexistent/archive/root"
+	p := NewProcess("broken", DefaultChain()...)
+	report, err := p.Run(ctx)
+	if err == nil {
+		t.Fatal("missing archive root should fail the chain")
+	}
+	if len(report.Steps) != 0 {
+		t.Errorf("failed first step still recorded %d steps", len(report.Steps))
+	}
+	if len(p.History) != 0 {
+		t.Error("failed run recorded in history")
+	}
+}
+
+func BenchmarkFullChain30(b *testing.B) {
+	ctx, _ := newTestContext(b, 30, 42)
+	p := NewProcess("bench", DefaultChain()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

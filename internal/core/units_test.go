@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/geo"
+	"metamess/internal/scan"
+	"metamess/internal/semdiv"
+	"metamess/internal/vocab"
+)
+
+// fahrenheitFeature fabricates a dataset whose temperature was recorded
+// in degF, the way a legacy instrument would report it.
+func fahrenheitFeature(path string) *catalog.Feature {
+	return &catalog.Feature{
+		ID:     catalog.IDForPath(path),
+		Path:   path,
+		Source: "stations",
+		Format: "obs",
+		BBox:   geo.BBox{MinLat: 46, MinLon: -124, MaxLat: 46.1, MaxLon: -123.9},
+		Time: geo.NewTimeRange(
+			time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(2010, 6, 2, 0, 0, 0, 0, time.UTC)),
+		Variables: []catalog.VarFeature{
+			{
+				RawName: "water_temperature", Name: "water_temperature",
+				Unit:  "F",
+				Range: geo.ValueRange{Min: 41, Max: 50}, // 5..10 degC
+				Count: 100,
+			},
+			{
+				RawName: "wind_speed", Name: "wind_speed",
+				Unit:  "cm/s",
+				Range: geo.ValueRange{Min: 100, Max: 900}, // 1..9 m/s
+				Count: 100,
+			},
+			{
+				RawName: "salinity", Name: "salinity",
+				Unit:  "ppt", // identity alias of PSU's family sibling g/kg
+				Range: geo.ValueRange{Min: 5, Max: 30},
+				Count: 100,
+			},
+		},
+	}
+}
+
+func TestKnownTransformsConvertsUnits(t *testing.T) {
+	k, err := semdiv.NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(k, scan.Config{Root: t.TempDir()})
+	f := fahrenheitFeature("stations/2010/legacy.obs")
+	if err := ctx.Working.Upsert(f); err != nil {
+		t.Fatal(err)
+	}
+	step, err := (KnownTransforms{}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Counters["unitsConverted"] < 2 {
+		t.Errorf("unitsConverted = %d, want >= 2 (degF and cm/s)", step.Counters["unitsConverted"])
+	}
+	got, _ := ctx.Working.Get(f.ID)
+
+	temp, ok := got.Variable("water_temperature")
+	if !ok {
+		t.Fatal("temperature variable missing")
+	}
+	if temp.CanonicalUnit != "degC" {
+		t.Errorf("temperature canonical unit = %q, want degC", temp.CanonicalUnit)
+	}
+	if math.Abs(temp.Range.Min-5) > 1e-9 || math.Abs(temp.Range.Max-10) > 1e-9 {
+		t.Errorf("temperature range = %v, want [5..10] degC", temp.Range)
+	}
+
+	wind, _ := got.Variable("wind_speed")
+	if wind.CanonicalUnit != "m/s" {
+		t.Errorf("wind canonical unit = %q, want m/s", wind.CanonicalUnit)
+	}
+	if math.Abs(wind.Range.Min-1) > 1e-9 || math.Abs(wind.Range.Max-9) > 1e-9 {
+		t.Errorf("wind range = %v, want [1..9] m/s", wind.Range)
+	}
+
+	// ppt resolves to g/kg; salinity's vocab unit is PSU (same family,
+	// identity scale), so values are unchanged but the unit is rewritten.
+	sal, _ := got.Variable("salinity")
+	if sal.CanonicalUnit != "PSU" {
+		t.Errorf("salinity canonical unit = %q, want PSU", sal.CanonicalUnit)
+	}
+	if sal.Range.Min != 5 || sal.Range.Max != 30 {
+		t.Errorf("salinity range = %v, want unchanged [5..30]", sal.Range)
+	}
+
+	// Raw unit strings are preserved for provenance.
+	if temp.Unit != "F" || wind.Unit != "cm/s" {
+		t.Error("raw unit strings lost")
+	}
+}
+
+func TestConvertedRangesPassPlausibility(t *testing.T) {
+	// 41..50 degF is implausible as a degC reading; after conversion the
+	// plausibility check must be clean — the point of converting.
+	k, err := semdiv.NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(k, scan.Config{Root: t.TempDir()})
+	if err := ctx.Working.Upsert(fahrenheitFeature("stations/2010/legacy.obs")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (KnownTransforms{}).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	step, err := (Validate{}).Run(ctx)
+	if err != nil {
+		t.Fatalf("validation after conversion failed: %v (notes: %v)", err, step.Notes)
+	}
+	if step.Counters["errors"] != 0 {
+		t.Errorf("validation errors = %d, notes: %v", step.Counters["errors"], step.Notes)
+	}
+}
+
+func TestConversionIdempotentAcrossReruns(t *testing.T) {
+	k, err := semdiv.NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(k, scan.Config{Root: t.TempDir()})
+	if err := ctx.Working.Upsert(fahrenheitFeature("stations/2010/legacy.obs")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (KnownTransforms{}).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := ctx.Working.Get(catalog.IDForPath("stations/2010/legacy.obs"))
+	// Rerunning must not double-convert (CanonicalUnit marks done).
+	step, err := (KnownTransforms{}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Counters["unitsConverted"] != 0 {
+		t.Errorf("rerun converted %d units, want 0", step.Counters["unitsConverted"])
+	}
+	second, _ := ctx.Working.Get(catalog.IDForPath("stations/2010/legacy.obs"))
+	for i := range first.Variables {
+		if first.Variables[i].Range != second.Variables[i].Range {
+			t.Errorf("variable %s range changed on rerun: %v -> %v",
+				first.Variables[i].Name, first.Variables[i].Range, second.Variables[i].Range)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"metamess/internal/fingerprint"
+	"metamess/internal/strdist"
+)
+
+// builtinFunc implements one library function over already-evaluated args.
+type builtinFunc func(args []Value) (Value, error)
+
+// builtins is the GREL-style function library. Method chaining passes the
+// receiver as the first argument, so value.trim() and trim(value) are the
+// same call.
+var builtins = map[string]builtinFunc{
+	"toLowercase": strFunc1(strings.ToLower),
+	"toUppercase": strFunc1(strings.ToUpper),
+	"trim":        strFunc1(strings.TrimSpace),
+	"strip":       strFunc1(strings.TrimSpace),
+
+	"toTitlecase": strFunc1(func(s string) string {
+		words := strings.Fields(s)
+		for i, w := range words {
+			r := []rune(w)
+			if len(r) > 0 {
+				words[i] = strings.ToUpper(string(r[0])) + strings.ToLower(string(r[1:]))
+			}
+		}
+		return strings.Join(words, " ")
+	}),
+
+	"replace": func(args []Value) (Value, error) {
+		if err := arity("replace", args, 3); err != nil {
+			return nil, err
+		}
+		return strings.ReplaceAll(ToString(args[0]), ToString(args[1]), ToString(args[2])), nil
+	},
+
+	"split": func(args []Value) (Value, error) {
+		if err := arity("split", args, 2); err != nil {
+			return nil, err
+		}
+		parts := strings.Split(ToString(args[0]), ToString(args[1]))
+		out := make([]Value, len(parts))
+		for i, p := range parts {
+			out[i] = p
+		}
+		return out, nil
+	},
+
+	"join": func(args []Value) (Value, error) {
+		if err := arity("join", args, 2); err != nil {
+			return nil, err
+		}
+		list, ok := args[0].([]Value)
+		if !ok {
+			return nil, fmt.Errorf("join: first argument must be a list, got %T", args[0])
+		}
+		parts := make([]string, len(list))
+		for i, v := range list {
+			parts[i] = ToString(v)
+		}
+		return strings.Join(parts, ToString(args[1])), nil
+	},
+
+	"length": func(args []Value) (Value, error) {
+		if err := arity("length", args, 1); err != nil {
+			return nil, err
+		}
+		switch t := args[0].(type) {
+		case string:
+			return float64(len([]rune(t))), nil
+		case []Value:
+			return float64(len(t)), nil
+		case nil:
+			return float64(0), nil
+		default:
+			return nil, fmt.Errorf("length: unsupported type %T", args[0])
+		}
+	},
+
+	"substring": func(args []Value) (Value, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("substring: want 2 or 3 arguments, got %d", len(args))
+		}
+		runes := []rune(ToString(args[0]))
+		from, err := toInt(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("substring: %w", err)
+		}
+		to := len(runes)
+		if len(args) == 3 {
+			to, err = toInt(args[2])
+			if err != nil {
+				return nil, fmt.Errorf("substring: %w", err)
+			}
+		}
+		if from < 0 {
+			from += len(runes)
+		}
+		if to < 0 {
+			to += len(runes)
+		}
+		if from < 0 {
+			from = 0
+		}
+		if to > len(runes) {
+			to = len(runes)
+		}
+		if from > to {
+			return "", nil
+		}
+		return string(runes[from:to]), nil
+	},
+
+	"startsWith": func(args []Value) (Value, error) {
+		if err := arity("startsWith", args, 2); err != nil {
+			return nil, err
+		}
+		return strings.HasPrefix(ToString(args[0]), ToString(args[1])), nil
+	},
+
+	"endsWith": func(args []Value) (Value, error) {
+		if err := arity("endsWith", args, 2); err != nil {
+			return nil, err
+		}
+		return strings.HasSuffix(ToString(args[0]), ToString(args[1])), nil
+	},
+
+	"contains": func(args []Value) (Value, error) {
+		if err := arity("contains", args, 2); err != nil {
+			return nil, err
+		}
+		return strings.Contains(ToString(args[0]), ToString(args[1])), nil
+	},
+
+	"indexOf": func(args []Value) (Value, error) {
+		if err := arity("indexOf", args, 2); err != nil {
+			return nil, err
+		}
+		return float64(strings.Index(ToString(args[0]), ToString(args[1]))), nil
+	},
+
+	"toNumber": func(args []Value) (Value, error) {
+		if err := arity("toNumber", args, 1); err != nil {
+			return nil, err
+		}
+		switch t := args[0].(type) {
+		case float64:
+			return t, nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+			if err != nil {
+				return nil, fmt.Errorf("toNumber: %q is not numeric", t)
+			}
+			return f, nil
+		case bool:
+			if t {
+				return float64(1), nil
+			}
+			return float64(0), nil
+		default:
+			return nil, fmt.Errorf("toNumber: unsupported type %T", args[0])
+		}
+	},
+
+	"toString": func(args []Value) (Value, error) {
+		if err := arity("toString", args, 1); err != nil {
+			return nil, err
+		}
+		return ToString(args[0]), nil
+	},
+
+	"if": func(args []Value) (Value, error) {
+		if err := arity("if", args, 3); err != nil {
+			return nil, err
+		}
+		if Truthy(args[0]) {
+			return args[1], nil
+		}
+		return args[2], nil
+	},
+
+	"coalesce": func(args []Value) (Value, error) {
+		for _, a := range args {
+			if a != nil && ToString(a) != "" {
+				return a, nil
+			}
+		}
+		return nil, nil
+	},
+
+	"fingerprint": strFunc1(fingerprint.Key),
+
+	"ngramFingerprint": func(args []Value) (Value, error) {
+		if err := arity("ngramFingerprint", args, 2); err != nil {
+			return nil, err
+		}
+		n, err := toInt(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("ngramFingerprint: %w", err)
+		}
+		return fingerprint.NGram(ToString(args[0]), n), nil
+	},
+
+	"phonetic": strFunc1(fingerprint.Phonetic),
+
+	"levenshtein": func(args []Value) (Value, error) {
+		if err := arity("levenshtein", args, 2); err != nil {
+			return nil, err
+		}
+		return float64(strdist.Levenshtein(ToString(args[0]), ToString(args[1]))), nil
+	},
+
+	"reverse": strFunc1(func(s string) string {
+		r := []rune(s)
+		for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+			r[i], r[j] = r[j], r[i]
+		}
+		return string(r)
+	}),
+}
+
+// strFunc1 adapts a string->string function into a builtin.
+func strFunc1(f func(string) string) builtinFunc {
+	return func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want 1 argument, got %d", len(args))
+		}
+		return f(ToString(args[0])), nil
+	}
+}
+
+func arity(name string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("%s: want %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func toInt(v Value) (int, error) {
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("want a number, got %T", v)
+	}
+	return int(f), nil
+}
+
+// Functions returns the sorted names of all builtin functions, for
+// documentation and for validating rule files.
+func Functions() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	// Insertion sort keeps this dependency-free and the list is small.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j-1] > names[j]; j-- {
+			names[j-1], names[j] = names[j], names[j-1]
+		}
+	}
+	return names
+}

@@ -1,0 +1,126 @@
+// Package expr implements a small expression language in the style of
+// Google Refine's GREL, used by text-transform operations in the refine
+// engine. Expressions operate on the current cell ("value") plus any
+// bindings the caller provides, support method-style chaining
+// (value.toLowercase().replace("_", " ")), arithmetic, comparisons,
+// boolean logic, and a library of string functions.
+//
+// The language is deliberately side-effect free: evaluating an expression
+// never mutates the environment, so transformation rules that embed
+// expressions replay deterministically.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is the dynamic type of expression results: nil, bool, float64,
+// string, or []Value.
+type Value interface{}
+
+// Env supplies variable bindings during evaluation. "value" conventionally
+// holds the current cell.
+type Env map[string]Value
+
+// Expr is a compiled expression ready for repeated evaluation.
+type Expr struct {
+	src  string
+	root node
+}
+
+// Compile parses source into an executable expression.
+func Compile(source string) (*Expr, error) {
+	toks, err := lex(source)
+	if err != nil {
+		return nil, fmt.Errorf("expr: %w", err)
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseExpression(0)
+	if err != nil {
+		return nil, fmt.Errorf("expr: %w", err)
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("expr: unexpected trailing input at %q", p.peek().text)
+	}
+	return &Expr{src: source, root: root}, nil
+}
+
+// MustCompile is Compile that panics on error, for static expressions.
+func MustCompile(source string) *Expr {
+	e, err := Compile(source)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// Eval evaluates the expression under env.
+func (e *Expr) Eval(env Env) (Value, error) {
+	return e.root.eval(env)
+}
+
+// EvalString evaluates and coerces the result to a string: nil becomes "",
+// everything else formats via ToString.
+func (e *Expr) EvalString(env Env) (string, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return "", err
+	}
+	return ToString(v), nil
+}
+
+// ToString renders a Value the way cell storage expects: nil is empty,
+// floats drop trailing zeros, lists join with commas.
+func ToString(v Value) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return t
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatFloat(t)
+	case []Value:
+		parts := make([]string, len(t))
+		for i, e := range t {
+			parts[i] = ToString(e)
+		}
+		return strings.Join(parts, ",")
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func formatFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Truthy reports the boolean interpretation of a value: false/nil/""/0
+// are false, everything else true.
+func Truthy(v Value) bool {
+	switch t := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return t
+	case string:
+		return t != ""
+	case float64:
+		return t != 0
+	case []Value:
+		return len(t) > 0
+	default:
+		return true
+	}
+}

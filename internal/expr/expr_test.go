@@ -1,0 +1,383 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalStr(t *testing.T, src string, env Env) string {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	s, err := e.EvalString(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return s
+}
+
+func evalVal(t *testing.T, src string, env Env) Value {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestLiterals(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`: "hello",
+		`'world'`: "world",
+		`42`:      "42",
+		`3.5`:     "3.5",
+		`true`:    "true",
+		`false`:   "false",
+		`null`:    "",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestValueBinding(t *testing.T) {
+	env := Env{"value": "Air_Temp"}
+	if got := evalStr(t, "value", env); got != "Air_Temp" {
+		t.Errorf("value = %q", got)
+	}
+	if _, err := MustCompile("missing").Eval(Env{}); err == nil {
+		t.Error("unknown identifier should error")
+	}
+}
+
+func TestMethodChaining(t *testing.T) {
+	env := Env{"value": "  Air_Temperature  "}
+	got := evalStr(t, `value.trim().toLowercase().replace("_", " ")`, env)
+	if got != "air temperature" {
+		t.Errorf("chain = %q, want %q", got, "air temperature")
+	}
+}
+
+func TestFunctionCallEquivalence(t *testing.T) {
+	env := Env{"value": "ABC"}
+	a := evalStr(t, `toLowercase(value)`, env)
+	b := evalStr(t, `value.toLowercase()`, env)
+	if a != b || a != "abc" {
+		t.Errorf("call forms disagree: %q vs %q", a, b)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]string{
+		`1 + 2 * 3`:     "7",
+		`(1 + 2) * 3`:   "9",
+		`10 / 4`:        "2.5",
+		`7 % 3`:         "1",
+		`-5 + 2`:        "-3",
+		`2 * 3 + 4 * 5`: "26",
+		`10 - 2 - 3`:    "5", // left associative
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := MustCompile("1/0").Eval(nil); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := MustCompile("1%0").Eval(nil); err == nil {
+		t.Error("modulo by zero should error")
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	env := Env{"value": "temp"}
+	if got := evalStr(t, `"water_" + value`, env); got != "water_temp" {
+		t.Errorf("concat = %q", got)
+	}
+	if got := evalStr(t, `value + 42`, env); got != "temp42" {
+		t.Errorf("mixed concat = %q", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := map[string]Value{
+		`1 < 2`:            true,
+		`2 <= 2`:           true,
+		`3 > 4`:            false,
+		`"abc" == "abc"`:   true,
+		`"abc" != "abd"`:   true,
+		`"a" < "b"`:        true,
+		`1 == 1 && 2 == 2`: true,
+		`1 == 2 || 2 == 2`: true,
+		`!(1 == 1)`:        false,
+	}
+	for src, want := range cases {
+		if got := evalVal(t, src, nil); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right side references an unknown identifier; short-circuiting
+	// must prevent evaluation.
+	if got := evalVal(t, `false && boom`, nil); got != false {
+		t.Errorf("short-circuit && = %v", got)
+	}
+	if got := evalVal(t, `true || boom`, nil); got != true {
+		t.Errorf("short-circuit || = %v", got)
+	}
+}
+
+func TestSplitJoinIndex(t *testing.T) {
+	env := Env{"value": "a_b_c"}
+	if got := evalStr(t, `value.split("_")[1]`, env); got != "b" {
+		t.Errorf("split index = %q", got)
+	}
+	if got := evalStr(t, `value.split("_")[-1]`, env); got != "c" {
+		t.Errorf("negative index = %q", got)
+	}
+	if got := evalStr(t, `join(split(value, "_"), "-")`, env); got != "a-b-c" {
+		t.Errorf("join = %q", got)
+	}
+	if got := evalStr(t, `value.split("_").length()`, env); got != "3" {
+		t.Errorf("length = %q", got)
+	}
+}
+
+func TestSubstring(t *testing.T) {
+	env := Env{"value": "temperature"}
+	cases := map[string]string{
+		`value.substring(0, 4)`:  "temp",
+		`value.substring(4)`:     "erature",
+		`value.substring(-4)`:    "ture",
+		`value.substring(0, -1)`: "temperatur",
+		`value.substring(8, 2)`:  "",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, env); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestStringPredicates(t *testing.T) {
+	env := Env{"value": "air_temperature"}
+	cases := map[string]Value{
+		`value.startsWith("air")`:  true,
+		`value.endsWith("ture")`:   true,
+		`value.contains("_temp")`:  true,
+		`value.contains("water")`:  false,
+		`value.indexOf("temp")`:    float64(4),
+		`value.indexOf("missing")`: float64(-1),
+	}
+	for src, want := range cases {
+		if got := evalVal(t, src, env); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestConditional(t *testing.T) {
+	env := Env{"value": "qa_level"}
+	got := evalStr(t, `if(value.startsWith("qa_"), "exclude", "keep")`, env)
+	if got != "exclude" {
+		t.Errorf("if = %q", got)
+	}
+	got = evalStr(t, `if(value.startsWith("xx_"), "exclude", "keep")`, env)
+	if got != "keep" {
+		t.Errorf("if = %q", got)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	env := Env{"a": nil, "b": "", "c": "x"}
+	if got := evalStr(t, `coalesce(a, b, c)`, env); got != "x" {
+		t.Errorf("coalesce = %q", got)
+	}
+	if got := evalVal(t, `coalesce(a, b)`, env); got != nil {
+		t.Errorf("all-empty coalesce = %v, want nil", got)
+	}
+}
+
+func TestNumericConversions(t *testing.T) {
+	if got := evalVal(t, `toNumber("3.5") * 2`, nil); got != float64(7) {
+		t.Errorf("toNumber = %v", got)
+	}
+	if _, err := MustCompile(`toNumber("abc")`).Eval(nil); err == nil {
+		t.Error("toNumber on non-numeric should error")
+	}
+	if got := evalStr(t, `toString(42)`, nil); got != "42" {
+		t.Errorf("toString = %q", got)
+	}
+}
+
+func TestFingerprintBuiltins(t *testing.T) {
+	env := Env{"value": "Air_Temperature"}
+	if got := evalStr(t, `value.fingerprint()`, env); got != "air temperature" {
+		t.Errorf("fingerprint = %q", got)
+	}
+	if got := evalStr(t, `value.phonetic()`, env); got == "" {
+		t.Error("phonetic produced empty code")
+	}
+	if got := evalVal(t, `levenshtein("abc", "abd")`, nil); got != float64(1) {
+		t.Errorf("levenshtein = %v", got)
+	}
+	a := evalStr(t, `ngramFingerprint("air temp", 2)`, nil)
+	b := evalStr(t, `ngramFingerprint("airtemp", 2)`, nil)
+	if a != b {
+		t.Errorf("ngram fingerprints differ: %q vs %q", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`1 +`,
+		`foo(`,
+		`value.`,
+		`(1 + 2`,
+		`value..trim()`,
+		`[1]`,
+		`1 2`,
+		`@`,
+		`value.9()`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		`nosuchfn(1)`,
+		`"a" - "b"`,
+		`"a" < 1`,
+		`value[0]`,        // value unbound
+		`split("a,b")`,    // wrong arity
+		`join("ab", ",")`, // join on non-list
+	}
+	for _, src := range bad {
+		e, err := Compile(src)
+		if err != nil {
+			continue // compile-time rejection also acceptable
+		}
+		if _, err := e.Eval(Env{}); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	env := Env{"value": "abc"}
+	if _, err := MustCompile(`value[10]`).Eval(env); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	if got := evalStr(t, `value[0]`, env); got != "a" {
+		t.Errorf("string index = %q", got)
+	}
+}
+
+func TestEvalIsPure(t *testing.T) {
+	env := Env{"value": "AbC"}
+	e := MustCompile(`value.toLowercase()`)
+	for i := 0; i < 3; i++ {
+		got, err := e.EvalString(env)
+		if err != nil || got != "abc" {
+			t.Fatalf("iteration %d: %q, %v", i, got, err)
+		}
+	}
+	if env["value"] != "AbC" {
+		t.Error("evaluation mutated the environment")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{nil, false}, {false, false}, {"", false}, {float64(0), false},
+		{[]Value{}, false},
+		{true, true}, {"x", true}, {float64(1), true}, {[]Value{nil}, true},
+	}
+	for _, c := range cases {
+		if got := Truthy(c.v); got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFunctionsListSorted(t *testing.T) {
+	names := Functions()
+	if len(names) < 15 {
+		t.Fatalf("expected a rich builtin library, got %d functions", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Functions() not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestCompileNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 80 {
+			s = s[:80]
+		}
+		// Compile must return an error, never panic, on arbitrary input.
+		_, _ = Compile(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripLowercaseProperty(t *testing.T) {
+	e := MustCompile(`value.toLowercase()`)
+	f := func(s string) bool {
+		if len(s) > 60 {
+			s = s[:60]
+		}
+		got, err := e.EvalString(Env{"value": s})
+		return err == nil && got == strings.ToLower(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(`value.trim().toLowercase().replace("_", " ")`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalChain(b *testing.B) {
+	e := MustCompile(`value.trim().toLowercase().replace("_", " ")`)
+	env := Env{"value": "  Air_Temperature  "}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalString(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

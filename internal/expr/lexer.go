@@ -1,0 +1,142 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // operators and punctuation
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokDot
+	tokLBracket
+	tokRBracket
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(runes[start:i]), pos: start})
+		case unicode.IsDigit(r) || (r == '.' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			start := i
+			seenDot := false
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || (runes[i] == '.' && !seenDot)) {
+				if runes[i] == '.' {
+					// A dot followed by a letter is method chaining on a number
+					// literal, which we do not support; stop the number here.
+					if i+1 < len(runes) && !unicode.IsDigit(runes[i+1]) {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			text := string(runes[start:i])
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q at %d", text, start)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: f, pos: start})
+		case r == '"' || r == '\'':
+			quote := r
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(runes) {
+				c := runes[i]
+				if c == '\\' && i+1 < len(runes) {
+					i++
+					switch runes[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '\'':
+						b.WriteByte('\'')
+					case '"':
+						b.WriteByte('"')
+					default:
+						b.WriteRune(runes[i])
+					}
+					i++
+					continue
+				}
+				if c == quote {
+					closed = true
+					i++
+					break
+				}
+				b.WriteRune(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String()})
+		case r == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case r == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case r == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case r == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case r == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case strings.ContainsRune("+-*/%<>=!&|", r):
+			start := i
+			i++
+			// Greedily take two-char operators.
+			if i < len(runes) {
+				two := string(runes[start : i+1])
+				switch two {
+				case "==", "!=", "<=", ">=", "&&", "||":
+					i++
+				}
+			}
+			toks = append(toks, token{kind: tokOp, text: string(runes[start:i]), pos: start})
+		default:
+			return nil, fmt.Errorf("unexpected character %q at %d", string(r), i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes)})
+	return toks, nil
+}

@@ -1,0 +1,407 @@
+package expr
+
+import "fmt"
+
+// node is a parsed AST node.
+type node interface {
+	eval(Env) (Value, error)
+}
+
+type literalNode struct{ val Value }
+
+func (n literalNode) eval(Env) (Value, error) { return n.val, nil }
+
+type identNode struct{ name string }
+
+func (n identNode) eval(env Env) (Value, error) {
+	switch n.name {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "nil":
+		return nil, nil
+	}
+	if v, ok := env[n.name]; ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("unknown identifier %q", n.name)
+}
+
+type unaryNode struct {
+	op    string
+	child node
+}
+
+func (n unaryNode) eval(env Env) (Value, error) {
+	v, err := n.child.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "!":
+		return !Truthy(v), nil
+	case "-":
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("unary - needs a number, got %T", v)
+		}
+		return -f, nil
+	}
+	return nil, fmt.Errorf("unknown unary operator %q", n.op)
+}
+
+type binaryNode struct {
+	op          string
+	left, right node
+}
+
+func (n binaryNode) eval(env Env) (Value, error) {
+	// Short-circuit logical operators.
+	if n.op == "&&" || n.op == "||" {
+		l, err := n.left.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "&&" && !Truthy(l) {
+			return false, nil
+		}
+		if n.op == "||" && Truthy(l) {
+			return true, nil
+		}
+		r, err := n.right.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		return Truthy(r), nil
+	}
+	l, err := n.left.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "+":
+		if lf, ok := l.(float64); ok {
+			if rf, ok := r.(float64); ok {
+				return lf + rf, nil
+			}
+		}
+		// String concatenation for any mix involving non-numbers.
+		return ToString(l) + ToString(r), nil
+	case "-", "*", "/", "%":
+		lf, lok := l.(float64)
+		rf, rok := r.(float64)
+		if !lok || !rok {
+			return nil, fmt.Errorf("operator %q needs numbers, got %T and %T", n.op, l, r)
+		}
+		switch n.op {
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return lf / rf, nil
+		case "%":
+			if rf == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			return float64(int64(lf) % int64(rf)), nil
+		}
+	case "==":
+		return equalValues(l, r), nil
+	case "!=":
+		return !equalValues(l, r), nil
+	case "<", ">", "<=", ">=":
+		return compareValues(n.op, l, r)
+	}
+	return nil, fmt.Errorf("unknown operator %q", n.op)
+}
+
+func equalValues(l, r Value) bool {
+	if lf, ok := l.(float64); ok {
+		if rf, ok := r.(float64); ok {
+			return lf == rf
+		}
+	}
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			return ls == rs
+		}
+	}
+	if lb, ok := l.(bool); ok {
+		if rb, ok := r.(bool); ok {
+			return lb == rb
+		}
+	}
+	if l == nil && r == nil {
+		return true
+	}
+	return false
+}
+
+func compareValues(op string, l, r Value) (Value, error) {
+	var cmp int
+	if lf, lok := l.(float64); lok {
+		rf, rok := r.(float64)
+		if !rok {
+			return nil, fmt.Errorf("cannot compare %T with %T", l, r)
+		}
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else if ls, lok := l.(string); lok {
+		rs, rok := r.(string)
+		if !rok {
+			return nil, fmt.Errorf("cannot compare %T with %T", l, r)
+		}
+		switch {
+		case ls < rs:
+			cmp = -1
+		case ls > rs:
+			cmp = 1
+		}
+	} else {
+		return nil, fmt.Errorf("cannot order %T values", l)
+	}
+	switch op {
+	case "<":
+		return cmp < 0, nil
+	case ">":
+		return cmp > 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return nil, fmt.Errorf("unknown comparison %q", op)
+}
+
+type callNode struct {
+	name string
+	args []node
+}
+
+func (n callNode) eval(env Env) (Value, error) {
+	fn, ok := builtins[n.name]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", n.name)
+	}
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn(args)
+}
+
+type indexNode struct {
+	target, index node
+	end           node // non-nil for slice [a:b]; not produced currently
+}
+
+func (n indexNode) eval(env Env) (Value, error) {
+	t, err := n.target.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	idxV, err := n.index.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	idxF, ok := idxV.(float64)
+	if !ok {
+		return nil, fmt.Errorf("index must be a number, got %T", idxV)
+	}
+	idx := int(idxF)
+	switch tv := t.(type) {
+	case []Value:
+		if idx < 0 {
+			idx += len(tv)
+		}
+		if idx < 0 || idx >= len(tv) {
+			return nil, fmt.Errorf("index %d out of range (len %d)", idx, len(tv))
+		}
+		return tv[idx], nil
+	case string:
+		runes := []rune(tv)
+		if idx < 0 {
+			idx += len(runes)
+		}
+		if idx < 0 || idx >= len(runes) {
+			return nil, fmt.Errorf("index %d out of range (len %d)", idx, len(runes))
+		}
+		return string(runes[idx]), nil
+	default:
+		return nil, fmt.Errorf("cannot index %T", t)
+	}
+}
+
+// parser is a Pratt parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+func (p *parser) backup()     { p.pos-- }
+
+func precedence(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=":
+		return 3
+	case "<", ">", "<=", ">=":
+		return 4
+	case "+", "-":
+		return 5
+	case "*", "/", "%":
+		return 6
+	}
+	return 0
+}
+
+func (p *parser) parseExpression(minPrec int) (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return left, nil
+		}
+		prec := precedence(t.text)
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseExpression(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binaryNode{op: t.text, left: left, right: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "!" || t.text == "-") {
+		p.next()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return p.parsePostfix(unaryNode{op: t.text, child: child})
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.next()
+	var base node
+	switch t.kind {
+	case tokNumber:
+		base = literalNode{val: t.num}
+	case tokString:
+		base = literalNode{val: t.text}
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next() // consume (
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			base = callNode{name: t.text, args: args}
+		} else {
+			base = identNode{name: t.text}
+		}
+	case tokLParen:
+		inner, err := p.parseExpression(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.next().kind != tokRParen {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		base = inner
+	default:
+		return nil, fmt.Errorf("unexpected token %q", t.text)
+	}
+	return p.parsePostfix(base)
+}
+
+// parsePostfix handles method chaining a.f(x) => f(a, x) and indexing a[i].
+func (p *parser) parsePostfix(base node) (node, error) {
+	for {
+		switch p.peek().kind {
+		case tokDot:
+			p.next()
+			name := p.next()
+			if name.kind != tokIdent {
+				return nil, fmt.Errorf("expected method name after '.', got %q", name.text)
+			}
+			if p.peek().kind != tokLParen {
+				return nil, fmt.Errorf("expected '(' after method %q", name.text)
+			}
+			p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			base = callNode{name: name.text, args: append([]node{base}, args...)}
+		case tokLBracket:
+			p.next()
+			idx, err := p.parseExpression(0)
+			if err != nil {
+				return nil, err
+			}
+			if p.next().kind != tokRBracket {
+				return nil, fmt.Errorf("missing closing bracket")
+			}
+			base = indexNode{target: base, index: idx}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]node, error) {
+	var args []node
+	if p.peek().kind == tokRParen {
+		p.next()
+		return args, nil
+	}
+	for {
+		a, err := p.parseExpression(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		switch t := p.next(); t.kind {
+		case tokComma:
+			continue
+		case tokRParen:
+			return args, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')' in arguments, got %q", t.text)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package geo provides the geospatial and temporal primitives used by the
+// metadata catalog and the ranked search engine: points, bounding boxes,
+// great-circle distances, and time intervals with distance semantics.
+//
+// "Data Near Here" ranks datasets by how far their spatial and temporal
+// extents lie from the query terms, so every type here exposes a Distance
+// method returning a non-negative separation (zero when overlapping or
+// containing) that the scorer normalizes into a similarity.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0088
+
+// Point is a WGS84 coordinate in decimal degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Valid reports whether the point lies within the legal lat/lon domain.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String formats the point as "lat,lon" with 5-decimal precision (~1 m).
+func (p Point) String() string {
+	return fmt.Sprintf("%.5f,%.5f", p.Lat, p.Lon)
+}
+
+// HaversineKm returns the great-circle distance between two points in km.
+func HaversineKm(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// BBox is an axis-aligned geographic bounding box. Boxes never wrap the
+// antimeridian; archive generators in this repository do not produce
+// wrapping extents, and queries that would wrap are split by callers.
+type BBox struct {
+	MinLat float64 `json:"minLat"`
+	MinLon float64 `json:"minLon"`
+	MaxLat float64 `json:"maxLat"`
+	MaxLon float64 `json:"maxLon"`
+}
+
+// ErrEmptyBBox is returned when an operation needs a non-empty box.
+var ErrEmptyBBox = errors.New("geo: empty bounding box")
+
+// NewBBox returns the minimal box covering the two corner points.
+func NewBBox(a, b Point) BBox {
+	return BBox{
+		MinLat: math.Min(a.Lat, b.Lat),
+		MinLon: math.Min(a.Lon, b.Lon),
+		MaxLat: math.Max(a.Lat, b.Lat),
+		MaxLon: math.Max(a.Lon, b.Lon),
+	}
+}
+
+// EmptyBBox returns a box that contains nothing and extends under union.
+func EmptyBBox() BBox {
+	return BBox{
+		MinLat: math.Inf(1), MinLon: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLon: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b BBox) IsEmpty() bool {
+	return b.MinLat > b.MaxLat || b.MinLon > b.MaxLon
+}
+
+// Valid reports whether the box is non-empty and within the lat/lon domain.
+func (b BBox) Valid() bool {
+	return !b.IsEmpty() &&
+		Point{b.MinLat, b.MinLon}.Valid() && Point{b.MaxLat, b.MaxLon}.Valid()
+}
+
+// Center returns the box's central point.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// Contains reports whether p lies within the box (borders inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Intersects reports whether the two boxes share any point.
+func (b BBox) Intersects(o BBox) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.MinLat <= o.MaxLat && o.MinLat <= b.MaxLat &&
+		b.MinLon <= o.MaxLon && o.MinLon <= b.MaxLon
+}
+
+// Union returns the minimal box covering both boxes.
+func (b BBox) Union(o BBox) BBox {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return BBox{
+		MinLat: math.Min(b.MinLat, o.MinLat),
+		MinLon: math.Min(b.MinLon, o.MinLon),
+		MaxLat: math.Max(b.MaxLat, o.MaxLat),
+		MaxLon: math.Max(b.MaxLon, o.MaxLon),
+	}
+}
+
+// ExtendPoint returns the minimal box covering the box and p.
+func (b BBox) ExtendPoint(p Point) BBox {
+	return b.Union(BBox{MinLat: p.Lat, MinLon: p.Lon, MaxLat: p.Lat, MaxLon: p.Lon})
+}
+
+// DistanceKm returns the great-circle separation between the box and p:
+// zero when the box contains p, otherwise the distance from p to the
+// nearest point on the box boundary (clamped corner approximation, which
+// is exact for the small extents generated here).
+func (b BBox) DistanceKm(p Point) float64 {
+	if b.IsEmpty() {
+		return math.Inf(1)
+	}
+	nearest := Point{
+		Lat: clamp(p.Lat, b.MinLat, b.MaxLat),
+		Lon: clamp(p.Lon, b.MinLon, b.MaxLon),
+	}
+	return HaversineKm(p, nearest)
+}
+
+// DistanceToBoxKm returns the separation between two boxes: zero when they
+// intersect, otherwise the distance between their nearest boundary points.
+func (b BBox) DistanceToBoxKm(o BBox) float64 {
+	if b.IsEmpty() || o.IsEmpty() {
+		return math.Inf(1)
+	}
+	if b.Intersects(o) {
+		return 0
+	}
+	nearB := Point{
+		Lat: clamp(o.Center().Lat, b.MinLat, b.MaxLat),
+		Lon: clamp(o.Center().Lon, b.MinLon, b.MaxLon),
+	}
+	nearO := Point{
+		Lat: clamp(nearB.Lat, o.MinLat, o.MaxLat),
+		Lon: clamp(nearB.Lon, o.MinLon, o.MaxLon),
+	}
+	return HaversineKm(nearB, nearO)
+}
+
+// AreaDeg2 returns the box area in square degrees (zero when empty).
+func (b BBox) AreaDeg2() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return (b.MaxLat - b.MinLat) * (b.MaxLon - b.MinLon)
+}
+
+// String formats the box as "[minLat,minLon .. maxLat,maxLon]".
+func (b BBox) String() string {
+	if b.IsEmpty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%.5f,%.5f .. %.5f,%.5f]", b.MinLat, b.MinLon, b.MaxLat, b.MaxLon)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TimeRange is a half-open-free inclusive interval [Start, End].
+type TimeRange struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// NewTimeRange orders the endpoints so Start <= End.
+func NewTimeRange(a, b time.Time) TimeRange {
+	if b.Before(a) {
+		a, b = b, a
+	}
+	return TimeRange{Start: a, End: b}
+}
+
+// IsZero reports whether the range is the zero value.
+func (t TimeRange) IsZero() bool { return t.Start.IsZero() && t.End.IsZero() }
+
+// Valid reports whether Start <= End and the range is non-zero.
+func (t TimeRange) Valid() bool { return !t.IsZero() && !t.End.Before(t.Start) }
+
+// Duration returns End − Start.
+func (t TimeRange) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Contains reports whether the instant lies inside the range (inclusive).
+func (t TimeRange) Contains(at time.Time) bool {
+	return !at.Before(t.Start) && !at.After(t.End)
+}
+
+// Overlaps reports whether the two ranges share any instant.
+func (t TimeRange) Overlaps(o TimeRange) bool {
+	return !t.Start.After(o.End) && !o.Start.After(t.End)
+}
+
+// Union returns the minimal range covering both ranges.
+func (t TimeRange) Union(o TimeRange) TimeRange {
+	if t.IsZero() {
+		return o
+	}
+	if o.IsZero() {
+		return t
+	}
+	u := t
+	if o.Start.Before(u.Start) {
+		u.Start = o.Start
+	}
+	if o.End.After(u.End) {
+		u.End = o.End
+	}
+	return u
+}
+
+// Extend returns the minimal range covering the range and the instant.
+func (t TimeRange) Extend(at time.Time) TimeRange {
+	return t.Union(TimeRange{Start: at, End: at})
+}
+
+// Distance returns the gap between the two ranges (zero when overlapping).
+func (t TimeRange) Distance(o TimeRange) time.Duration {
+	if t.Overlaps(o) {
+		return 0
+	}
+	if t.End.Before(o.Start) {
+		return o.Start.Sub(t.End)
+	}
+	return t.Start.Sub(o.End)
+}
+
+// String formats the range as "start..end" in RFC3339.
+func (t TimeRange) String() string {
+	return t.Start.Format(time.RFC3339) + ".." + t.End.Format(time.RFC3339)
+}
+
+// ValueRange is an inclusive numeric interval, used for per-variable
+// observed ranges ("temperature between 5 and 10 C").
+type ValueRange struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// NewValueRange orders the endpoints so Min <= Max.
+func NewValueRange(a, b float64) ValueRange {
+	if b < a {
+		a, b = b, a
+	}
+	return ValueRange{Min: a, Max: b}
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (r ValueRange) Contains(v float64) bool { return v >= r.Min && v <= r.Max }
+
+// Overlaps reports whether the two intervals share any value.
+func (r ValueRange) Overlaps(o ValueRange) bool { return r.Min <= o.Max && o.Min <= r.Max }
+
+// Union returns the minimal interval covering both.
+func (r ValueRange) Union(o ValueRange) ValueRange {
+	return ValueRange{Min: math.Min(r.Min, o.Min), Max: math.Max(r.Max, o.Max)}
+}
+
+// Width returns Max − Min.
+func (r ValueRange) Width() float64 { return r.Max - r.Min }
+
+// Distance returns the gap between the intervals (zero when overlapping).
+func (r ValueRange) Distance(o ValueRange) float64 {
+	if r.Overlaps(o) {
+		return 0
+	}
+	if r.Max < o.Min {
+		return o.Min - r.Max
+	}
+	return r.Min - o.Max
+}
+
+// String formats the interval as "[min..max]".
+func (r ValueRange) String() string { return fmt.Sprintf("[%g..%g]", r.Min, r.Max) }

@@ -1,0 +1,269 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{45.5, -124.4}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{90.1, 0}, false},
+		{Point{0, 180.1}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Portland, OR to Astoria, OR is roughly 118 km.
+	portland := Point{45.5152, -122.6784}
+	astoria := Point{46.1879, -123.8313}
+	d := HaversineKm(portland, astoria)
+	if d < 100 || d > 130 {
+		t.Errorf("Portland-Astoria = %.1f km, want ~118", d)
+	}
+	if got := HaversineKm(portland, portland); got != 0 {
+		t.Errorf("self distance = %g, want 0", got)
+	}
+	// Symmetry.
+	if d2 := HaversineKm(astoria, portland); math.Abs(d-d2) > 1e-9 {
+		t.Errorf("asymmetric: %g vs %g", d, d2)
+	}
+}
+
+func TestHaversineEquatorDegree(t *testing.T) {
+	// One degree of longitude at the equator is ~111.2 km.
+	d := HaversineKm(Point{0, 0}, Point{0, 1})
+	if math.Abs(d-111.19) > 0.5 {
+		t.Errorf("1 degree at equator = %.2f km, want ~111.19", d)
+	}
+}
+
+func TestBBoxContainsIntersects(t *testing.T) {
+	b := BBox{MinLat: 45, MinLon: -125, MaxLat: 47, MaxLon: -122}
+	if !b.Contains(Point{46, -123}) {
+		t.Error("center point should be contained")
+	}
+	if !b.Contains(Point{45, -125}) {
+		t.Error("corner should be contained (inclusive)")
+	}
+	if b.Contains(Point{44.9, -123}) {
+		t.Error("outside point contained")
+	}
+	o := BBox{MinLat: 46.5, MinLon: -123, MaxLat: 48, MaxLon: -120}
+	if !b.Intersects(o) || !o.Intersects(b) {
+		t.Error("overlapping boxes should intersect")
+	}
+	far := BBox{MinLat: 0, MinLon: 0, MaxLat: 1, MaxLon: 1}
+	if b.Intersects(far) {
+		t.Error("disjoint boxes intersect")
+	}
+}
+
+func TestBBoxEmptyBehaviour(t *testing.T) {
+	e := EmptyBBox()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	if e.Intersects(e) {
+		t.Error("empty box intersects itself")
+	}
+	b := NewBBox(Point{1, 2}, Point{3, 4})
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union b = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("b union empty = %v, want %v", got, b)
+	}
+	if !math.IsInf(e.DistanceKm(Point{0, 0}), 1) {
+		t.Error("distance to empty box should be +Inf")
+	}
+	if e.AreaDeg2() != 0 {
+		t.Error("empty box area should be 0")
+	}
+}
+
+func TestBBoxExtendPoint(t *testing.T) {
+	b := EmptyBBox()
+	pts := []Point{{45, -124}, {46, -123}, {44.5, -124.5}}
+	for _, p := range pts {
+		b = b.ExtendPoint(p)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("extended box %v misses %v", b, p)
+		}
+	}
+	want := BBox{MinLat: 44.5, MinLon: -124.5, MaxLat: 46, MaxLon: -123}
+	if b != want {
+		t.Errorf("box = %v, want %v", b, want)
+	}
+}
+
+func TestBBoxDistance(t *testing.T) {
+	b := BBox{MinLat: 45, MinLon: -125, MaxLat: 47, MaxLon: -122}
+	if d := b.DistanceKm(Point{46, -123}); d != 0 {
+		t.Errorf("inside point distance = %g, want 0", d)
+	}
+	d := b.DistanceKm(Point{48, -123})
+	want := HaversineKm(Point{48, -123}, Point{47, -123})
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("outside distance = %g, want %g", d, want)
+	}
+}
+
+func TestBBoxDistanceToBox(t *testing.T) {
+	a := BBox{MinLat: 45, MinLon: -125, MaxLat: 46, MaxLon: -124}
+	b := BBox{MinLat: 45.5, MinLon: -124.5, MaxLat: 47, MaxLon: -123}
+	if d := a.DistanceToBoxKm(b); d != 0 {
+		t.Errorf("intersecting boxes distance = %g, want 0", d)
+	}
+	c := BBox{MinLat: 48, MinLon: -125, MaxLat: 49, MaxLon: -124}
+	if d := a.DistanceToBoxKm(c); d <= 0 {
+		t.Errorf("disjoint boxes distance = %g, want > 0", d)
+	}
+}
+
+func TestBBoxUnionProperties(t *testing.T) {
+	f := func(aLat, aLon, bLat, bLon, cLat, cLon float64) bool {
+		norm := func(lat, lon float64) Point {
+			return Point{Lat: math.Mod(lat, 90), Lon: math.Mod(lon, 180)}
+		}
+		a := NewBBox(norm(aLat, aLon), norm(bLat, bLon))
+		b := NewBBox(norm(bLat, bLon), norm(cLat, cLon))
+		u := a.Union(b)
+		// Union must contain both boxes' corners.
+		return u.Contains(Point{a.MinLat, a.MinLon}) &&
+			u.Contains(Point{a.MaxLat, a.MaxLon}) &&
+			u.Contains(Point{b.MinLat, b.MinLon}) &&
+			u.Contains(Point{b.MaxLat, b.MaxLon}) &&
+			u == b.Union(a) // commutative
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	t0 := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	t1 := t0.Add(24 * time.Hour)
+	r := NewTimeRange(t1, t0) // reversed on purpose
+	if r.Start != t0 || r.End != t1 {
+		t.Fatalf("NewTimeRange did not order endpoints: %v", r)
+	}
+	if !r.Contains(t0) || !r.Contains(t1) || !r.Contains(t0.Add(time.Hour)) {
+		t.Error("Contains failed for in-range instants")
+	}
+	if r.Contains(t0.Add(-time.Second)) {
+		t.Error("Contains accepted out-of-range instant")
+	}
+	if r.Duration() != 24*time.Hour {
+		t.Errorf("Duration = %v, want 24h", r.Duration())
+	}
+}
+
+func TestTimeRangeOverlapDistance(t *testing.T) {
+	t0 := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	a := NewTimeRange(t0, t0.Add(10*time.Hour))
+	b := NewTimeRange(t0.Add(5*time.Hour), t0.Add(15*time.Hour))
+	c := NewTimeRange(t0.Add(20*time.Hour), t0.Add(30*time.Hour))
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping ranges not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint ranges overlap")
+	}
+	if d := a.Distance(b); d != 0 {
+		t.Errorf("overlap distance = %v, want 0", d)
+	}
+	if d := a.Distance(c); d != 10*time.Hour {
+		t.Errorf("gap = %v, want 10h", d)
+	}
+	if d := c.Distance(a); d != 10*time.Hour {
+		t.Errorf("reverse gap = %v, want 10h", d)
+	}
+}
+
+func TestTimeRangeUnionExtend(t *testing.T) {
+	t0 := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	var r TimeRange
+	r = r.Extend(t0.Add(5 * time.Hour))
+	r = r.Extend(t0)
+	r = r.Extend(t0.Add(10 * time.Hour))
+	if r.Start != t0 || r.End != t0.Add(10*time.Hour) {
+		t.Errorf("Extend sequence produced %v", r)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	r := NewValueRange(10, 5)
+	if r.Min != 5 || r.Max != 10 {
+		t.Fatalf("NewValueRange did not order endpoints: %v", r)
+	}
+	if !r.Contains(5) || !r.Contains(10) || !r.Contains(7.5) {
+		t.Error("Contains failed")
+	}
+	if r.Contains(4.999) || r.Contains(10.001) {
+		t.Error("Contains accepted out-of-range value")
+	}
+	o := NewValueRange(8, 12)
+	if !r.Overlaps(o) {
+		t.Error("overlap not detected")
+	}
+	if d := r.Distance(NewValueRange(15, 20)); d != 5 {
+		t.Errorf("gap = %g, want 5", d)
+	}
+	if d := NewValueRange(15, 20).Distance(r); d != 5 {
+		t.Errorf("reverse gap = %g, want 5", d)
+	}
+	u := r.Union(o)
+	if u.Min != 5 || u.Max != 12 {
+		t.Errorf("union = %v, want [5..12]", u)
+	}
+	if r.Width() != 5 {
+		t.Errorf("width = %g, want 5", r.Width())
+	}
+}
+
+func TestValueRangeQuick(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) {
+			return true
+		}
+		r1, r2 := NewValueRange(a, b), NewValueRange(c, d)
+		// Distance is symmetric and zero iff overlapping.
+		if r1.Distance(r2) != r2.Distance(r1) {
+			return false
+		}
+		if r1.Overlaps(r2) != (r1.Distance(r2) == 0) {
+			return false
+		}
+		// Union contains all endpoints.
+		u := r1.Union(r2)
+		return u.Contains(r1.Min) && u.Contains(r1.Max) && u.Contains(r2.Min) && u.Contains(r2.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	p1 := Point{45.5, -122.6}
+	p2 := Point{46.2, -123.8}
+	for i := 0; i < b.N; i++ {
+		HaversineKm(p1, p2)
+	}
+}

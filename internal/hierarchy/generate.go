@@ -1,0 +1,194 @@
+package hierarchy
+
+import (
+	"sort"
+	"strings"
+
+	"metamess/internal/fingerprint"
+)
+
+// GenerateOptions configures automatic hierarchy generation, mirroring
+// the poster's "Configure: levels, aggregation" annotation on the
+// generate-hierarchies component.
+type GenerateOptions struct {
+	// MinGroupSize is the smallest family that earns its own parent node;
+	// smaller families stay at the top level. Default 2.
+	MinGroupSize int
+	// GroupNumericSuffixes groups names that differ only by a trailing
+	// number (fluores375, fluores400) under their common stem. Default on
+	// via DefaultGenerateOptions.
+	GroupNumericSuffixes bool
+	// GroupByFirstToken groups names sharing their first word token
+	// (water_temperature, water_velocity -> water). Default on via
+	// DefaultGenerateOptions.
+	GroupByFirstToken bool
+}
+
+// DefaultGenerateOptions returns the options used by the wrangling chain
+// unless a process config overrides them.
+func DefaultGenerateOptions() GenerateOptions {
+	return GenerateOptions{
+		MinGroupSize:         2,
+		GroupNumericSuffixes: true,
+		GroupByFirstToken:    true,
+	}
+}
+
+// Generate builds a taxonomy from a flat list of (canonical) variable
+// names. Two aggregations are mined:
+//
+//   - numeric-suffix families: names whose tokens are a shared stem plus a
+//     number ("fluores375", "fluores400") nest under the stem;
+//   - first-token families: names sharing their leading token
+//     ("water_temperature", "water_velocity") nest under that token.
+//
+// Numeric-suffix grouping wins when both apply, because it captures the
+// poster's "concepts at multiple levels of detail" example directly.
+// Ungrouped names sit at the top level.
+func Generate(name string, names []string, opts GenerateOptions) (*Taxonomy, error) {
+	if opts.MinGroupSize < 2 {
+		opts.MinGroupSize = 2
+	}
+	x := NewTaxonomy(name)
+
+	// De-duplicate by normalized form, keeping first display form.
+	seen := make(map[string]string)
+	var order []string
+	for _, n := range names {
+		k := norm(n)
+		if k == "" {
+			continue
+		}
+		if _, dup := seen[k]; !dup {
+			seen[k] = n
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+
+	assigned := make(map[string]string) // member key -> parent term
+
+	if opts.GroupNumericSuffixes {
+		stems := make(map[string][]string) // stem -> member keys
+		for _, k := range order {
+			disp := seen[k]
+			stem, ok := numericStem(disp)
+			if !ok {
+				continue
+			}
+			stems[stem] = append(stems[stem], k)
+		}
+		var stemKeys []string
+		for s := range stems {
+			stemKeys = append(stemKeys, s)
+		}
+		sort.Strings(stemKeys)
+		for _, stem := range stemKeys {
+			members := stems[stem]
+			if len(members) < opts.MinGroupSize {
+				continue
+			}
+			for _, m := range members {
+				assigned[m] = stem
+			}
+		}
+	}
+
+	if opts.GroupByFirstToken {
+		firsts := make(map[string][]string)
+		for _, k := range order {
+			if _, done := assigned[k]; done {
+				continue
+			}
+			toks := fingerprint.Tokens(seen[k])
+			if len(toks) < 2 {
+				continue // single-token names have no family token
+			}
+			firsts[toks[0]] = append(firsts[toks[0]], k)
+		}
+		var firstKeys []string
+		for f := range firsts {
+			firstKeys = append(firstKeys, f)
+		}
+		sort.Strings(firstKeys)
+		for _, tok := range firstKeys {
+			members := firsts[tok]
+			if len(members) < opts.MinGroupSize {
+				continue
+			}
+			for _, m := range members {
+				assigned[m] = tok
+			}
+		}
+	}
+
+	// Build the tree: parents first (sorted), then members, then loners.
+	parents := make(map[string][]string)
+	for _, k := range order {
+		if p, ok := assigned[k]; ok {
+			parents[p] = append(parents[p], k)
+		}
+	}
+	var parentKeys []string
+	for p := range parents {
+		parentKeys = append(parentKeys, p)
+	}
+	sort.Strings(parentKeys)
+	for _, p := range parentKeys {
+		for _, m := range parents[p] {
+			disp := seen[m]
+			if norm(p) == m {
+				// The member is the parent concept itself.
+				if _, err := x.AddPath(disp); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if _, err := x.AddPath(p, disp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, k := range order {
+		if _, grouped := assigned[k]; grouped {
+			continue
+		}
+		if x.Contains(seen[k]) {
+			continue
+		}
+		if _, err := x.AddPath(seen[k]); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// numericStem splits a name like "fluores375" or "fluores_375" into its
+// letter stem when the name is a stem plus a trailing number.
+func numericStem(name string) (string, bool) {
+	toks := fingerprint.Tokens(name)
+	if len(toks) < 2 {
+		return "", false
+	}
+	last := toks[len(toks)-1]
+	if !allDigits(last) {
+		return "", false
+	}
+	stem := strings.Join(toks[:len(toks)-1], " ")
+	if stem == "" {
+		return "", false
+	}
+	return stem, true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

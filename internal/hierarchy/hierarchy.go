@@ -1,0 +1,275 @@
+// Package hierarchy implements the variable taxonomies of the wrangling
+// process's "generate hierarchies" component: multi-level concept trees
+// (fluorescence above fluores375/fluores400), source-context
+// qualification (temperature under both air and water), membership in
+// multiple taxonomies at once, and hierarchical menu rendering with
+// collapse/expose — the approaches the poster's Table 1 prescribes for
+// the "source-context naming variations" and "concepts at multiple
+// levels of detail" categories.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metamess/internal/fingerprint"
+)
+
+// Node is one concept in a taxonomy tree.
+type Node struct {
+	// Term is the concept's display name.
+	Term string
+	// Children are sub-concepts, kept sorted by term.
+	Children []*Node
+	parent   *Node
+}
+
+// Taxonomy is a named concept tree with an unnamed synthetic root.
+type Taxonomy struct {
+	// Name identifies the taxonomy ("variables", "air", "water", ...).
+	Name   string
+	root   *Node
+	byTerm map[string]*Node // normalized term -> node
+}
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy(name string) *Taxonomy {
+	return &Taxonomy{
+		Name:   name,
+		root:   &Node{Term: ""},
+		byTerm: make(map[string]*Node),
+	}
+}
+
+// AddPath inserts a path of concepts from the root, creating missing
+// nodes: AddPath("optics", "fluorescence", "fluores375") nests the three
+// terms. It returns the leaf node. A term may appear at only one place in
+// a taxonomy; re-adding a consistent prefix is a no-op, while attaching
+// an existing term under a different parent is an error.
+func (x *Taxonomy) AddPath(terms ...string) (*Node, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty path")
+	}
+	cur := x.root
+	for _, term := range terms {
+		k := norm(term)
+		if k == "" {
+			return nil, fmt.Errorf("hierarchy: empty term in path %v", terms)
+		}
+		if existing, ok := x.byTerm[k]; ok {
+			if existing.parent != cur {
+				return nil, fmt.Errorf("hierarchy: %q already placed under %q", term, existing.parentTerm())
+			}
+			cur = existing
+			continue
+		}
+		child := &Node{Term: term, parent: cur}
+		cur.Children = append(cur.Children, child)
+		sort.Slice(cur.Children, func(i, j int) bool { return cur.Children[i].Term < cur.Children[j].Term })
+		x.byTerm[k] = child
+		cur = child
+	}
+	return cur, nil
+}
+
+func (n *Node) parentTerm() string {
+	if n.parent == nil || n.parent.Term == "" {
+		return "(root)"
+	}
+	return n.parent.Term
+}
+
+// Find returns the node for a term, matching with fingerprint
+// normalization.
+func (x *Taxonomy) Find(term string) (*Node, bool) {
+	n, ok := x.byTerm[norm(term)]
+	return n, ok
+}
+
+// Contains reports whether the taxonomy holds the term.
+func (x *Taxonomy) Contains(term string) bool {
+	_, ok := x.Find(term)
+	return ok
+}
+
+// Parent returns the parent term of a term, if it has a non-root parent.
+func (x *Taxonomy) Parent(term string) (string, bool) {
+	n, ok := x.Find(term)
+	if !ok || n.parent == nil || n.parent.Term == "" {
+		return "", false
+	}
+	return n.parent.Term, true
+}
+
+// Ancestors returns the terms from the immediate parent up to (not
+// including) the root, nearest first.
+func (x *Taxonomy) Ancestors(term string) []string {
+	n, ok := x.Find(term)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for p := n.parent; p != nil && p.Term != ""; p = p.parent {
+		out = append(out, p.Term)
+	}
+	return out
+}
+
+// Children returns the direct sub-terms of a term (or the top-level terms
+// when term is empty), sorted.
+func (x *Taxonomy) Children(term string) []string {
+	var n *Node
+	if term == "" {
+		n = x.root
+	} else {
+		var ok bool
+		n, ok = x.Find(term)
+		if !ok {
+			return nil
+		}
+	}
+	out := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = c.Term
+	}
+	return out
+}
+
+// Descendants returns every term strictly below the given term
+// (depth-first, children sorted).
+func (x *Taxonomy) Descendants(term string) []string {
+	var n *Node
+	if term == "" {
+		n = x.root
+	} else {
+		var ok bool
+		n, ok = x.Find(term)
+		if !ok {
+			return nil
+		}
+	}
+	var out []string
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		for _, c := range nd.Children {
+			out = append(out, c.Term)
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Leaves returns the leaf terms below term ("" for the whole taxonomy).
+func (x *Taxonomy) Leaves(term string) []string {
+	var out []string
+	for _, d := range x.Descendants(term) {
+		if n, _ := x.Find(d); len(n.Children) == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of edges from the root to the term; top-level
+// terms have depth 1. Unknown terms return 0.
+func (x *Taxonomy) Depth(term string) int {
+	n, ok := x.Find(term)
+	if !ok {
+		return 0
+	}
+	d := 0
+	for p := n; p != nil && p.Term != ""; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Size returns the number of terms in the taxonomy.
+func (x *Taxonomy) Size() int { return len(x.byTerm) }
+
+// Menu renders the taxonomy as an indented hierarchical menu, expanding
+// nodes only down to maxDepth levels (0 = everything) — the "collapse or
+// expose as needed" behaviour Table 1 prescribes. Collapsed nodes that
+// hide children are suffixed with the hidden-descendant count.
+func (x *Taxonomy) Menu(maxDepth int) []string {
+	var out []string
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		for _, c := range n.Children {
+			line := strings.Repeat("  ", depth) + c.Term
+			if maxDepth > 0 && depth+1 >= maxDepth && len(c.Children) > 0 {
+				hidden := len(x.Descendants(c.Term))
+				out = append(out, fmt.Sprintf("%s (+%d)", line, hidden))
+				continue
+			}
+			out = append(out, line)
+			walk(c, depth+1)
+		}
+	}
+	walk(x.root, 0)
+	return out
+}
+
+// Set is a collection of taxonomies; a term may live in several at once
+// ("link to multiple taxonomies" — Table 1's approach for source-context
+// variations).
+type Set struct {
+	taxonomies map[string]*Taxonomy
+	order      []string
+}
+
+// NewSet returns an empty taxonomy set.
+func NewSet() *Set {
+	return &Set{taxonomies: make(map[string]*Taxonomy)}
+}
+
+// Add registers a taxonomy; duplicate names are rejected.
+func (s *Set) Add(x *Taxonomy) error {
+	if _, dup := s.taxonomies[x.Name]; dup {
+		return fmt.Errorf("hierarchy: duplicate taxonomy %q", x.Name)
+	}
+	s.taxonomies[x.Name] = x
+	s.order = append(s.order, x.Name)
+	return nil
+}
+
+// Get returns a taxonomy by name.
+func (s *Set) Get(name string) (*Taxonomy, bool) {
+	x, ok := s.taxonomies[name]
+	return x, ok
+}
+
+// Names returns the taxonomy names in insertion order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// TaxonomiesOf returns the names of every taxonomy containing the term —
+// the contexts in which the concept occurs. A "temperature" found in both
+// the "air" and "water" taxonomies is context-ambiguous until qualified.
+func (s *Set) TaxonomiesOf(term string) []string {
+	var out []string
+	for _, name := range s.order {
+		if s.taxonomies[name].Contains(term) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Qualified returns the context-qualified name for a term in a context
+// taxonomy, e.g. Qualified("water", "temperature") = "water_temperature".
+func Qualified(context, term string) string {
+	c := strings.Join(fingerprint.Tokens(context), "_")
+	t := strings.Join(fingerprint.Tokens(term), "_")
+	if c == "" {
+		return t
+	}
+	return c + "_" + t
+}
+
+func norm(s string) string { return fingerprint.Normalize(s) }

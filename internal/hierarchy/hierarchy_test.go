@@ -1,0 +1,318 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) *Taxonomy {
+	t.Helper()
+	x := NewTaxonomy("variables")
+	paths := [][]string{
+		{"optics", "fluorescence", "fluores375"},
+		{"optics", "fluorescence", "fluores400"},
+		{"optics", "turbidity"},
+		{"physics", "temperature"},
+		{"physics", "salinity"},
+	}
+	for _, p := range paths {
+		if _, err := x.AddPath(p...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x
+}
+
+func TestAddPathAndFind(t *testing.T) {
+	x := build(t)
+	if x.Size() != 8 {
+		t.Errorf("Size = %d, want 8", x.Size())
+	}
+	if !x.Contains("fluores375") || !x.Contains("Fluorescence") {
+		t.Error("Contains failed (should normalize)")
+	}
+	if x.Contains("nonexistent") {
+		t.Error("Contains accepted unknown term")
+	}
+	if _, err := x.AddPath(); err == nil {
+		t.Error("empty path should fail")
+	}
+	if _, err := x.AddPath("a", "", "b"); err == nil {
+		t.Error("empty term should fail")
+	}
+}
+
+func TestAddPathConflict(t *testing.T) {
+	x := build(t)
+	// fluorescence already lives under optics; placing it under physics fails.
+	if _, err := x.AddPath("physics", "fluorescence"); err == nil {
+		t.Error("conflicting placement accepted")
+	}
+	// Re-adding the same path is a no-op.
+	before := x.Size()
+	if _, err := x.AddPath("optics", "fluorescence"); err != nil {
+		t.Errorf("idempotent re-add failed: %v", err)
+	}
+	if x.Size() != before {
+		t.Error("idempotent re-add changed size")
+	}
+}
+
+func TestParentAncestors(t *testing.T) {
+	x := build(t)
+	p, ok := x.Parent("fluores375")
+	if !ok || p != "fluorescence" {
+		t.Errorf("Parent = %q, %v", p, ok)
+	}
+	if _, ok := x.Parent("optics"); ok {
+		t.Error("top-level term should have no parent")
+	}
+	anc := x.Ancestors("fluores375")
+	if len(anc) != 2 || anc[0] != "fluorescence" || anc[1] != "optics" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if x.Ancestors("ghost") != nil {
+		t.Error("ancestors of unknown term should be nil")
+	}
+}
+
+func TestChildrenDescendantsLeaves(t *testing.T) {
+	x := build(t)
+	top := x.Children("")
+	if len(top) != 2 || top[0] != "optics" || top[1] != "physics" {
+		t.Errorf("top-level = %v", top)
+	}
+	kids := x.Children("fluorescence")
+	if len(kids) != 2 || kids[0] != "fluores375" {
+		t.Errorf("children = %v", kids)
+	}
+	if x.Children("ghost") != nil {
+		t.Error("children of unknown term should be nil")
+	}
+	desc := x.Descendants("optics")
+	if len(desc) != 4 {
+		t.Errorf("descendants = %v", desc)
+	}
+	leaves := x.Leaves("optics")
+	if len(leaves) != 3 { // fluores375, fluores400, turbidity
+		t.Errorf("leaves = %v", leaves)
+	}
+	all := x.Descendants("")
+	if len(all) != 8 {
+		t.Errorf("all descendants = %d, want 8", len(all))
+	}
+}
+
+func TestDepth(t *testing.T) {
+	x := build(t)
+	cases := map[string]int{"optics": 1, "fluorescence": 2, "fluores375": 3, "ghost": 0}
+	for term, want := range cases {
+		if got := x.Depth(term); got != want {
+			t.Errorf("Depth(%q) = %d, want %d", term, got, want)
+		}
+	}
+}
+
+func TestMenuCollapseExpose(t *testing.T) {
+	x := build(t)
+	full := x.Menu(0)
+	if len(full) != 8 {
+		t.Errorf("full menu = %d lines, want 8:\n%s", len(full), strings.Join(full, "\n"))
+	}
+	// Collapsed at depth 1: only the two top-level terms, with counts.
+	top := x.Menu(1)
+	if len(top) != 2 {
+		t.Fatalf("depth-1 menu = %v", top)
+	}
+	if !strings.Contains(top[0], "optics") || !strings.Contains(top[0], "(+4)") {
+		t.Errorf("collapsed line = %q, want optics (+4)", top[0])
+	}
+	// Depth 2 exposes fluorescence but collapses its children.
+	mid := x.Menu(2)
+	found := false
+	for _, line := range mid {
+		if strings.Contains(line, "fluorescence") && strings.Contains(line, "(+2)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("depth-2 menu missing collapsed fluorescence: %v", mid)
+	}
+	// Indentation encodes depth.
+	if !strings.HasPrefix(full[1], "  ") {
+		t.Errorf("second-level term not indented: %q", full[1])
+	}
+}
+
+func TestSetMultipleTaxonomies(t *testing.T) {
+	air := NewTaxonomy("air")
+	water := NewTaxonomy("water")
+	if _, err := air.AddPath("temperature"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := water.AddPath("temperature"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := water.AddPath("salinity"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet()
+	if err := s.Add(air); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(water); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(NewTaxonomy("air")); err == nil {
+		t.Error("duplicate taxonomy accepted")
+	}
+	// Table 1's source-context row: temperature occurs in both contexts.
+	ctx := s.TaxonomiesOf("temperature")
+	if len(ctx) != 2 || ctx[0] != "air" || ctx[1] != "water" {
+		t.Errorf("contexts = %v", ctx)
+	}
+	if got := s.TaxonomiesOf("salinity"); len(got) != 1 || got[0] != "water" {
+		t.Errorf("salinity contexts = %v", got)
+	}
+	if got := s.Names(); len(got) != 2 {
+		t.Errorf("Names = %v", got)
+	}
+	if _, ok := s.Get("air"); !ok {
+		t.Error("Get failed")
+	}
+}
+
+func TestQualified(t *testing.T) {
+	cases := []struct{ ctx, term, want string }{
+		{"water", "temperature", "water_temperature"},
+		{"air", "Temperature", "air_temperature"},
+		{"", "salinity", "salinity"},
+		{"near surface", "oxygen", "near_surface_oxygen"},
+	}
+	for _, c := range cases {
+		if got := Qualified(c.ctx, c.term); got != c.want {
+			t.Errorf("Qualified(%q,%q) = %q, want %q", c.ctx, c.term, got, c.want)
+		}
+	}
+}
+
+func TestGenerateNumericFamilies(t *testing.T) {
+	names := []string{"fluores375", "fluores400", "fluores440", "salinity", "temperature"}
+	x, err := Generate("vars", names, DefaultGenerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The poster's multi-level example: fluoresNNN group under "fluores".
+	kids := x.Children("fluores")
+	if len(kids) != 3 {
+		t.Fatalf("fluores children = %v", kids)
+	}
+	if p, ok := x.Parent("fluores375"); !ok || p != "fluores" {
+		t.Errorf("parent of fluores375 = %q, %v", p, ok)
+	}
+	// Loners stay top-level.
+	if d := x.Depth("salinity"); d != 1 {
+		t.Errorf("salinity depth = %d, want 1", d)
+	}
+}
+
+func TestGenerateFirstTokenFamilies(t *testing.T) {
+	names := []string{
+		"water_temperature", "water_velocity", "water_salinity",
+		"air_temperature", "air_pressure",
+		"oxygen",
+	}
+	x, err := Generate("vars", names, DefaultGenerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Children("water")) != 3 {
+		t.Errorf("water children = %v", x.Children("water"))
+	}
+	if len(x.Children("air")) != 2 {
+		t.Errorf("air children = %v", x.Children("air"))
+	}
+	if d := x.Depth("oxygen"); d != 1 {
+		t.Errorf("oxygen depth = %d", d)
+	}
+}
+
+func TestGenerateMinGroupSize(t *testing.T) {
+	names := []string{"water_temperature", "water_velocity", "air_pressure"}
+	opts := DefaultGenerateOptions()
+	opts.MinGroupSize = 3
+	x, err := Generate("vars", names, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No family reaches size 3, so everything is top level.
+	if len(x.Children("")) != 3 {
+		t.Errorf("top level = %v", x.Children(""))
+	}
+}
+
+func TestGenerateMemberEqualsParent(t *testing.T) {
+	// "fluores" itself plus numeric members: the stem node is the name.
+	names := []string{"fluores 375", "fluores 400", "fluores"}
+	x, err := Generate("vars", names, DefaultGenerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Contains("fluores") {
+		t.Fatal("stem missing")
+	}
+	if len(x.Children("fluores")) != 2 {
+		t.Errorf("children = %v", x.Children("fluores"))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	names := []string{"b_x", "b_y", "a_1", "a_2", "zeta"}
+	first, err := Generate("v", names, DefaultGenerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Generate("v", names, DefaultGenerateOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := strings.Join(first.Menu(0), "\n"), strings.Join(again.Menu(0), "\n")
+		if a != b {
+			t.Fatalf("nondeterministic generation:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+func TestGenerateDuplicatesAndBlanks(t *testing.T) {
+	names := []string{"salinity", "Salinity", "", "salinity"}
+	x, err := Generate("v", names, DefaultGenerateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Size() != 1 {
+		t.Errorf("Size = %d, want 1 (dedup + blank skip)", x.Size())
+	}
+}
+
+func BenchmarkGenerate500(b *testing.B) {
+	var names []string
+	bases := []string{"water", "air", "river", "ocean", "sensor"}
+	vars := []string{"temperature", "salinity", "velocity", "oxygen", "ph"}
+	for i := 0; i < 500; i++ {
+		names = append(names, bases[i%5]+"_"+vars[(i/5)%5]+suffix(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("bench", names, DefaultGenerateOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func suffix(i int) string {
+	if i%3 == 0 {
+		return ""
+	}
+	return "_v2"
+}

@@ -1,0 +1,155 @@
+// Package metrics provides the information-retrieval quality measures
+// the experiments report: precision/recall at k, F1, average precision,
+// and NDCG. All functions treat result lists as ranked (best first) and
+// relevance as a set of relevant item IDs.
+package metrics
+
+import "math"
+
+// All measures credit only the *first* occurrence of a relevant item:
+// a result list that repeats a relevant ID cannot inflate its score.
+
+// PrecisionAtK returns the fraction of the top-k results that are
+// relevant. k is clamped to len(ranked); an empty list scores 0.
+func PrecisionAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 || len(ranked) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	seen := make(map[string]bool, k)
+	for _, id := range ranked[:k] {
+		if relevant[id] && !seen[id] {
+			seen[id] = true
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns the fraction of relevant items found in the top-k.
+// With no relevant items the measure is undefined; this returns 1 so
+// that a query with nothing to find does not penalize an empty result.
+func RecallAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	seen := make(map[string]bool, k)
+	for _, id := range ranked[:k] {
+		if relevant[id] && !seen[id] {
+			seen[id] = true
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// F1 combines precision and recall harmonically; zero when both are zero.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// AveragePrecision returns the mean of precision@i over the ranks i where
+// a relevant item appears, divided by the number of relevant items.
+func AveragePrecision(ranked []string, relevant map[string]bool) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	hits := 0
+	sum := 0.0
+	seen := make(map[string]bool)
+	for i, id := range ranked {
+		if relevant[id] && !seen[id] {
+			seen[id] = true
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain with binary
+// relevance: DCG over the top-k divided by the ideal DCG.
+func NDCGAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	if k <= 0 {
+		return 0
+	}
+	// DCG runs over the results actually returned (at most k); the ideal
+	// is NOT clamped to the result-list length, so a short list that
+	// misses relevant items scores below 1.
+	window := k
+	if window > len(ranked) {
+		window = len(ranked)
+	}
+	dcg := 0.0
+	seen := make(map[string]bool, window)
+	for i, id := range ranked[:window] {
+		if relevant[id] && !seen[id] {
+			seen[id] = true
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	n := len(relevant)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return dcg / ideal
+}
+
+// Mean averages a slice; empty input returns 0.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// ConfusionCounts tallies a binary classification outcome.
+type ConfusionCounts struct {
+	TP, FP, FN int
+}
+
+// Precision of the confusion counts (1 when nothing was predicted).
+func (c ConfusionCounts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall of the confusion counts (1 when nothing was expected).
+func (c ConfusionCounts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 of the confusion counts.
+func (c ConfusionCounts) F1() float64 { return F1(c.Precision(), c.Recall()) }

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var rel = map[string]bool{"a": true, "b": true, "c": true}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "x", "b", "y", "c"}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3}, {5, 0.6}, {10, 0.6}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtK(ranked, rel, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P@%d = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if got := PrecisionAtK(nil, rel, 3); got != 0 {
+		t.Errorf("empty ranked P@3 = %g", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ranked := []string{"a", "x", "b", "y", "c"}
+	if got := RecallAtK(ranked, rel, 3); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("R@3 = %g", got)
+	}
+	if got := RecallAtK(ranked, rel, 5); got != 1 {
+		t.Errorf("R@5 = %g", got)
+	}
+	if got := RecallAtK(ranked, map[string]bool{}, 5); got != 1 {
+		t.Errorf("no-relevant recall = %g, want 1", got)
+	}
+	if got := RecallAtK(ranked, rel, 0); got != 0 {
+		t.Errorf("R@0 = %g", got)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if got := F1(1, 1); got != 1 {
+		t.Errorf("F1(1,1) = %g", got)
+	}
+	if got := F1(0, 0); got != 0 {
+		t.Errorf("F1(0,0) = %g", got)
+	}
+	if got := F1(0.5, 1); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("F1(0.5,1) = %g", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Perfect ranking.
+	if got := AveragePrecision([]string{"a", "b", "c"}, rel); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect AP = %g", got)
+	}
+	// a at 1 (p=1), b at 3 (p=2/3), c at 5 (p=3/5): AP = mean.
+	got := AveragePrecision([]string{"a", "x", "b", "y", "c"}, rel)
+	want := (1.0 + 2.0/3 + 3.0/5) / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AP = %g, want %g", got, want)
+	}
+	if got := AveragePrecision(nil, map[string]bool{}); got != 1 {
+		t.Errorf("empty AP = %g", got)
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	// Perfect ranking has NDCG 1.
+	if got := NDCGAtK([]string{"a", "b", "c"}, rel, 3); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect NDCG = %g", got)
+	}
+	// Reversed relevance ranks lower.
+	worse := NDCGAtK([]string{"x", "y", "a"}, rel, 3)
+	if worse >= 1 || worse <= 0 {
+		t.Errorf("degraded NDCG = %g", worse)
+	}
+	if got := NDCGAtK([]string{"x"}, rel, 0); got != 0 {
+		t.Errorf("NDCG@0 = %g", got)
+	}
+	if got := NDCGAtK([]string{"x"}, map[string]bool{}, 3); got != 1 {
+		t.Errorf("no-relevant NDCG = %g", got)
+	}
+}
+
+func TestBoundsProperties(t *testing.T) {
+	f := func(ids []string, relIdx []uint8, k uint8) bool {
+		relevant := map[string]bool{}
+		for _, i := range relIdx {
+			if len(ids) > 0 {
+				relevant[ids[int(i)%len(ids)]] = true
+			}
+		}
+		kk := int(k%20) + 1
+		for _, v := range []float64{
+			PrecisionAtK(ids, relevant, kk),
+			RecallAtK(ids, relevant, kk),
+			AveragePrecision(ids, relevant),
+			NDCGAtK(ids, relevant, kk),
+		} {
+			if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestConfusionCounts(t *testing.T) {
+	c := ConfusionCounts{TP: 8, FP: 2, FN: 2}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("precision = %g", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Errorf("recall = %g", got)
+	}
+	if got := c.F1(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("F1 = %g", got)
+	}
+	empty := ConfusionCounts{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty confusion should default to 1")
+	}
+}
+
+func TestDuplicateIDsCannotInflateScores(t *testing.T) {
+	relevant := map[string]bool{"a": true, "b": true}
+	dup := []string{"a", "a", "a", "a"}
+	if got := RecallAtK(dup, relevant, 4); got != 0.5 {
+		t.Errorf("duplicate recall = %g, want 0.5 (a counted once)", got)
+	}
+	if got := PrecisionAtK(dup, relevant, 4); got != 0.25 {
+		t.Errorf("duplicate precision = %g, want 0.25", got)
+	}
+	if got := NDCGAtK(dup, relevant, 4); got >= 1 {
+		t.Errorf("duplicate NDCG = %g, want < 1 (b never found)", got)
+	}
+	if got := AveragePrecision(dup, relevant); got != 0.5 {
+		t.Errorf("duplicate AP = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,63 @@
+package refine
+
+import (
+	"fmt"
+
+	"metamess/internal/table"
+)
+
+// FillDown copies the nearest non-blank value above into blank cells of
+// a column ("core/fill-down") — Refine's standard repair for grids where
+// a value was recorded once per group, such as unit columns in catalog
+// extracts.
+type FillDown struct {
+	Desc       string       `json:"description"`
+	Engine     EngineConfig `json:"engineConfig"`
+	ColumnName string       `json:"columnName"`
+}
+
+// OpName implements Operation.
+func (f *FillDown) OpName() string { return "core/fill-down" }
+
+// Description implements Operation.
+func (f *FillDown) Description() string {
+	if f.Desc != "" {
+		return f.Desc
+	}
+	return "Fill down column " + f.ColumnName
+}
+
+// Apply implements Operation. Facet-excluded rows neither receive fills
+// nor update the carried value, mirroring Refine's row-based engine.
+func (f *FillDown) Apply(t *table.Table) (Result, error) {
+	if _, ok := t.ColumnIndex(f.ColumnName); !ok {
+		return Result{}, fmt.Errorf("refine: fill-down: no column %q", f.ColumnName)
+	}
+	carried := ""
+	changed := 0
+	for i := 0; i < t.NumRows(); i++ {
+		sel, err := f.Engine.rowSelected(t, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("refine: fill-down: %w", err)
+		}
+		if !sel {
+			continue
+		}
+		v, err := t.Cell(i, f.ColumnName)
+		if err != nil {
+			return Result{}, err
+		}
+		if v != "" {
+			carried = v
+			continue
+		}
+		if carried == "" {
+			continue
+		}
+		if err := t.SetCell(i, f.ColumnName, carried); err != nil {
+			return Result{}, err
+		}
+		changed++
+	}
+	return Result{CellsChanged: changed}, nil
+}

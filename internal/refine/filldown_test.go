@@ -1,0 +1,134 @@
+package refine
+
+import (
+	"testing"
+
+	"metamess/internal/table"
+)
+
+func fillGrid(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("field", "unit")
+	rows := [][]string{
+		{"water_temperature", "degC"},
+		{"water_temperature", ""},
+		{"salinity", "PSU"},
+		{"salinity", ""},
+		{"salinity", ""},
+		{"oxygen", ""},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestFillDownBasic(t *testing.T) {
+	tb := fillGrid(t)
+	op := &FillDown{ColumnName: "unit"}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 4 {
+		t.Errorf("changed = %d, want 4", res.CellsChanged)
+	}
+	want := []string{"degC", "degC", "PSU", "PSU", "PSU", "PSU"}
+	for i, w := range want {
+		if got, _ := tb.Cell(i, "unit"); got != w {
+			t.Errorf("row %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestFillDownLeadingBlanksStayBlank(t *testing.T) {
+	tb := table.MustNew("unit")
+	_ = tb.AppendRow("")
+	_ = tb.AppendRow("")
+	_ = tb.AppendRow("degC")
+	_ = tb.AppendRow("")
+	op := &FillDown{ColumnName: "unit"}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 1 {
+		t.Errorf("changed = %d, want 1", res.CellsChanged)
+	}
+	if got, _ := tb.Cell(0, "unit"); got != "" {
+		t.Error("leading blank filled from nowhere")
+	}
+}
+
+func TestFillDownWithFacet(t *testing.T) {
+	tb := fillGrid(t)
+	// Only salinity rows participate; the degC carried value from the
+	// temperature rows must not leak into them.
+	op := &FillDown{
+		ColumnName: "unit",
+		Engine:     EngineConfig{Facets: []Facet{{Column: "field", Selected: []string{"salinity"}}}},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 2 {
+		t.Errorf("changed = %d, want 2", res.CellsChanged)
+	}
+	if got, _ := tb.Cell(1, "unit"); got != "" {
+		t.Error("faceted-out row filled")
+	}
+	if got, _ := tb.Cell(4, "unit"); got != "PSU" {
+		t.Errorf("salinity fill = %q", got)
+	}
+	if got, _ := tb.Cell(5, "unit"); got != "" {
+		t.Error("oxygen row filled from salinity carry")
+	}
+}
+
+func TestFillDownIdempotent(t *testing.T) {
+	tb := fillGrid(t)
+	op := &FillDown{ColumnName: "unit"}
+	if _, err := op.Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	snap := tb.Clone()
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 0 || !tb.Equal(snap) {
+		t.Error("second fill-down changed cells")
+	}
+}
+
+func TestFillDownJSONRoundTrip(t *testing.T) {
+	ops := []Operation{&FillDown{ColumnName: "unit"}}
+	data, err := ExportJSON(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].OpName() != "core/fill-down" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	tb := fillGrid(t)
+	if _, err := back[0].Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tb.Cell(1, "unit"); got != "degC" {
+		t.Errorf("replayed fill = %q", got)
+	}
+}
+
+func TestFillDownUnknownColumn(t *testing.T) {
+	tb := fillGrid(t)
+	if _, err := (&FillDown{ColumnName: "ghost"}).Apply(tb); err == nil {
+		t.Error("unknown column accepted")
+	}
+}

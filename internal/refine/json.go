@@ -1,0 +1,123 @@
+package refine
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// opEnvelope is the wire form of any operation: the "op" discriminator
+// plus the operation's own fields flattened alongside, exactly as Google
+// Refine exports operation histories.
+type opEnvelope struct {
+	Op string `json:"op"`
+	// Raw retains the full object for second-pass decoding.
+	raw json.RawMessage
+}
+
+// ExportJSON renders a rule list as indented JSON — the artifact a
+// curator audits, edits, and checks into version control.
+func ExportJSON(ops []Operation) ([]byte, error) {
+	out := make([]json.RawMessage, 0, len(ops))
+	for i, op := range ops {
+		body, err := json.Marshal(op)
+		if err != nil {
+			return nil, fmt.Errorf("refine: export op %d: %w", i, err)
+		}
+		// Splice the "op" discriminator into the object.
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("refine: export op %d: %w", i, err)
+		}
+		nameJSON, _ := json.Marshal(op.OpName())
+		m["op"] = nameJSON
+		descJSON, _ := json.Marshal(op.Description())
+		m["description"] = descJSON
+		merged, err := json.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("refine: export op %d: %w", i, err)
+		}
+		out = append(out, merged)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportJSON parses a rule list previously produced by ExportJSON (or
+// written by hand in the same format).
+func ImportJSON(data []byte) ([]Operation, error) {
+	var raws []json.RawMessage
+	if err := json.Unmarshal(data, &raws); err != nil {
+		return nil, fmt.Errorf("refine: import: %w", err)
+	}
+	ops := make([]Operation, 0, len(raws))
+	for i, raw := range raws {
+		var env struct {
+			Op string `json:"op"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return nil, fmt.Errorf("refine: import op %d: %w", i, err)
+		}
+		op, err := decodeOp(env.Op, raw)
+		if err != nil {
+			return nil, fmt.Errorf("refine: import op %d: %w", i, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func decodeOp(name string, raw json.RawMessage) (Operation, error) {
+	switch name {
+	case "core/mass-edit":
+		var op MassEdit
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		if op.Expression == "" {
+			op.Expression = "value"
+		}
+		return &op, nil
+	case "core/text-transform":
+		var op TextTransform
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		if op.OnError == "" {
+			op.OnError = KeepOriginal
+		}
+		return &op, nil
+	case "core/column-rename":
+		var op ColumnRename
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		return &op, nil
+	case "core/column-removal":
+		var op ColumnRemoval
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		return &op, nil
+	case "core/column-addition":
+		var op ColumnAddition
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		return &op, nil
+	case "core/row-removal":
+		var op RowRemoval
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		return &op, nil
+	case "core/fill-down":
+		var op FillDown
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return nil, err
+		}
+		return &op, nil
+	case "":
+		return nil, fmt.Errorf("missing \"op\" field")
+	default:
+		return nil, fmt.Errorf("unknown operation %q", name)
+	}
+}

@@ -1,0 +1,271 @@
+package refine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"metamess/internal/table"
+)
+
+// posterRule is the JSON fragment printed on the poster, as a rule list.
+const posterRule = `[
+  {   "op": "core/mass-edit",
+    "description": "Mass edit cells in column field",
+    "engineConfig": { "facets": [],
+      "mode": "row-based" },
+    "columnName": "field",
+    "expression": "value",
+    "edits": [   {
+        "fromBlank": false,
+        "fromError": false,
+        "from": [ "ATastn" ],
+        "to": "sea surface temperature"  } ]  }
+]`
+
+func TestImportPosterRule(t *testing.T) {
+	ops, err := ImportJSON([]byte(posterRule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops, want 1", len(ops))
+	}
+	me, ok := ops[0].(*MassEdit)
+	if !ok {
+		t.Fatalf("op type = %T, want *MassEdit", ops[0])
+	}
+	if me.ColumnName != "field" || me.Expression != "value" {
+		t.Errorf("decoded op = %+v", me)
+	}
+	if len(me.Edits) != 1 || me.Edits[0].From[0] != "ATastn" ||
+		me.Edits[0].To != "sea surface temperature" {
+		t.Errorf("edits = %+v", me.Edits)
+	}
+	if me.Engine.Mode != "row-based" {
+		t.Errorf("mode = %q", me.Engine.Mode)
+	}
+
+	// And it must actually work against a grid.
+	tb := table.MustNew("field")
+	_ = tb.AppendRow("ATastn")
+	res, err := me.Apply(tb)
+	if err != nil || res.CellsChanged != 1 {
+		t.Fatalf("apply: %v, changed %d", err, res.CellsChanged)
+	}
+	got, _ := tb.Cell(0, "field")
+	if got != "sea surface temperature" {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	ops := []Operation{
+		&MassEdit{
+			Desc:       "Mass edit cells in column field",
+			Engine:     EngineConfig{Mode: "row-based"},
+			ColumnName: "field",
+			Expression: "value",
+			Edits: []Edit{
+				{From: []string{"airtemp", "AirTemp"}, To: "air_temperature"},
+				{FromBlank: true, To: "unknown"},
+			},
+		},
+		&TextTransform{
+			ColumnName: "unit",
+			Expression: `value.toLowercase()`,
+			OnError:    KeepOriginal,
+			Repeat:     true, RepeatCount: 3,
+		},
+		&ColumnRename{OldName: "fld", NewName: "field"},
+		&ColumnRemoval{ColumnName: "scratch"},
+		&ColumnAddition{BaseColumn: "field", NewColumn: "fp", Expression: "value.fingerprint()"},
+		&RowRemoval{Engine: EngineConfig{Facets: []Facet{{Type: "list", Column: "field", Selected: []string{"qa_level"}}}}},
+	}
+	data, err := ExportJSON(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip count %d, want %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i].OpName() != ops[i].OpName() {
+			t.Errorf("op %d name = %q, want %q", i, back[i].OpName(), ops[i].OpName())
+		}
+	}
+	// Second export must be byte-identical: rules are stable artifacts.
+	data2, err := ExportJSON(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("export is not stable across an import/export cycle")
+	}
+}
+
+func TestExportContainsOpDiscriminator(t *testing.T) {
+	data, err := ExportJSON([]Operation{&ColumnRename{OldName: "a", NewName: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]interface{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0]["op"] != "core/column-rename" {
+		t.Errorf("op field = %v", raw[0]["op"])
+	}
+	if raw[0]["description"] == "" {
+		t.Error("description should be populated on export")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`[{"noop": true}]`,
+		`[{"op": "core/unknown-op"}]`,
+		`[{"op": "core/mass-edit", "edits": "not-a-list"}]`,
+	}
+	for _, c := range cases {
+		if _, err := ImportJSON([]byte(c)); err == nil {
+			t.Errorf("ImportJSON(%q) should fail", c)
+		}
+	}
+}
+
+func TestImportDefaults(t *testing.T) {
+	ops, err := ImportJSON([]byte(`[
+	  {"op": "core/mass-edit", "columnName": "f", "edits": []},
+	  {"op": "core/text-transform", "columnName": "f", "expression": "value"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me := ops[0].(*MassEdit); me.Expression != "value" {
+		t.Errorf("mass-edit default expression = %q, want value", me.Expression)
+	}
+	if tt := ops[1].(*TextTransform); tt.OnError != KeepOriginal {
+		t.Errorf("text-transform default onError = %q, want keep-original", tt.OnError)
+	}
+}
+
+func TestProjectHistoryUndoRedo(t *testing.T) {
+	tb := table.MustNew("field")
+	for _, v := range []string{"airtemp", "ATastn", "salinity"} {
+		_ = tb.AppendRow(v)
+	}
+	p := NewProject(tb)
+
+	op1 := &MassEdit{ColumnName: "field", Edits: []Edit{{From: []string{"airtemp"}, To: "air_temperature"}}}
+	op2 := &TextTransform{ColumnName: "field", Expression: `value.toUppercase()`}
+	if _, err := p.Apply(op1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(op2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Table().Cell(0, "field"); got != "AIR_TEMPERATURE" {
+		t.Errorf("after ops = %q", got)
+	}
+	if len(p.History()) != 2 {
+		t.Errorf("history len = %d", len(p.History()))
+	}
+	if p.TotalCellsChanged() != 4 {
+		t.Errorf("total changed = %d, want 4", p.TotalCellsChanged())
+	}
+
+	if !p.Undo() {
+		t.Fatal("undo failed")
+	}
+	if got, _ := p.Table().Cell(0, "field"); got != "air_temperature" {
+		t.Errorf("after undo = %q", got)
+	}
+	if !p.Undo() {
+		t.Fatal("second undo failed")
+	}
+	if got, _ := p.Table().Cell(0, "field"); got != "airtemp" {
+		t.Errorf("after double undo = %q", got)
+	}
+	if p.Undo() {
+		t.Error("undo on empty history should return false")
+	}
+
+	if !p.Redo() {
+		t.Fatal("redo failed")
+	}
+	if got, _ := p.Table().Cell(0, "field"); got != "air_temperature" {
+		t.Errorf("after redo = %q", got)
+	}
+	if !p.Redo() {
+		t.Fatal("second redo failed")
+	}
+	if got, _ := p.Table().Cell(0, "field"); got != "AIR_TEMPERATURE" {
+		t.Errorf("after double redo = %q", got)
+	}
+	if p.Redo() {
+		t.Error("redo with empty stack should return false")
+	}
+}
+
+func TestProjectApplyClearsRedo(t *testing.T) {
+	tb := table.MustNew("f")
+	_ = tb.AppendRow("a")
+	p := NewProject(tb)
+	_, _ = p.Apply(&MassEdit{ColumnName: "f", Edits: []Edit{{From: []string{"a"}, To: "b"}}})
+	p.Undo()
+	_, _ = p.Apply(&MassEdit{ColumnName: "f", Edits: []Edit{{From: []string{"a"}, To: "c"}}})
+	if p.Redo() {
+		t.Error("redo stack should be cleared by a new Apply")
+	}
+	if got, _ := p.Table().Cell(0, "f"); got != "c" {
+		t.Errorf("cell = %q, want c", got)
+	}
+}
+
+func TestProjectFailedOpLeavesTableIntact(t *testing.T) {
+	tb := table.MustNew("f")
+	_ = tb.AppendRow("a")
+	p := NewProject(tb)
+	before := p.Table().Clone()
+	_, err := p.Apply(&TextTransform{ColumnName: "ghost", Expression: "value"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !p.Table().Equal(before) {
+		t.Error("failed op mutated the table")
+	}
+	if len(p.History()) != 0 {
+		t.Error("failed op recorded in history")
+	}
+}
+
+func TestProjectApplyAll(t *testing.T) {
+	tb := table.MustNew("f")
+	_ = tb.AppendRow(" A ")
+	p := NewProject(tb)
+	ops := []Operation{
+		&TextTransform{ColumnName: "f", Expression: "value.trim()"},
+		&TextTransform{ColumnName: "f", Expression: "value.toLowercase()"},
+	}
+	results, err := p.ApplyAll(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if got, _ := p.Table().Cell(0, "f"); got != "a" {
+		t.Errorf("cell = %q, want a", got)
+	}
+	// A failing op mid-list stops and reports position.
+	bad := []Operation{&ColumnRemoval{ColumnName: "ghost"}}
+	if _, err := p.ApplyAll(bad); err == nil || !strings.Contains(err.Error(), "op 0") {
+		t.Errorf("ApplyAll error = %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package refine
+
+import (
+	"fmt"
+
+	"metamess/internal/table"
+)
+
+// Project couples a table with an undoable operation history, the way a
+// Google Refine project does. Operations applied through the project are
+// recorded and can be undone, redone, and exported as a JSON rule file.
+type Project struct {
+	tbl     *table.Table
+	applied []historyEntry
+	undone  []historyEntry
+}
+
+type historyEntry struct {
+	op     Operation
+	before *table.Table // snapshot for undo
+	result Result
+}
+
+// NewProject wraps a table. The project takes ownership of t.
+func NewProject(t *table.Table) *Project {
+	return &Project{tbl: t}
+}
+
+// Table returns the project's current grid.
+func (p *Project) Table() *table.Table { return p.tbl }
+
+// Apply runs op against the grid, recording it in the history. Applying a
+// new operation clears the redo stack.
+func (p *Project) Apply(op Operation) (Result, error) {
+	before := p.tbl.Clone()
+	res, err := op.Apply(p.tbl)
+	if err != nil {
+		// Restore the pre-op snapshot: failed ops must not half-apply.
+		p.tbl = before
+		return Result{}, err
+	}
+	p.applied = append(p.applied, historyEntry{op: op, before: before, result: res})
+	p.undone = nil
+	return res, nil
+}
+
+// ApplyAll runs a rule list in order, stopping at the first error.
+func (p *Project) ApplyAll(ops []Operation) ([]Result, error) {
+	results := make([]Result, 0, len(ops))
+	for i, op := range ops {
+		res, err := p.Apply(op)
+		if err != nil {
+			return results, fmt.Errorf("refine: applying op %d (%s): %w", i, op.OpName(), err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Undo reverts the most recent operation. It reports whether anything
+// was undone.
+func (p *Project) Undo() bool {
+	if len(p.applied) == 0 {
+		return false
+	}
+	last := p.applied[len(p.applied)-1]
+	p.applied = p.applied[:len(p.applied)-1]
+	redoEntry := historyEntry{op: last.op, before: p.tbl, result: last.result}
+	p.tbl = last.before
+	p.undone = append(p.undone, redoEntry)
+	return true
+}
+
+// Redo re-applies the most recently undone operation. It reports whether
+// anything was redone.
+func (p *Project) Redo() bool {
+	if len(p.undone) == 0 {
+		return false
+	}
+	last := p.undone[len(p.undone)-1]
+	p.undone = p.undone[:len(p.undone)-1]
+	undoEntry := historyEntry{op: last.op, before: p.tbl, result: last.result}
+	p.tbl = last.before
+	p.applied = append(p.applied, undoEntry)
+	return true
+}
+
+// History returns the applied operations in order.
+func (p *Project) History() []Operation {
+	ops := make([]Operation, len(p.applied))
+	for i, e := range p.applied {
+		ops[i] = e.op
+	}
+	return ops
+}
+
+// ExportHistory renders the applied operations as a JSON rule file.
+func (p *Project) ExportHistory() ([]byte, error) {
+	return ExportJSON(p.History())
+}
+
+// TotalCellsChanged sums the recorded results, for progress reporting.
+func (p *Project) TotalCellsChanged() int {
+	n := 0
+	for _, e := range p.applied {
+		n += e.result.CellsChanged
+	}
+	return n
+}

@@ -1,0 +1,438 @@
+// Package refine implements a Google-Refine-workalike transformation
+// engine over the table package's grid model: mass edits, expression
+// text transforms, column operations, row-level facet filtering, an
+// undoable operation history, and JSON rule import/export in the format
+// the poster shows ("op": "core/mass-edit", ...).
+//
+// Rules are data: a curator (or the discovery step in internal/cluster)
+// produces operations, exports them to JSON for audit, and replays them
+// against future re-scans of the archive. All operations are
+// deterministic and, for mass edits, idempotent.
+package refine
+
+import (
+	"fmt"
+
+	"metamess/internal/expr"
+	"metamess/internal/table"
+)
+
+// Operation is one replayable transformation step.
+type Operation interface {
+	// OpName returns the wire name, e.g. "core/mass-edit".
+	OpName() string
+	// Description returns the human-readable summary stored in rule files.
+	Description() string
+	// Apply mutates t in place and reports how many cells/rows changed.
+	Apply(t *table.Table) (Result, error)
+}
+
+// Result summarizes one operation application.
+type Result struct {
+	// CellsChanged counts cell mutations (or rows removed/added for
+	// row/column operations).
+	CellsChanged int
+}
+
+// EngineConfig mirrors Refine's engine configuration: the facets that
+// restrict which rows an operation touches. Mode is always "row-based".
+type EngineConfig struct {
+	Facets []Facet `json:"facets"`
+	Mode   string  `json:"mode"`
+}
+
+// Facet restricts operations to rows whose column value is in Selected.
+// An empty Selected list selects all rows (an unconstrained facet).
+type Facet struct {
+	Type     string   `json:"type"` // "list" (text facet)
+	Column   string   `json:"columnName"`
+	Selected []string `json:"selection,omitempty"`
+}
+
+// rowSelected reports whether row i passes every facet.
+func (ec EngineConfig) rowSelected(t *table.Table, i int) (bool, error) {
+	for _, f := range ec.Facets {
+		if len(f.Selected) == 0 {
+			continue
+		}
+		v, err := t.Cell(i, f.Column)
+		if err != nil {
+			return false, err
+		}
+		hit := false
+		for _, s := range f.Selected {
+			if v == s {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Edit is one from→to mapping inside a mass edit, matching the poster's
+// JSON: {"fromBlank": false, "fromError": false, "from": ["ATastn"],
+// "to": "sea surface temperature"}.
+type Edit struct {
+	FromBlank bool     `json:"fromBlank"`
+	FromError bool     `json:"fromError"`
+	From      []string `json:"from"`
+	To        string   `json:"to"`
+}
+
+// MassEdit replaces occurrences of each Edit.From value in a column with
+// Edit.To — the operation Refine's clustering UI emits and the poster's
+// example rule uses.
+type MassEdit struct {
+	Desc       string       `json:"description"`
+	Engine     EngineConfig `json:"engineConfig"`
+	ColumnName string       `json:"columnName"`
+	Expression string       `json:"expression"` // always "value" for mass edits
+	Edits      []Edit       `json:"edits"`
+}
+
+// OpName implements Operation.
+func (m *MassEdit) OpName() string { return "core/mass-edit" }
+
+// Description implements Operation.
+func (m *MassEdit) Description() string {
+	if m.Desc != "" {
+		return m.Desc
+	}
+	return fmt.Sprintf("Mass edit %d value groups in column %s", len(m.Edits), m.ColumnName)
+}
+
+// Apply implements Operation: for each selected row, if the cell matches
+// any From value (or is blank and FromBlank is set), replace it with To.
+func (m *MassEdit) Apply(t *table.Table) (Result, error) {
+	if _, ok := t.ColumnIndex(m.ColumnName); !ok {
+		return Result{}, fmt.Errorf("refine: mass-edit: no column %q", m.ColumnName)
+	}
+	lookup := make(map[string]string)
+	blankTo := ""
+	haveBlank := false
+	for _, e := range m.Edits {
+		if e.FromBlank {
+			haveBlank = true
+			blankTo = e.To
+		}
+		for _, f := range e.From {
+			lookup[f] = e.To
+		}
+	}
+	changed := 0
+	for i := 0; i < t.NumRows(); i++ {
+		ok, err := m.Engine.rowSelected(t, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("refine: mass-edit: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		v, err := t.Cell(i, m.ColumnName)
+		if err != nil {
+			return Result{}, err
+		}
+		var to string
+		var hit bool
+		if v == "" && haveBlank {
+			to, hit = blankTo, true
+		} else {
+			to, hit = lookup[v]
+		}
+		if !hit || to == v {
+			continue
+		}
+		if err := t.SetCell(i, m.ColumnName, to); err != nil {
+			return Result{}, err
+		}
+		changed++
+	}
+	return Result{CellsChanged: changed}, nil
+}
+
+// OnErrorPolicy says what a text transform does when its expression fails
+// on a cell.
+type OnErrorPolicy string
+
+// Text-transform error policies, mirroring Refine's onError field.
+const (
+	KeepOriginal OnErrorPolicy = "keep-original"
+	SetToBlank   OnErrorPolicy = "set-to-blank"
+	StoreError   OnErrorPolicy = "store-error" // stores "#ERROR: ..." in the cell
+)
+
+// TextTransform rewrites every selected cell in a column through an
+// expression ("core/text-transform").
+type TextTransform struct {
+	Desc       string        `json:"description"`
+	Engine     EngineConfig  `json:"engineConfig"`
+	ColumnName string        `json:"columnName"`
+	Expression string        `json:"expression"`
+	OnError    OnErrorPolicy `json:"onError"`
+	// Repeat re-applies the expression until the value stops changing
+	// (at most RepeatCount times), as Refine's repeat option does.
+	Repeat      bool `json:"repeat"`
+	RepeatCount int  `json:"repeatCount"`
+}
+
+// OpName implements Operation.
+func (tt *TextTransform) OpName() string { return "core/text-transform" }
+
+// Description implements Operation.
+func (tt *TextTransform) Description() string {
+	if tt.Desc != "" {
+		return tt.Desc
+	}
+	return fmt.Sprintf("Text transform on column %s: %s", tt.ColumnName, tt.Expression)
+}
+
+// Apply implements Operation.
+func (tt *TextTransform) Apply(t *table.Table) (Result, error) {
+	if _, ok := t.ColumnIndex(tt.ColumnName); !ok {
+		return Result{}, fmt.Errorf("refine: text-transform: no column %q", tt.ColumnName)
+	}
+	compiled, err := expr.Compile(tt.Expression)
+	if err != nil {
+		return Result{}, fmt.Errorf("refine: text-transform: %w", err)
+	}
+	maxRepeat := 1
+	if tt.Repeat {
+		maxRepeat = tt.RepeatCount
+		if maxRepeat < 1 {
+			maxRepeat = 10
+		}
+	}
+	cols := t.Columns()
+	changed := 0
+	for i := 0; i < t.NumRows(); i++ {
+		ok, err := tt.Engine.rowSelected(t, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("refine: text-transform: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		orig, err := t.Cell(i, tt.ColumnName)
+		if err != nil {
+			return Result{}, err
+		}
+		cur := orig
+		failed := false
+		for rep := 0; rep < maxRepeat; rep++ {
+			env := expr.Env{"value": cur, "rowIndex": float64(i)}
+			// Expose sibling cells as cells_<column> bindings.
+			for _, c := range cols {
+				v, _ := t.Cell(i, c)
+				env["cells_"+sanitizeIdent(c)] = v
+			}
+			out, err := compiled.EvalString(env)
+			if err != nil {
+				failed = true
+				switch tt.OnError {
+				case SetToBlank:
+					cur = ""
+				case StoreError:
+					cur = "#ERROR: " + err.Error()
+				default: // KeepOriginal
+					cur = orig
+				}
+				break
+			}
+			if out == cur {
+				break
+			}
+			cur = out
+		}
+		_ = failed
+		if cur != orig {
+			if err := t.SetCell(i, tt.ColumnName, cur); err != nil {
+				return Result{}, err
+			}
+			changed++
+		}
+	}
+	return Result{CellsChanged: changed}, nil
+}
+
+// sanitizeIdent maps a column name to a legal expression identifier.
+func sanitizeIdent(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// ColumnRename renames a column ("core/column-rename").
+type ColumnRename struct {
+	Desc    string `json:"description"`
+	OldName string `json:"oldColumnName"`
+	NewName string `json:"newColumnName"`
+}
+
+// OpName implements Operation.
+func (c *ColumnRename) OpName() string { return "core/column-rename" }
+
+// Description implements Operation.
+func (c *ColumnRename) Description() string {
+	if c.Desc != "" {
+		return c.Desc
+	}
+	return fmt.Sprintf("Rename column %s to %s", c.OldName, c.NewName)
+}
+
+// Apply implements Operation.
+func (c *ColumnRename) Apply(t *table.Table) (Result, error) {
+	if err := t.RenameColumn(c.OldName, c.NewName); err != nil {
+		return Result{}, fmt.Errorf("refine: column-rename: %w", err)
+	}
+	return Result{CellsChanged: t.NumRows()}, nil
+}
+
+// ColumnRemoval deletes a column ("core/column-removal").
+type ColumnRemoval struct {
+	Desc       string `json:"description"`
+	ColumnName string `json:"columnName"`
+}
+
+// OpName implements Operation.
+func (c *ColumnRemoval) OpName() string { return "core/column-removal" }
+
+// Description implements Operation.
+func (c *ColumnRemoval) Description() string {
+	if c.Desc != "" {
+		return c.Desc
+	}
+	return "Remove column " + c.ColumnName
+}
+
+// Apply implements Operation.
+func (c *ColumnRemoval) Apply(t *table.Table) (Result, error) {
+	if err := t.RemoveColumn(c.ColumnName); err != nil {
+		return Result{}, fmt.Errorf("refine: column-removal: %w", err)
+	}
+	return Result{CellsChanged: t.NumRows()}, nil
+}
+
+// ColumnAddition adds a column computed from an expression over each row
+// ("core/column-addition"). The expression sees "value" bound to the base
+// column's cell.
+type ColumnAddition struct {
+	Desc         string        `json:"description"`
+	Engine       EngineConfig  `json:"engineConfig"`
+	BaseColumn   string        `json:"baseColumnName"`
+	NewColumn    string        `json:"newColumnName"`
+	Expression   string        `json:"expression"`
+	ColumnInsert int           `json:"columnInsertIndex"`
+	OnError      OnErrorPolicy `json:"onError"`
+}
+
+// OpName implements Operation.
+func (c *ColumnAddition) OpName() string { return "core/column-addition" }
+
+// Description implements Operation.
+func (c *ColumnAddition) Description() string {
+	if c.Desc != "" {
+		return c.Desc
+	}
+	return fmt.Sprintf("Create column %s from %s with %s", c.NewColumn, c.BaseColumn, c.Expression)
+}
+
+// Apply implements Operation.
+func (c *ColumnAddition) Apply(t *table.Table) (Result, error) {
+	if _, ok := t.ColumnIndex(c.BaseColumn); !ok {
+		return Result{}, fmt.Errorf("refine: column-addition: no base column %q", c.BaseColumn)
+	}
+	compiled, err := expr.Compile(c.Expression)
+	if err != nil {
+		return Result{}, fmt.Errorf("refine: column-addition: %w", err)
+	}
+	if err := t.AddColumn(c.NewColumn); err != nil {
+		return Result{}, fmt.Errorf("refine: column-addition: %w", err)
+	}
+	changed := 0
+	for i := 0; i < t.NumRows(); i++ {
+		ok, err := c.Engine.rowSelected(t, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("refine: column-addition: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		base, err := t.Cell(i, c.BaseColumn)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := compiled.EvalString(expr.Env{"value": base, "rowIndex": float64(i)})
+		if err != nil {
+			switch c.OnError {
+			case StoreError:
+				out = "#ERROR: " + err.Error()
+			default:
+				out = ""
+			}
+		}
+		if out == "" {
+			continue
+		}
+		if err := t.SetCell(i, c.NewColumn, out); err != nil {
+			return Result{}, err
+		}
+		changed++
+	}
+	return Result{CellsChanged: changed}, nil
+}
+
+// RowRemoval removes the rows selected by the engine's facets
+// ("core/row-removal"). With no facets it removes nothing, guarding
+// against an accidental full wipe.
+type RowRemoval struct {
+	Desc   string       `json:"description"`
+	Engine EngineConfig `json:"engineConfig"`
+}
+
+// OpName implements Operation.
+func (r *RowRemoval) OpName() string { return "core/row-removal" }
+
+// Description implements Operation.
+func (r *RowRemoval) Description() string {
+	if r.Desc != "" {
+		return r.Desc
+	}
+	return "Remove rows matching facets"
+}
+
+// Apply implements Operation.
+func (r *RowRemoval) Apply(t *table.Table) (Result, error) {
+	constrained := false
+	for _, f := range r.Engine.Facets {
+		if len(f.Selected) > 0 {
+			constrained = true
+			break
+		}
+	}
+	if !constrained {
+		return Result{}, nil
+	}
+	// Selection must be computed before filtering: FilterRows compacts the
+	// backing rows in place, so reading cells mid-filter would see moved rows.
+	selected := make([]bool, t.NumRows())
+	for i := range selected {
+		sel, err := r.Engine.rowSelected(t, i)
+		if err != nil {
+			return Result{}, fmt.Errorf("refine: row-removal: %w", err)
+		}
+		selected[i] = sel
+	}
+	removed := t.FilterRows(func(i int, _ []string) bool { return !selected[i] })
+	return Result{CellsChanged: removed}, nil
+}

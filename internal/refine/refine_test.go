@@ -1,0 +1,332 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"metamess/internal/table"
+)
+
+func grid(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("field", "unit")
+	rows := [][]string{
+		{"ATastn", "C"},
+		{"air_temperatrue", "degC"},
+		{"airtemp", "C"},
+		{"salinity", "PSU"},
+		{"", "PSU"},
+		{"qa_level", ""},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestMassEditPosterExample(t *testing.T) {
+	// The poster's example rule: ATastn -> "sea surface temperature".
+	tb := grid(t)
+	op := &MassEdit{
+		Desc:       "Mass edit cells in column field",
+		Engine:     EngineConfig{Mode: "row-based"},
+		ColumnName: "field",
+		Expression: "value",
+		Edits: []Edit{
+			{From: []string{"ATastn"}, To: "sea surface temperature"},
+		},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 1 {
+		t.Errorf("CellsChanged = %d, want 1", res.CellsChanged)
+	}
+	got, _ := tb.Cell(0, "field")
+	if got != "sea surface temperature" {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+func TestMassEditMultipleFromAndBlank(t *testing.T) {
+	tb := grid(t)
+	op := &MassEdit{
+		ColumnName: "field",
+		Edits: []Edit{
+			{From: []string{"airtemp", "air_temperatrue"}, To: "air_temperature"},
+			{FromBlank: true, To: "unknown"},
+		},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 3 {
+		t.Errorf("CellsChanged = %d, want 3", res.CellsChanged)
+	}
+	for _, want := range []struct {
+		row int
+		val string
+	}{{1, "air_temperature"}, {2, "air_temperature"}, {4, "unknown"}} {
+		if got, _ := tb.Cell(want.row, "field"); got != want.val {
+			t.Errorf("row %d = %q, want %q", want.row, got, want.val)
+		}
+	}
+}
+
+func TestMassEditIdempotent(t *testing.T) {
+	tb := grid(t)
+	op := &MassEdit{
+		ColumnName: "field",
+		Edits:      []Edit{{From: []string{"airtemp"}, To: "air_temperature"}},
+	}
+	if _, err := op.Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := tb.Clone()
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 0 {
+		t.Errorf("second application changed %d cells, want 0", res.CellsChanged)
+	}
+	if !tb.Equal(snapshot) {
+		t.Error("second application mutated the table")
+	}
+}
+
+func TestMassEditUnknownColumn(t *testing.T) {
+	tb := grid(t)
+	op := &MassEdit{ColumnName: "ghost"}
+	if _, err := op.Apply(tb); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestMassEditWithFacet(t *testing.T) {
+	tb := grid(t)
+	// Only rows whose unit is "C" are selected.
+	op := &MassEdit{
+		ColumnName: "field",
+		Engine: EngineConfig{
+			Mode:   "row-based",
+			Facets: []Facet{{Type: "list", Column: "unit", Selected: []string{"C"}}},
+		},
+		Edits: []Edit{{From: []string{"ATastn", "airtemp", "salinity"}, To: "X"}},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 2 {
+		t.Errorf("CellsChanged = %d, want 2 (only unit=C rows)", res.CellsChanged)
+	}
+	if got, _ := tb.Cell(3, "field"); got != "salinity" {
+		t.Errorf("faceted-out row changed: %q", got)
+	}
+}
+
+func TestTextTransform(t *testing.T) {
+	tb := grid(t)
+	op := &TextTransform{
+		ColumnName: "field",
+		Expression: `value.toLowercase().replace("_", " ")`,
+		OnError:    KeepOriginal,
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged == 0 {
+		t.Error("expected changed cells")
+	}
+	got, _ := tb.Cell(1, "field")
+	if got != "air temperatrue" {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+func TestTextTransformRepeat(t *testing.T) {
+	tb := table.MustNew("v")
+	_ = tb.AppendRow("a__b__c")
+	op := &TextTransform{
+		ColumnName:  "v",
+		Expression:  `value.replace("__", "_")`,
+		Repeat:      true,
+		RepeatCount: 10,
+	}
+	if _, err := op.Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Cell(0, "v")
+	if got != "a_b_c" {
+		t.Errorf("repeat transform = %q, want a_b_c", got)
+	}
+}
+
+func TestTextTransformOnError(t *testing.T) {
+	tb := table.MustNew("v")
+	_ = tb.AppendRow("notanumber")
+	_ = tb.AppendRow("42")
+
+	keep := &TextTransform{ColumnName: "v", Expression: `toNumber(value) + 1`, OnError: KeepOriginal}
+	tbl := tb.Clone()
+	if _, err := keep.Apply(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tbl.Cell(0, "v"); got != "notanumber" {
+		t.Errorf("keep-original = %q", got)
+	}
+	if got, _ := tbl.Cell(1, "v"); got != "43" {
+		t.Errorf("numeric row = %q, want 43", got)
+	}
+
+	blank := &TextTransform{ColumnName: "v", Expression: `toNumber(value) + 1`, OnError: SetToBlank}
+	tbl = tb.Clone()
+	if _, err := blank.Apply(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tbl.Cell(0, "v"); got != "" {
+		t.Errorf("set-to-blank = %q", got)
+	}
+
+	store := &TextTransform{ColumnName: "v", Expression: `toNumber(value) + 1`, OnError: StoreError}
+	tbl = tb.Clone()
+	if _, err := store.Apply(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tbl.Cell(0, "v"); !strings.HasPrefix(got, "#ERROR:") {
+		t.Errorf("store-error = %q", got)
+	}
+}
+
+func TestTextTransformBadExpression(t *testing.T) {
+	tb := grid(t)
+	op := &TextTransform{ColumnName: "field", Expression: `value.`}
+	if _, err := op.Apply(tb); err == nil {
+		t.Error("bad expression should fail at Apply")
+	}
+}
+
+func TestTextTransformSiblingCells(t *testing.T) {
+	tb := table.MustNew("field", "unit")
+	_ = tb.AppendRow("temp", "degC")
+	op := &TextTransform{
+		ColumnName: "field",
+		Expression: `value + " (" + cells_unit + ")"`,
+	}
+	if _, err := op.Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Cell(0, "field")
+	if got != "temp (degC)" {
+		t.Errorf("sibling binding = %q", got)
+	}
+}
+
+func TestColumnOps(t *testing.T) {
+	tb := grid(t)
+	if _, err := (&ColumnRename{OldName: "unit", NewName: "units"}).Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.ColumnIndex("units"); !ok {
+		t.Error("rename failed")
+	}
+	if _, err := (&ColumnAddition{
+		BaseColumn: "field",
+		NewColumn:  "fp",
+		Expression: `value.fingerprint()`,
+	}).Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Cell(0, "fp")
+	if got != "atastn" {
+		t.Errorf("added column cell = %q", got)
+	}
+	if _, err := (&ColumnRemoval{ColumnName: "fp"}).Apply(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.ColumnIndex("fp"); ok {
+		t.Error("removal failed")
+	}
+	if _, err := (&ColumnRename{OldName: "ghost", NewName: "x"}).Apply(tb); err == nil {
+		t.Error("renaming unknown column should fail")
+	}
+	if _, err := (&ColumnRemoval{ColumnName: "ghost"}).Apply(tb); err == nil {
+		t.Error("removing unknown column should fail")
+	}
+	if _, err := (&ColumnAddition{BaseColumn: "ghost", NewColumn: "x", Expression: "value"}).Apply(tb); err == nil {
+		t.Error("adding from unknown base should fail")
+	}
+}
+
+func TestRowRemoval(t *testing.T) {
+	tb := grid(t)
+	op := &RowRemoval{
+		Engine: EngineConfig{Facets: []Facet{{Column: "field", Selected: []string{"qa_level"}}}},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 1 || tb.NumRows() != 5 {
+		t.Errorf("removed=%d rows=%d, want 1/5", res.CellsChanged, tb.NumRows())
+	}
+	// Unconstrained removal is a no-op, not a wipe.
+	safe := &RowRemoval{}
+	res, err = safe.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 0 || tb.NumRows() != 5 {
+		t.Error("unconstrained row removal should remove nothing")
+	}
+}
+
+func TestRowRemovalMultipleSelected(t *testing.T) {
+	tb := grid(t)
+	op := &RowRemoval{
+		Engine: EngineConfig{Facets: []Facet{{Column: "unit", Selected: []string{"C", "PSU"}}}},
+	}
+	res, err := op.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsChanged != 4 || tb.NumRows() != 2 {
+		t.Errorf("removed=%d rows=%d, want 4/2", res.CellsChanged, tb.NumRows())
+	}
+	// Remaining rows must be the degC and blank-unit rows, in order.
+	if got, _ := tb.Cell(0, "field"); got != "air_temperatrue" {
+		t.Errorf("row 0 after removal = %q", got)
+	}
+	if got, _ := tb.Cell(1, "field"); got != "qa_level" {
+		t.Errorf("row 1 after removal = %q", got)
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	ops := []Operation{
+		&MassEdit{ColumnName: "f", Edits: []Edit{{From: []string{"a"}, To: "b"}}},
+		&TextTransform{ColumnName: "f", Expression: "value"},
+		&ColumnRename{OldName: "a", NewName: "b"},
+		&ColumnRemoval{ColumnName: "a"},
+		&ColumnAddition{BaseColumn: "a", NewColumn: "b", Expression: "value"},
+		&RowRemoval{},
+	}
+	for _, op := range ops {
+		if op.Description() == "" {
+			t.Errorf("%s has empty description", op.OpName())
+		}
+		if !strings.HasPrefix(op.OpName(), "core/") {
+			t.Errorf("%s: op names follow Refine's core/ namespace", op.OpName())
+		}
+	}
+	custom := &MassEdit{Desc: "hand-written"}
+	if custom.Description() != "hand-written" {
+		t.Error("explicit description should win")
+	}
+}

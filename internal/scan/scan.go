@@ -1,0 +1,270 @@
+// Package scan implements the "scan archive" component of the wrangling
+// chain: walk configured directories, sniff each file's format, parse it
+// once, and summarize it into a catalog feature (spatial extent, temporal
+// extent, per-variable observed ranges). The poster's annotation
+// "Configure: directories, file types, naming conventions" maps onto
+// Config.
+package scan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"metamess/internal/archive"
+	"metamess/internal/catalog"
+)
+
+// Config selects what to scan.
+type Config struct {
+	// Root is the archive root directory.
+	Root string
+	// Dirs are root-relative directories to scan; empty means the whole
+	// archive. Adding a directory here is the poster's "specifying an
+	// additional directory to scan" improvement step.
+	Dirs []string
+	// Extensions whitelists file extensions (with dot); empty means the
+	// three known formats.
+	Extensions []string
+	// MaxFileBytes skips larger files (0 = no limit).
+	MaxFileBytes int64
+}
+
+// Stats summarizes one scan run.
+type Stats struct {
+	// FilesSeen counts candidate files; Parsed counts full parses;
+	// SkippedUnchanged counts incremental skips; SkippedOther counts
+	// unknown types and oversized files; Failed counts parse errors.
+	FilesSeen, Parsed, SkippedUnchanged, SkippedOther, Failed int
+	// BytesParsed totals the raw bytes of parsed files.
+	BytesParsed int64
+	// Duration is the wall-clock scan time.
+	Duration time.Duration
+}
+
+// Result carries the scan's features and per-file errors. Errors do not
+// abort the scan: an archive with some corrupt files still yields a
+// catalog for everything else.
+type Result struct {
+	Features []*catalog.Feature
+	Errors   []error
+	Stats    Stats
+}
+
+// Scanner scans archives per its config.
+type Scanner struct {
+	cfg  Config
+	exts map[string]bool
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// New returns a scanner. Extensions default to .csv/.obs/.jsonl.
+func New(cfg Config) *Scanner {
+	exts := cfg.Extensions
+	if len(exts) == 0 {
+		exts = []string{".csv", ".obs", ".jsonl"}
+	}
+	set := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		set[strings.ToLower(e)] = true
+	}
+	return &Scanner{cfg: cfg, exts: set, now: time.Now}
+}
+
+// ScanAll walks the configured directories and parses every candidate
+// file ("scan once").
+func (s *Scanner) ScanAll() (*Result, error) {
+	return s.scan(nil)
+}
+
+// ScanInto scans incrementally against an existing catalog: files whose
+// size and modification time match the stored feature are skipped, and
+// all parsed features are upserted into c. This is the poster's "running
+// & rerunning process" made cheap.
+func (s *Scanner) ScanInto(c *catalog.Catalog) (*Result, error) {
+	res, err := s.scan(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range res.Features {
+		if err := c.Upsert(f); err != nil {
+			res.Errors = append(res.Errors, err)
+			res.Stats.Failed++
+		}
+	}
+	return res, nil
+}
+
+func (s *Scanner) scan(existing *catalog.Catalog) (*Result, error) {
+	start := s.now()
+	if s.cfg.Root == "" {
+		return nil, fmt.Errorf("scan: config needs a root directory")
+	}
+	if st, err := os.Stat(s.cfg.Root); err != nil {
+		return nil, fmt.Errorf("scan: root: %w", err)
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("scan: root %q is not a directory", s.cfg.Root)
+	}
+	dirs := s.cfg.Dirs
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	res := &Result{}
+	seen := make(map[string]bool)
+	for _, dir := range dirs {
+		base := filepath.Join(s.cfg.Root, dir)
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				res.Errors = append(res.Errors, fmt.Errorf("scan: walk %s: %w", path, err))
+				res.Stats.Failed++
+				if d != nil && d.IsDir() {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if d.IsDir() {
+				return nil
+			}
+			rel, err := filepath.Rel(s.cfg.Root, path)
+			if err != nil || seen[rel] {
+				return nil
+			}
+			seen[rel] = true
+			s.scanOne(path, rel, existing, res)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scan: walk %s: %w", base, err)
+		}
+	}
+	sort.Slice(res.Features, func(i, j int) bool { return res.Features[i].ID < res.Features[j].ID })
+	res.Stats.Duration = s.now().Sub(start)
+	return res, nil
+}
+
+func (s *Scanner) scanOne(abs, rel string, existing *catalog.Catalog, res *Result) {
+	ext := strings.ToLower(filepath.Ext(rel))
+	if !s.exts[ext] {
+		return // not a candidate at all (manifest.json etc.)
+	}
+	res.Stats.FilesSeen++
+	st, err := os.Stat(abs)
+	if err != nil {
+		res.Errors = append(res.Errors, fmt.Errorf("scan: stat %s: %w", rel, err))
+		res.Stats.Failed++
+		return
+	}
+	if s.cfg.MaxFileBytes > 0 && st.Size() > s.cfg.MaxFileBytes {
+		res.Stats.SkippedOther++
+		return
+	}
+	if existing != nil {
+		if old, ok := existing.Get(catalog.IDForPath(rel)); ok {
+			if old.Bytes == st.Size() && old.ModTime.Equal(st.ModTime()) {
+				res.Stats.SkippedUnchanged++
+				return
+			}
+		}
+	}
+	f, err := s.parseFile(abs, rel)
+	if err != nil {
+		res.Errors = append(res.Errors, err)
+		res.Stats.Failed++
+		return
+	}
+	f.Bytes = st.Size()
+	f.ModTime = st.ModTime()
+	f.ScannedAt = s.now()
+	res.Features = append(res.Features, f)
+	res.Stats.Parsed++
+	res.Stats.BytesParsed += st.Size()
+}
+
+// parseFile sniffs and parses one file into a feature.
+func (s *Scanner) parseFile(abs, rel string) (*catalog.Feature, error) {
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		return nil, fmt.Errorf("scan: read %s: %w", rel, err)
+	}
+	format, ok := Sniff(rel, data)
+	if !ok {
+		return nil, fmt.Errorf("scan: %s: unrecognized format", rel)
+	}
+	var f *catalog.Feature
+	switch format {
+	case archive.FormatCSV:
+		f, err = parseCSV(rel, data)
+	case archive.FormatOBS:
+		f, err = parseOBS(rel, data)
+	case archive.FormatJSONL:
+		f, err = parseJSONL(rel, data)
+	default:
+		err = fmt.Errorf("scan: %s: no parser for format %q", rel, format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.ID = catalog.IDForPath(rel)
+	f.Path = rel
+	f.Format = string(format)
+	f.Source = sourceOf(rel)
+	sum := sha256.Sum256(data)
+	f.ContentHash = hex.EncodeToString(sum[:8])
+	return f, nil
+}
+
+// sourceOf derives the source collection from the path's first element —
+// the archive's directory naming convention.
+func sourceOf(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if i := strings.IndexByte(rel, '/'); i > 0 {
+		return rel[:i]
+	}
+	return "unknown"
+}
+
+// Sniff detects a file's format from its name and content head. The
+// extension is a hint; content wins when they disagree.
+func Sniff(path string, head []byte) (archive.Format, bool) {
+	text := string(head[:min(len(head), 512)])
+	trimmed := strings.TrimLeft(text, " \t\r\n")
+	switch {
+	case strings.HasPrefix(trimmed, "{"):
+		return archive.FormatJSONL, true
+	case strings.HasPrefix(trimmed, "#"):
+		return archive.FormatOBS, true
+	}
+	// CSV: a header line containing commas, starting with a letter.
+	if i := strings.IndexByte(trimmed, '\n'); i > 0 {
+		first := trimmed[:i]
+		if strings.Contains(first, ",") {
+			return archive.FormatCSV, true
+		}
+	} else if strings.Contains(trimmed, ",") {
+		return archive.FormatCSV, true
+	}
+	// Fall back to the extension.
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return archive.FormatCSV, true
+	case ".obs":
+		return archive.FormatOBS, true
+	case ".jsonl":
+		return archive.FormatJSONL, true
+	}
+	return "", false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,317 @@
+package scan
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"metamess/internal/archive"
+	"metamess/internal/catalog"
+)
+
+// genArchive generates a small archive and returns root + manifest.
+func genArchive(t testing.TB, n int, seed int64) (string, *archive.Manifest) {
+	t.Helper()
+	root := t.TempDir()
+	m, err := archive.Generate(root, archive.DefaultGenConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, m
+}
+
+func TestScanAllMatchesManifest(t *testing.T) {
+	root, m := genArchive(t, 12, 21)
+	res, err := New(Config{Root: root}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("scan errors: %v", res.Errors)
+	}
+	if len(res.Features) != len(m.Datasets) {
+		t.Fatalf("features = %d, want %d", len(res.Features), len(m.Datasets))
+	}
+	truth := m.ByPath()
+	for _, f := range res.Features {
+		d, ok := truth[filepath.ToSlash(f.Path)]
+		if !ok {
+			t.Fatalf("scanned unknown path %s", f.Path)
+		}
+		if f.RowCount != d.Rows {
+			t.Errorf("%s: rows %d, want %d", f.Path, f.RowCount, d.Rows)
+		}
+		if len(f.Variables) != len(d.Vars) {
+			t.Errorf("%s: vars %d, want %d", f.Path, len(f.Variables), len(d.Vars))
+			continue
+		}
+		for i, v := range f.Variables {
+			if v.RawName != d.Vars[i].Raw {
+				t.Errorf("%s var %d: raw %q, want %q", f.Path, i, v.RawName, d.Vars[i].Raw)
+			}
+			if v.Unit != d.Vars[i].Unit {
+				t.Errorf("%s var %d: unit %q, want %q", f.Path, i, v.Unit, d.Vars[i].Unit)
+			}
+			if v.Count == 0 {
+				t.Errorf("%s var %q: zero observations", f.Path, v.RawName)
+			}
+		}
+		// Extents must match the manifest to within coordinate precision:
+		// CSV/OBS files round coordinates to 5 decimals (~1m).
+		const tol = 1e-4
+		if math.Abs(f.BBox.MinLat-d.BBox.MinLat) > tol ||
+			math.Abs(f.BBox.MaxLon-d.BBox.MaxLon) > tol {
+			t.Errorf("%s: bbox %v, want ~%v", f.Path, f.BBox, d.BBox)
+		}
+		if f.Time.Start.Unix() != d.Time.Start.Unix() {
+			// OBS stores unix seconds; compare at second precision.
+			t.Errorf("%s: start %v, want %v", f.Path, f.Time.Start, d.Time.Start)
+		}
+		if f.Source != d.Source {
+			t.Errorf("%s: source %q, want %q", f.Path, f.Source, d.Source)
+		}
+		if f.Format != string(d.Format) {
+			t.Errorf("%s: format %q, want %q", f.Path, f.Format, d.Format)
+		}
+	}
+	if res.Stats.Parsed != len(m.Datasets) || res.Stats.BytesParsed == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestScanDirsRestrict(t *testing.T) {
+	root, m := genArchive(t, 12, 3)
+	res, err := New(Config{Root: root, Dirs: []string{"stations"}}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 0
+	for _, d := range m.Datasets {
+		if d.Source == "stations" {
+			wantCount++
+		}
+	}
+	if len(res.Features) != wantCount {
+		t.Errorf("features = %d, want %d (stations only)", len(res.Features), wantCount)
+	}
+	for _, f := range res.Features {
+		if f.Source != "stations" {
+			t.Errorf("scanned %s outside configured dir", f.Path)
+		}
+	}
+	// Adding a directory (curatorial improvement) widens the scan.
+	res2, err := New(Config{Root: root, Dirs: []string{"stations", "cruises"}}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Features) <= len(res.Features) {
+		t.Error("adding a directory did not find more datasets")
+	}
+}
+
+func TestScanIntoIncremental(t *testing.T) {
+	root, m := genArchive(t, 9, 17)
+	c := catalog.New()
+	sc := New(Config{Root: root})
+	res1, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.Parsed != len(m.Datasets) || c.Len() != len(m.Datasets) {
+		t.Fatalf("initial scan: %+v", res1.Stats)
+	}
+	// Re-scan with nothing changed: everything is skipped.
+	res2, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Parsed != 0 || res2.Stats.SkippedUnchanged != len(m.Datasets) {
+		t.Fatalf("incremental rescan: %+v", res2.Stats)
+	}
+	// Touch one file with new content: exactly one re-parse.
+	target := filepath.Join(root, m.Datasets[0].Path)
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(target, future, future); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Stats.Parsed != 1 || res3.Stats.SkippedUnchanged != len(m.Datasets)-1 {
+		t.Fatalf("after touch: %+v", res3.Stats)
+	}
+}
+
+func TestScanSurvivesCorruptFile(t *testing.T) {
+	root, m := genArchive(t, 6, 5)
+	bad := filepath.Join(root, "stations", "corrupt.obs")
+	if err := os.WriteFile(bad, []byte("#fields:\tx\nnot_a_number\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(Config{Root: root}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 || res.Stats.Failed != 1 {
+		t.Fatalf("errors = %v, stats = %+v", res.Errors, res.Stats)
+	}
+	if len(res.Features) != len(m.Datasets) {
+		t.Errorf("good files should still scan: %d", len(res.Features))
+	}
+}
+
+func TestScanSkipsOversizedAndUnknown(t *testing.T) {
+	root, m := genArchive(t, 3, 5)
+	// An unknown extension is ignored entirely.
+	if err := os.WriteFile(filepath.Join(root, "stations", "readme.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(Config{Root: root, MaxFileBytes: 1}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SkippedOther != len(m.Datasets) {
+		t.Errorf("oversized skip count = %d, want %d", res.Stats.SkippedOther, len(m.Datasets))
+	}
+	if len(res.Features) != 0 {
+		t.Error("oversized files were parsed")
+	}
+}
+
+func TestScanMissingRoot(t *testing.T) {
+	if _, err := New(Config{}).ScanAll(); err == nil {
+		t.Error("empty root accepted")
+	}
+	if _, err := New(Config{Root: filepath.Join(t.TempDir(), "ghost")}).ScanAll(); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	cases := []struct {
+		path string
+		head string
+		want archive.Format
+		ok   bool
+	}{
+		{"a.csv", "time,latitude,longitude,x\n1,2,3,4\n", archive.FormatCSV, true},
+		{"a.obs", "# comment\n#fields:\tx\n", archive.FormatOBS, true},
+		{"a.jsonl", `{"type":"header"}` + "\n", archive.FormatJSONL, true},
+		// Content wins over extension.
+		{"mislabeled.csv", `{"type":"header"}` + "\n", archive.FormatJSONL, true},
+		{"mislabeled.jsonl", "#station: x\n", archive.FormatOBS, true},
+		// Extension fallback when content is inconclusive.
+		{"plain.obs", "", archive.FormatOBS, true},
+		{"noidea.bin", "binarygarbage", "", false},
+	}
+	for _, c := range cases {
+		got, ok := Sniff(c.path, []byte(c.head))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Sniff(%q, %q) = %q, %v; want %q, %v", c.path, c.head, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSplitNameUnit(t *testing.T) {
+	cases := []struct{ in, name, unit string }{
+		{"water_temperature [degC]", "water_temperature", "degC"},
+		{"salinity [practical salinity units]", "salinity", "practical salinity units"},
+		{"no_unit", "no_unit", ""},
+		{"weird [bracket", "weird [bracket", ""},
+		{"[degC]", "[degC]", ""},
+		{"name [a[b]]", "name [a", "b]"},
+	}
+	for _, c := range cases {
+		name, unit := splitNameUnit(c.in)
+		if name != c.name || unit != c.unit {
+			t.Errorf("splitNameUnit(%q) = %q, %q; want %q, %q", c.in, name, unit, c.name, c.unit)
+		}
+	}
+}
+
+func TestValueRangesWithinTypical(t *testing.T) {
+	root, m := genArchive(t, 9, 23)
+	res, err := New(Config{Root: root}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.ByPath()
+	for _, f := range res.Features {
+		d := truth[filepath.ToSlash(f.Path)]
+		for i, v := range f.Variables {
+			if v.Count == 0 {
+				continue
+			}
+			if v.Range.Min > v.Range.Max {
+				t.Errorf("%s %q: inverted range %v", f.Path, v.RawName, v.Range)
+			}
+			_ = d
+			_ = i
+		}
+	}
+}
+
+func TestSourceOf(t *testing.T) {
+	if got := sourceOf("stations/2010/a.csv"); got != "stations" {
+		t.Errorf("sourceOf = %q", got)
+	}
+	if got := sourceOf("orphan.csv"); got != "unknown" {
+		t.Errorf("sourceOf root file = %q", got)
+	}
+}
+
+func TestParseErrorsAreDescriptive(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "stations")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"short.csv":      "time,latitude\n", // header too short
+		"badtime.csv":    "time,latitude,longitude,x\nnot-a-time,1,2,3\n",
+		"badcoord.csv":   "time,latitude,longitude,x\n2010-06-01T00:00:00Z,abc,2,3\n",
+		"nofields.obs":   "#lat: 1\n#lon: 2\n5 6\n",
+		"noheader.jsonl": `{"type":"obs","values":[1]}` + "\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(sub, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := New(Config{Root: root}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != len(cases) {
+		t.Fatalf("errors = %d, want %d: %v", len(res.Errors), len(cases), res.Errors)
+	}
+	for _, e := range res.Errors {
+		if !strings.Contains(e.Error(), "scan:") {
+			t.Errorf("error lacks package prefix: %v", e)
+		}
+	}
+}
+
+func BenchmarkScanArchive30(b *testing.B) {
+	root, _ := genArchive(b, 30, 99)
+	cfg := Config{Root: root}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := New(cfg).ScanAll()
+		if err != nil || len(res.Errors) > 0 {
+			b.Fatalf("%v %v", err, res.Errors)
+		}
+	}
+}

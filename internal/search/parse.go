@@ -1,0 +1,221 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"metamess/internal/geo"
+)
+
+// ParseQuery parses the textual query language of the "Data Near Here"
+// search box. The poster's example information need parses directly:
+//
+//	near 45.5,-124.4 in mid-2010 with temperature between 5 and 10
+//
+// Clauses (any order, any subset):
+//
+//	near LAT,LON                      location
+//	from YYYY-MM-DD to YYYY-MM-DD     explicit period
+//	in YYYY | in early-YYYY | in mid-YYYY | in late-YYYY
+//	with NAME [between X and Y]       variable term (repeatable)
+//	top K                             result count
+//
+// Variable names may be bare words or quoted ("sea surface temperature").
+func ParseQuery(s string) (Query, error) {
+	var q Query
+	toks, err := tokenizeQuery(s)
+	if err != nil {
+		return q, err
+	}
+	i := 0
+	next := func() (string, bool) {
+		if i >= len(toks) {
+			return "", false
+		}
+		t := toks[i]
+		i++
+		return t, true
+	}
+	peek := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		return toks[i]
+	}
+	for {
+		tok, ok := next()
+		if !ok {
+			break
+		}
+		switch strings.ToLower(tok) {
+		case "near":
+			arg, ok := next()
+			if !ok {
+				return q, fmt.Errorf("search: near needs LAT,LON")
+			}
+			p, err := parseLatLon(arg)
+			if err != nil {
+				return q, err
+			}
+			q.Location = &p
+		case "from":
+			arg, ok := next()
+			if !ok {
+				return q, fmt.Errorf("search: from needs a date")
+			}
+			start, err := parseDate(arg)
+			if err != nil {
+				return q, err
+			}
+			if kw, _ := next(); strings.ToLower(kw) != "to" {
+				return q, fmt.Errorf("search: from DATE must be followed by to DATE")
+			}
+			arg, ok = next()
+			if !ok {
+				return q, fmt.Errorf("search: to needs a date")
+			}
+			end, err := parseDate(arg)
+			if err != nil {
+				return q, err
+			}
+			tr := geo.NewTimeRange(start, end)
+			q.Time = &tr
+		case "in":
+			arg, ok := next()
+			if !ok {
+				return q, fmt.Errorf("search: in needs a year")
+			}
+			tr, err := parseYearish(arg)
+			if err != nil {
+				return q, err
+			}
+			q.Time = &tr
+		case "with":
+			name, ok := next()
+			if !ok {
+				return q, fmt.Errorf("search: with needs a variable name")
+			}
+			term := Term{Name: name}
+			if strings.ToLower(peek()) == "between" {
+				next() // consume between
+				loTok, ok1 := next()
+				andTok, ok2 := next()
+				hiTok, ok3 := next()
+				if !ok1 || !ok2 || !ok3 || strings.ToLower(andTok) != "and" {
+					return q, fmt.Errorf("search: between needs X and Y")
+				}
+				lo, err1 := strconv.ParseFloat(loTok, 64)
+				hi, err2 := strconv.ParseFloat(hiTok, 64)
+				if err1 != nil || err2 != nil {
+					return q, fmt.Errorf("search: between bounds must be numbers")
+				}
+				r := geo.NewValueRange(lo, hi)
+				term.Range = &r
+			}
+			q.Terms = append(q.Terms, term)
+		case "top":
+			arg, ok := next()
+			if !ok {
+				return q, fmt.Errorf("search: top needs a count")
+			}
+			k, err := strconv.Atoi(arg)
+			if err != nil || k <= 0 {
+				return q, fmt.Errorf("search: bad top count %q", arg)
+			}
+			q.K = k
+		case "and": // connective noise between clauses is allowed
+		default:
+			return q, fmt.Errorf("search: unexpected token %q", tok)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// tokenizeQuery splits on whitespace, honouring double-quoted phrases.
+func tokenizeQuery(s string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '"':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t' || r == '\n'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("search: unterminated quote")
+	}
+	flush()
+	return toks, nil
+}
+
+func parseLatLon(s string) (geo.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geo.Point{}, fmt.Errorf("search: location %q must be LAT,LON", s)
+	}
+	lat, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		return geo.Point{}, fmt.Errorf("search: bad coordinates %q", s)
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if !p.Valid() {
+		return geo.Point{}, fmt.Errorf("search: coordinates %q out of range", s)
+	}
+	return p, nil
+}
+
+func parseDate(s string) (time.Time, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("search: bad date %q (want YYYY-MM-DD)", s)
+	}
+	return t, nil
+}
+
+// parseYearish handles "2010", "early-2010", "mid-2010", "late-2010".
+func parseYearish(s string) (geo.TimeRange, error) {
+	part := ""
+	yearStr := s
+	if i := strings.IndexByte(s, '-'); i > 0 {
+		part, yearStr = strings.ToLower(s[:i]), s[i+1:]
+	}
+	year, err := strconv.Atoi(yearStr)
+	if err != nil || year < 1800 || year > 3000 {
+		return geo.TimeRange{}, fmt.Errorf("search: bad year %q", s)
+	}
+	month := func(m time.Month, day int) time.Time {
+		return time.Date(year, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	switch part {
+	case "":
+		return geo.NewTimeRange(month(time.January, 1), month(time.December, 31)), nil
+	case "early":
+		return geo.NewTimeRange(month(time.January, 1), month(time.April, 30)), nil
+	case "mid":
+		return geo.NewTimeRange(month(time.May, 1), month(time.August, 31)), nil
+	case "late":
+		return geo.NewTimeRange(month(time.September, 1), month(time.December, 31)), nil
+	default:
+		return geo.TimeRange{}, fmt.Errorf("search: unknown year qualifier %q", part)
+	}
+}

@@ -1,0 +1,414 @@
+// Package search implements the "Data Near Here" ranked search the
+// poster's IR architecture serves: queries name a location, a time
+// period, and variables (optionally with desired value ranges), and
+// datasets are ranked by distance-based similarity of their catalog
+// features to the query terms. Searches run over the published metadata
+// catalog only — never over the raw data.
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/geo"
+)
+
+// Term is one variable query term, optionally constrained to a value
+// range ("temperature between 5-10C").
+type Term struct {
+	Name  string
+	Range *geo.ValueRange
+}
+
+// Query is a ranked-search request. Any subset of the dimensions may be
+// present; scoring averages over the dimensions the query uses.
+type Query struct {
+	// Location scores datasets by distance from a point ("near here").
+	Location *geo.Point
+	// Region scores datasets by distance from a box; ignored when
+	// Location is set.
+	Region *geo.BBox
+	// Time scores datasets by temporal gap from the range.
+	Time *geo.TimeRange
+	// Terms scores datasets by variable presence and range fit.
+	Terms []Term
+	// K caps the result count (default 10).
+	K int
+}
+
+// Validate rejects structurally bad queries.
+func (q Query) Validate() error {
+	if q.Location == nil && q.Region == nil && q.Time == nil && len(q.Terms) == 0 {
+		return fmt.Errorf("search: empty query")
+	}
+	if q.Location != nil && !q.Location.Valid() {
+		return fmt.Errorf("search: invalid location %v", *q.Location)
+	}
+	if q.Region != nil && !q.Region.Valid() {
+		return fmt.Errorf("search: invalid region %v", *q.Region)
+	}
+	if q.Time != nil && !q.Time.Valid() {
+		return fmt.Errorf("search: invalid time range")
+	}
+	for i, t := range q.Terms {
+		if t.Name == "" {
+			return fmt.Errorf("search: term %d has no name", i)
+		}
+	}
+	return nil
+}
+
+// Weights balances the query dimensions; zero values default to 1.
+type Weights struct {
+	Space, Time, Variables float64
+}
+
+func (w Weights) normalized() Weights {
+	if w.Space <= 0 {
+		w.Space = 1
+	}
+	if w.Time <= 0 {
+		w.Time = 1
+	}
+	if w.Variables <= 0 {
+		w.Variables = 1
+	}
+	return w
+}
+
+// Options tunes the searcher.
+type Options struct {
+	// Weights balances space/time/variable scores.
+	Weights Weights
+	// SpaceScaleKm is the distance at which the space score halves.
+	// Default 25 km (estuary scale).
+	SpaceScaleKm float64
+	// TimeScale is the gap at which the time score halves. Default 30 days.
+	TimeScale time.Duration
+	// UseIndex prunes candidates through the variable-name index when the
+	// query has terms. Disable for the linear-scan ablation.
+	UseIndex bool
+	// Expander rewrites query terms (synonyms, abbreviations, context
+	// qualification). Nil means exact matching only.
+	Expander Expander
+	// ParentWeight scores a variable whose hierarchy parent matches the
+	// query term ("fluorescence" finding fluores375). Default 0.8.
+	ParentWeight float64
+}
+
+// DefaultOptions returns the searcher defaults.
+func DefaultOptions() Options {
+	return Options{
+		SpaceScaleKm: 25,
+		TimeScale:    30 * 24 * time.Hour,
+		UseIndex:     true,
+		ParentWeight: 0.8,
+	}
+}
+
+// Expansion is one rewrite of a query term.
+type Expansion struct {
+	Name   string
+	Weight float64
+}
+
+// Expander rewrites a query term into catalog variable names.
+type Expander interface {
+	Expand(term string) []Expansion
+}
+
+// TermScore explains how one query term scored against a dataset.
+type TermScore struct {
+	Term      string  `json:"term"`
+	Score     float64 `json:"score"`
+	MatchedAs string  `json:"matchedAs,omitempty"`
+}
+
+// Result is one ranked hit.
+type Result struct {
+	Feature *catalog.Feature `json:"feature"`
+	// Score is the overall similarity in [0,1].
+	Score float64 `json:"score"`
+	// Space, Time, and Vars are the per-dimension scores (NaN-free; 1 when
+	// the query does not use the dimension).
+	Space, Time, Vars float64     `json:"-"`
+	TermScores        []TermScore `json:"termScores,omitempty"`
+}
+
+// Searcher ranks catalog features against queries.
+type Searcher struct {
+	cat  *catalog.Catalog
+	opts Options
+}
+
+// New returns a searcher over the catalog. Zero-valued option fields are
+// filled with defaults.
+func New(cat *catalog.Catalog, opts Options) *Searcher {
+	def := DefaultOptions()
+	if opts.SpaceScaleKm <= 0 {
+		opts.SpaceScaleKm = def.SpaceScaleKm
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = def.TimeScale
+	}
+	if opts.ParentWeight <= 0 {
+		opts.ParentWeight = def.ParentWeight
+	}
+	opts.Weights = opts.Weights.normalized()
+	return &Searcher{cat: cat, opts: opts}
+}
+
+// Search returns the top-K datasets by similarity to the query. Results
+// are exact: when index pruning is on, the searcher scores the index
+// candidates first and only widens to a full scan if a dataset matching
+// no variable term could still reach the top K (its score is bounded
+// because its variable dimension contributes zero).
+func (s *Searcher) Search(q Query) ([]Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	k := q.K
+	if k <= 0 {
+		k = 10
+	}
+	expanded := s.expandTerms(q.Terms)
+
+	if s.opts.UseIndex && len(expanded) > 0 {
+		candidateIDs := s.candidateIDs(expanded)
+		results := s.scoreIDs(candidateIDs, q, expanded)
+		rank(results)
+		if len(results) >= k && results[k-1].Score > s.nonCandidateBound(q) {
+			return results[:k], nil
+		}
+		// Widen: score every non-candidate too.
+		rest := s.scoreAllExcept(candidateIDs, q, expanded)
+		results = append(results, rest...)
+		rank(results)
+		if len(results) > k {
+			results = results[:k]
+		}
+		return results, nil
+	}
+
+	var results []Result
+	for _, f := range s.cat.All() {
+		r := s.score(f, q, expanded)
+		if r.Score > 0 {
+			results = append(results, r)
+		}
+	}
+	rank(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}
+
+func rank(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Feature.ID < results[j].Feature.ID
+	})
+}
+
+// nonCandidateBound is the best total score a dataset matching no
+// variable term can achieve: perfect space and time, zero variables.
+func (s *Searcher) nonCandidateBound(q Query) float64 {
+	w := s.opts.Weights
+	total := w.Variables
+	best := 0.0
+	if q.Location != nil || q.Region != nil {
+		total += w.Space
+		best += w.Space
+	}
+	if q.Time != nil {
+		total += w.Time
+		best += w.Time
+	}
+	return best / total
+}
+
+// candidateIDs unions the variable-name and hierarchy-parent indexes over
+// all term expansions.
+func (s *Searcher) candidateIDs(expanded []expandedTerm) map[string]bool {
+	ids := make(map[string]bool)
+	for _, et := range expanded {
+		for _, exp := range et.expansions {
+			for _, id := range s.cat.DatasetsWithVariable(exp.Name) {
+				ids[id] = true
+			}
+		}
+		for _, id := range s.cat.DatasetsWithParent(et.term.Name) {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+func (s *Searcher) scoreIDs(ids map[string]bool, q Query, expanded []expandedTerm) []Result {
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	var out []Result
+	for _, id := range sorted {
+		f, ok := s.cat.Get(id)
+		if !ok {
+			continue
+		}
+		if r := s.score(f, q, expanded); r.Score > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (s *Searcher) scoreAllExcept(skip map[string]bool, q Query, expanded []expandedTerm) []Result {
+	var out []Result
+	for _, f := range s.cat.All() {
+		if skip[f.ID] {
+			continue
+		}
+		if r := s.score(f, q, expanded); r.Score > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// expandedTerm carries a term with its rewrites.
+type expandedTerm struct {
+	term       Term
+	expansions []Expansion
+}
+
+func (s *Searcher) expandTerms(terms []Term) []expandedTerm {
+	out := make([]expandedTerm, len(terms))
+	for i, t := range terms {
+		exps := []Expansion{{Name: t.Name, Weight: 1}}
+		if s.opts.Expander != nil {
+			if e := s.opts.Expander.Expand(t.Name); len(e) > 0 {
+				exps = e
+			}
+		}
+		out[i] = expandedTerm{term: t, expansions: exps}
+	}
+	return out
+}
+
+// score computes the distance-based similarity of one feature.
+func (s *Searcher) score(f *catalog.Feature, q Query, expanded []expandedTerm) Result {
+	r := Result{Feature: f, Space: 1, Time: 1, Vars: 1}
+	w := s.opts.Weights
+	totalWeight := 0.0
+	total := 0.0
+
+	if q.Location != nil || q.Region != nil {
+		var distKm float64
+		if q.Location != nil {
+			distKm = f.BBox.DistanceKm(*q.Location)
+		} else {
+			distKm = f.BBox.DistanceToBoxKm(*q.Region)
+		}
+		r.Space = decay(distKm, s.opts.SpaceScaleKm)
+		total += w.Space * r.Space
+		totalWeight += w.Space
+	}
+	if q.Time != nil {
+		gap := f.Time.Distance(*q.Time)
+		r.Time = decay(float64(gap), float64(s.opts.TimeScale))
+		total += w.Time * r.Time
+		totalWeight += w.Time
+	}
+	if len(expanded) > 0 {
+		sum := 0.0
+		for _, et := range expanded {
+			ts := s.scoreTerm(f, et)
+			r.TermScores = append(r.TermScores, ts)
+			sum += ts.Score
+		}
+		r.Vars = sum / float64(len(expanded))
+		total += w.Variables * r.Vars
+		totalWeight += w.Variables
+	}
+	if totalWeight == 0 {
+		return r
+	}
+	r.Score = total / totalWeight
+	return r
+}
+
+// scoreTerm scores one query term against a feature: the best expansion
+// match (by name or hierarchy parent), degraded by value-range fit.
+func (s *Searcher) scoreTerm(f *catalog.Feature, et expandedTerm) TermScore {
+	best := TermScore{Term: et.term.Name}
+	consider := func(v catalog.VarFeature, weight float64, label string) {
+		if v.Excluded {
+			return
+		}
+		score := weight
+		if et.term.Range != nil && v.Count > 0 {
+			score *= rangeFit(*et.term.Range, v.Range)
+		}
+		if score > best.Score {
+			best.Score = score
+			best.MatchedAs = label
+		}
+	}
+	for _, exp := range et.expansions {
+		if v, ok := f.Variable(exp.Name); ok {
+			consider(v, exp.Weight, exp.Name)
+		}
+	}
+	// Hierarchy-parent match: querying the parent concept finds members.
+	for _, v := range f.Variables {
+		if v.Parent != "" && v.Parent == et.term.Name {
+			consider(v, s.opts.ParentWeight, v.Name+" (child of "+v.Parent+")")
+		}
+	}
+	return best
+}
+
+// rangeFit maps the relationship between the queried range and the
+// observed range into (0,1]: 1 when the observed range covers the query,
+// the overlap fraction when they intersect, and a distance decay when
+// disjoint.
+func rangeFit(query, observed geo.ValueRange) float64 {
+	if query.Width() <= 0 {
+		// Point query: containment or distance decay.
+		if observed.Contains(query.Min) {
+			return 1
+		}
+		scale := observed.Width()
+		if scale <= 0 {
+			scale = math.Abs(query.Min)
+			if scale == 0 {
+				scale = 1
+			}
+		}
+		return decay(observed.Distance(query), scale)
+	}
+	if observed.Overlaps(query) {
+		interMin := math.Max(query.Min, observed.Min)
+		interMax := math.Min(query.Max, observed.Max)
+		return (interMax - interMin) / query.Width()
+	}
+	return 0.5 * decay(observed.Distance(query), query.Width())
+}
+
+// decay maps a non-negative distance to (0,1] with half-life scale.
+func decay(dist, scale float64) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	if scale <= 0 {
+		return 0
+	}
+	return 1 / (1 + dist/scale)
+}

@@ -1,0 +1,121 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"metamess/internal/catalog"
+)
+
+// Summary is the structured form of the poster's "dataset summary page":
+// everything the catalog knows about one dataset, rendered from metadata
+// alone (the raw data is never touched).
+type Summary struct {
+	Path       string
+	Source     string
+	Format     string
+	BBox       string
+	TimeRange  string
+	RowCount   int
+	Bytes      int64
+	Searchable []SummaryVar
+	Excluded   []SummaryVar
+}
+
+// SummaryVar is one variable line on the summary page.
+type SummaryVar struct {
+	Name     string
+	RawName  string
+	Unit     string
+	Range    string
+	Count    int
+	Contexts []string
+	Parent   string
+}
+
+// Summarize builds the summary for a feature.
+func Summarize(f *catalog.Feature) Summary {
+	s := Summary{
+		Path:     f.Path,
+		Source:   f.Source,
+		Format:   f.Format,
+		BBox:     f.BBox.String(),
+		RowCount: f.RowCount,
+		Bytes:    f.Bytes,
+	}
+	if f.Time.Valid() {
+		s.TimeRange = f.Time.Start.UTC().Format(time.RFC3339) + " .. " + f.Time.End.UTC().Format(time.RFC3339)
+	}
+	for _, v := range f.Variables {
+		unit := v.CanonicalUnit
+		if unit == "" {
+			unit = v.Unit
+		}
+		sv := SummaryVar{
+			Name:     v.Name,
+			RawName:  v.RawName,
+			Unit:     unit,
+			Count:    v.Count,
+			Contexts: v.Contexts,
+			Parent:   v.Parent,
+		}
+		if v.Count > 0 {
+			sv.Range = fmt.Sprintf("%.3g .. %.3g", v.Range.Min, v.Range.Max)
+		}
+		if v.Excluded {
+			s.Excluded = append(s.Excluded, sv)
+		} else {
+			s.Searchable = append(s.Searchable, sv)
+		}
+	}
+	sort.Slice(s.Searchable, func(i, j int) bool { return s.Searchable[i].Name < s.Searchable[j].Name })
+	sort.Slice(s.Excluded, func(i, j int) bool { return s.Excluded[i].Name < s.Excluded[j].Name })
+	return s
+}
+
+// Render formats the summary as the text "page" the CLIs print.
+func (s Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dataset: %s\n", s.Path)
+	fmt.Fprintf(&b, "Source:  %s (%s), %d rows, %d bytes\n", s.Source, s.Format, s.RowCount, s.Bytes)
+	fmt.Fprintf(&b, "Extent:  %s\n", s.BBox)
+	if s.TimeRange != "" {
+		fmt.Fprintf(&b, "Time:    %s\n", s.TimeRange)
+	}
+	fmt.Fprintf(&b, "Variables (%d searchable, %d excluded):\n", len(s.Searchable), len(s.Excluded))
+	for _, v := range s.Searchable {
+		b.WriteString("  " + formatVarLine(v, false) + "\n")
+	}
+	for _, v := range s.Excluded {
+		b.WriteString("  " + formatVarLine(v, true) + "\n")
+	}
+	return b.String()
+}
+
+func formatVarLine(v SummaryVar, excluded bool) string {
+	var b strings.Builder
+	b.WriteString(v.Name)
+	if v.Unit != "" {
+		fmt.Fprintf(&b, " [%s]", v.Unit)
+	}
+	if v.Range != "" {
+		fmt.Fprintf(&b, "  %s", v.Range)
+	}
+	fmt.Fprintf(&b, "  (%d obs", v.Count)
+	if v.RawName != v.Name {
+		fmt.Fprintf(&b, ", raw: %s", v.RawName)
+	}
+	b.WriteString(")")
+	if len(v.Contexts) > 0 {
+		fmt.Fprintf(&b, " contexts: %s", strings.Join(v.Contexts, ","))
+	}
+	if v.Parent != "" {
+		fmt.Fprintf(&b, " under: %s", v.Parent)
+	}
+	if excluded {
+		b.WriteString(" [excluded from search]")
+	}
+	return b.String()
+}

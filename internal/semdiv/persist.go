@@ -1,0 +1,103 @@
+package semdiv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"metamess/internal/synonym"
+	"metamess/internal/vocab"
+)
+
+// knowledgeFile is the on-disk form of the curated knowledge base, so a
+// curator's accumulated work (synonyms, abbreviations, ambiguity rulings)
+// survives across sessions and ships with the process config.
+type knowledgeFile struct {
+	Version int `json:"version"`
+	// Synonyms maps preferred names to alternates.
+	Synonyms map[string][]string `json:"synonyms"`
+	// Abbrevs maps abbreviation forms to canonical names.
+	Abbrevs map[string]string `json:"abbrevs"`
+	// ExcessivePrefixes and ExcessiveSuffixes mark bookkeeping names.
+	ExcessivePrefixes []string `json:"excessivePrefixes"`
+	ExcessiveSuffixes []string `json:"excessiveSuffixes"`
+	// Ambiguous maps short forms to candidate expansions.
+	Ambiguous map[string][]string `json:"ambiguous"`
+}
+
+// SaveKnowledge persists the mutable, curator-owned parts of the
+// knowledge base (the vocabulary itself is code, not curation).
+func SaveKnowledge(k *Knowledge, path string) error {
+	kf := knowledgeFile{
+		Version:           1,
+		Synonyms:          make(map[string][]string),
+		Abbrevs:           make(map[string]string),
+		ExcessivePrefixes: k.ExcessivePrefixes,
+		ExcessiveSuffixes: k.ExcessiveSuffixes,
+		Ambiguous:         k.Ambiguous,
+	}
+	for _, pref := range k.Synonyms.PreferredNames() {
+		kf.Synonyms[pref] = k.Synonyms.AlternatesOf(pref)
+	}
+	for ab, canon := range k.Abbrevs {
+		kf.Abbrevs[ab] = canon
+	}
+	data, err := json.MarshalIndent(kf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("semdiv: encode knowledge: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("semdiv: write knowledge: %w", err)
+	}
+	return nil
+}
+
+// LoadKnowledge rebuilds a knowledge base from a saved file plus the
+// canonical vocabulary (which always comes from code). Saved curation is
+// merged over the vocabulary-derived seed, so a curator's file only
+// needs their additions.
+func LoadKnowledge(path string, vars []vocab.Variable) (*Knowledge, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("semdiv: read knowledge: %w", err)
+	}
+	var kf knowledgeFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, fmt.Errorf("semdiv: decode knowledge: %w", err)
+	}
+	if kf.Version != 1 {
+		return nil, fmt.Errorf("semdiv: unsupported knowledge version %d", kf.Version)
+	}
+	k, err := NewKnowledge(vars)
+	if err != nil {
+		return nil, err
+	}
+	saved := synonym.NewTable()
+	prefs := make([]string, 0, len(kf.Synonyms))
+	for p := range kf.Synonyms {
+		prefs = append(prefs, p)
+	}
+	sort.Strings(prefs)
+	for _, p := range prefs {
+		if err := saved.Add(p, kf.Synonyms[p]...); err != nil {
+			return nil, fmt.Errorf("semdiv: saved synonym %q: %w", p, err)
+		}
+	}
+	if err := k.Synonyms.Merge(saved); err != nil {
+		return nil, fmt.Errorf("semdiv: merge saved synonyms: %w", err)
+	}
+	for ab, canon := range kf.Abbrevs {
+		k.Abbrevs[normKey(ab)] = canon
+	}
+	if len(kf.ExcessivePrefixes) > 0 {
+		k.ExcessivePrefixes = kf.ExcessivePrefixes
+	}
+	if len(kf.ExcessiveSuffixes) > 0 {
+		k.ExcessiveSuffixes = kf.ExcessiveSuffixes
+	}
+	for short, cands := range kf.Ambiguous {
+		k.Ambiguous[short] = cands
+	}
+	return k, nil
+}

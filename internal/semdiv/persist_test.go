@@ -1,0 +1,87 @@
+package semdiv
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metamess/internal/vocab"
+)
+
+func TestKnowledgeSaveLoadRoundTrip(t *testing.T) {
+	k, err := NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curated additions beyond the vocabulary seed.
+	if err := k.Synonyms.Add("water_temperature", "exotic_wtemp_v9"); err != nil {
+		t.Fatal(err)
+	}
+	k.Abbrevs["xwt"] = "water_temperature"
+	k.Ambiguous["vel"] = []string{"water_velocity", "velocity_flag"}
+
+	path := filepath.Join(t.TempDir(), "knowledge.json")
+	if err := SaveKnowledge(k, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadKnowledge(path, vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Synonyms.Covers("exotic_wtemp_v9") {
+		t.Error("curated synonym lost")
+	}
+	if back.Abbrevs["xwt"] != "water_temperature" {
+		t.Errorf("curated abbrev = %q", back.Abbrevs["xwt"])
+	}
+	if len(back.Ambiguous["vel"]) != 2 {
+		t.Errorf("curated ambiguity = %v", back.Ambiguous["vel"])
+	}
+	// Vocabulary-derived seed still present.
+	if !back.Synonyms.Covers("airtemp") {
+		t.Error("seed synonym lost")
+	}
+	if len(back.Contexts.Names()) < 2 {
+		t.Error("contexts not rebuilt")
+	}
+
+	// The loaded knowledge classifies like the original.
+	a, b := NewClassifier(k), NewClassifier(back)
+	for _, name := range []string{"exotic_wtemp_v9", "xwt", "airtemp", "qa_level", "temp"} {
+		fa, fb := a.Classify(name), b.Classify(name)
+		if fa.Category != fb.Category || fa.Canonical != fb.Canonical {
+			t.Errorf("classification of %q diverged: %s/%s vs %s/%s",
+				name, fa.Category, fa.Canonical, fb.Category, fb.Canonical)
+		}
+	}
+}
+
+func TestLoadKnowledgeErrors(t *testing.T) {
+	if _, err := LoadKnowledge(filepath.Join(t.TempDir(), "ghost.json"), vocab.Standard()); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKnowledge(bad, vocab.Standard()); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	wrongVersion := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKnowledge(wrongVersion, vocab.Standard()); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestSaveKnowledgeUnwritablePath(t *testing.T) {
+	k, err := NewKnowledge(vocab.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKnowledge(k, filepath.Join(t.TempDir(), "no", "such", "dir", "k.json")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

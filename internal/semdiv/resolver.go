@@ -1,0 +1,166 @@
+package semdiv
+
+import (
+	"fmt"
+	"sort"
+
+	"metamess/internal/refine"
+)
+
+// Plan is the resolver's output: the concrete actions that implement
+// Table 1's "possible technical approach" column for a batch of findings.
+type Plan struct {
+	// Translations maps each raw name to its desired name (minor
+	// variations, synonyms, abbreviations, single-context bases).
+	Translations map[string]string
+	// Exclusions lists raw names to mark as excluded from search but kept
+	// for detailed dataset views (excessive variables).
+	Exclusions []string
+	// CuratorQueue lists findings that need a human decision: ambiguous
+	// usages and unknown names.
+	CuratorQueue []Finding
+	// ContextLinks maps a base concept to the contexts it occurs in;
+	// search exposes these as taxonomy links.
+	ContextLinks map[string][]string
+	// Groups maps a hierarchy parent to the raw names grouped below it
+	// (multi-level concepts).
+	Groups map[string][]string
+}
+
+// Resolve turns findings into a plan, applying each category's approach.
+func Resolve(findings []Finding) *Plan {
+	p := &Plan{
+		Translations: make(map[string]string),
+		ContextLinks: make(map[string][]string),
+		Groups:       make(map[string][]string),
+	}
+	for _, f := range findings {
+		switch f.Category {
+		case CatMinorVariation, CatSynonym, CatAbbreviation:
+			if f.Canonical != "" && f.Canonical != f.RawName {
+				p.Translations[f.RawName] = f.Canonical
+			}
+		case CatExcessive:
+			p.Exclusions = append(p.Exclusions, f.RawName)
+		case CatAmbiguous, CatUnknown:
+			p.CuratorQueue = append(p.CuratorQueue, f)
+		case CatSourceContext:
+			if _, dup := p.ContextLinks[f.RawName]; !dup {
+				p.ContextLinks[f.RawName] = append([]string(nil), f.Contexts...)
+			}
+			// Ambiguous across contexts: also needs curator attention.
+			p.CuratorQueue = append(p.CuratorQueue, f)
+		case CatMultiLevel:
+			if f.GroupParent != "" {
+				p.Groups[f.GroupParent] = append(p.Groups[f.GroupParent], f.RawName)
+			}
+		case CatClean:
+			// Nothing to do.
+		}
+	}
+	sort.Strings(p.Exclusions)
+	for parent := range p.Groups {
+		sort.Strings(p.Groups[parent])
+	}
+	return p
+}
+
+// TranslationOp renders the plan's translations as a single mass-edit
+// rule over the given column, grouped by target name for auditability.
+// Returns nil when there is nothing to translate.
+func (p *Plan) TranslationOp(column string) *refine.MassEdit {
+	if len(p.Translations) == 0 {
+		return nil
+	}
+	byTarget := make(map[string][]string)
+	for raw, canon := range p.Translations {
+		byTarget[canon] = append(byTarget[canon], raw)
+	}
+	targets := make([]string, 0, len(byTarget))
+	for t := range byTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	var edits []refine.Edit
+	for _, t := range targets {
+		from := byTarget[t]
+		sort.Strings(from)
+		edits = append(edits, refine.Edit{From: from, To: t})
+	}
+	return &refine.MassEdit{
+		Desc:       fmt.Sprintf("Resolve %d semantic-diversity findings in column %s", len(p.Translations), column),
+		Engine:     refine.EngineConfig{Mode: "row-based"},
+		ColumnName: column,
+		Expression: "value",
+		Edits:      edits,
+	}
+}
+
+// DecisionAction is a curator's ruling on an ambiguous name, matching
+// Table 1: clarify where possible, hide the variable, or leave as is.
+type DecisionAction int
+
+// Curator decision actions.
+const (
+	LeaveAsIs DecisionAction = iota
+	ClarifyTo
+	Hide
+)
+
+// Decision records one curator ruling.
+type Decision struct {
+	RawName string
+	Action  DecisionAction
+	// Target is the clarified canonical name when Action is ClarifyTo.
+	Target string
+}
+
+// ApplyDecisions folds curator decisions into the plan: clarifications
+// become translations, hides become exclusions, leaves drop off the
+// queue. Unresolved queue entries remain queued. Unknown raw names are
+// rejected so typos in a decision file surface.
+func (p *Plan) ApplyDecisions(decisions []Decision) error {
+	queued := make(map[string]int, len(p.CuratorQueue))
+	for i, f := range p.CuratorQueue {
+		queued[f.RawName] = i
+	}
+	resolved := make(map[string]bool)
+	for _, d := range decisions {
+		if _, ok := queued[d.RawName]; !ok {
+			return fmt.Errorf("semdiv: decision for %q, which is not in the curator queue", d.RawName)
+		}
+		switch d.Action {
+		case ClarifyTo:
+			if d.Target == "" {
+				return fmt.Errorf("semdiv: clarify decision for %q needs a target", d.RawName)
+			}
+			p.Translations[d.RawName] = d.Target
+		case Hide:
+			p.Exclusions = append(p.Exclusions, d.RawName)
+		case LeaveAsIs:
+			// Drop from queue without further action.
+		default:
+			return fmt.Errorf("semdiv: unknown decision action %d for %q", d.Action, d.RawName)
+		}
+		resolved[d.RawName] = true
+	}
+	var remaining []Finding
+	for _, f := range p.CuratorQueue {
+		if !resolved[f.RawName] {
+			remaining = append(remaining, f)
+		}
+	}
+	p.CuratorQueue = remaining
+	sort.Strings(p.Exclusions)
+	return nil
+}
+
+// Summary tallies findings by category — the row counts of a regenerated
+// Table 1.
+func Summary(findings []Finding) map[Category]int {
+	out := make(map[Category]int)
+	for _, f := range findings {
+		out[f.Category]++
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package strdist implements the string distance and similarity measures
+// used by nearest-neighbour transformation discovery: Levenshtein,
+// Damerau-Levenshtein (optimal string alignment), Jaro, and Jaro-Winkler.
+//
+// All distances operate on Unicode code points, not bytes, so that
+// variable names with non-ASCII characters are measured sensibly.
+package strdist
+
+import "unicode/utf8"
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-rune insertions, deletions, and substitutions needed
+// to transform one into the other.
+func Levenshtein(a, b string) int {
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Single-row dynamic program; prev tracks the diagonal.
+	row := make([]int, lb+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		prev := row[0]
+		row[0] = i
+		for j := 1; j <= lb; j++ {
+			cur := row[j]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			row[j] = min3(row[j]+1, row[j-1]+1, prev+cost)
+			prev = cur
+		}
+	}
+	return row[lb]
+}
+
+// DamerauLevenshtein returns the optimal-string-alignment distance: like
+// Levenshtein but also counting transposition of adjacent runes as one
+// edit. ("air_temperatrue" is distance 1 from "air_temperature".)
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d[i-2][j-2] + 1; t < d[i][j] {
+					d[i][j] = t
+				}
+			}
+		}
+	}
+	return d[la][lb]
+}
+
+// LevenshteinSimilarity maps the Levenshtein distance into [0,1], where 1
+// means identical strings and 0 means nothing in common.
+func LevenshteinSimilarity(a, b string) float64 {
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
+}
+
+// Jaro returns the Jaro similarity in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched runes.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity in [0,1], boosting
+// strings that share a common prefix (up to 4 runes) with the standard
+// scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := runes(a), runes(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+func runes(s string) []rune { return []rune(s) }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }

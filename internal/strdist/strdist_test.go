@@ -1,0 +1,205 @@
+package strdist
+
+import (
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"air_temperature", "air_temperatrue", 2}, // transposition = 2 plain edits
+		{"airtemp", "air_temp", 1},
+		{"temp", "temperature", 7},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinUnicode(t *testing.T) {
+	if got := Levenshtein("tempé", "tempe"); got != 1 {
+		t.Errorf("unicode distance = %d, want 1", got)
+	}
+	if got := Levenshtein("日本語", "日本"); got != 1 {
+		t.Errorf("CJK distance = %d, want 1", got)
+	}
+}
+
+func TestDamerauTransposition(t *testing.T) {
+	if got := DamerauLevenshtein("air_temperature", "air_temperatrue"); got != 1 {
+		t.Errorf("Damerau transposition = %d, want 1", got)
+	}
+	if got := DamerauLevenshtein("abc", "acb"); got != 1 {
+		t.Errorf("abc->acb = %d, want 1", got)
+	}
+	// Damerau is never greater than plain Levenshtein.
+	pairs := [][2]string{{"salinity", "salinty"}, {"oxygen", "oxygne"}, {"ph", "hp"}}
+	for _, p := range pairs {
+		if d, l := DamerauLevenshtein(p[0], p[1]), Levenshtein(p[0], p[1]); d > l {
+			t.Errorf("Damerau(%q,%q)=%d > Levenshtein=%d", p[0], p[1], d, l)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Levenshtein(a, b)
+		// Symmetry.
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		// Identity of indiscernibles.
+		if (d == 0) != (a == b) {
+			return false
+		}
+		// Upper bound: length of the longer string.
+		la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		longest := la
+		if lb > longest {
+			longest = lb
+		}
+		// Lower bound: difference in lengths.
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= longest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		if len(c) > 20 {
+			c = c[:20]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSimilarityRange(t *testing.T) {
+	if s := LevenshteinSimilarity("", ""); s != 1 {
+		t.Errorf("sim(\"\",\"\") = %g, want 1", s)
+	}
+	if s := LevenshteinSimilarity("abc", "abc"); s != 1 {
+		t.Errorf("identical sim = %g, want 1", s)
+	}
+	if s := LevenshteinSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint sim = %g, want 0", s)
+	}
+	s := LevenshteinSimilarity("air_temperature", "air_temperatrue")
+	if s <= 0.8 || s >= 1 {
+		t.Errorf("near-miss sim = %g, want in (0.8,1)", s)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic textbook values.
+	cases := []struct {
+		a, b string
+		want float64
+		tol  float64
+	}{
+		{"MARTHA", "MARHTA", 0.9444, 0.001},
+		{"DIXON", "DICKSONX", 0.7667, 0.001},
+		{"JELLYFISH", "SMELLYFISH", 0.8962, 0.001},
+		{"", "", 1, 0},
+		{"a", "", 0, 0},
+		{"same", "same", 1, 0},
+	}
+	for _, c := range cases {
+		got := Jaro(c.a, c.b)
+		if diff := got - c.want; diff > c.tol || diff < -c.tol {
+			t.Errorf("Jaro(%q,%q) = %.4f, want %.4f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	// Winkler boosts shared prefixes, so JW >= Jaro always.
+	pairs := [][2]string{
+		{"air_temperature", "air_temp"},
+		{"salinity", "salinty"},
+		{"MARTHA", "MARHTA"},
+	}
+	for _, p := range pairs {
+		j, jw := Jaro(p[0], p[1]), JaroWinkler(p[0], p[1])
+		if jw < j {
+			t.Errorf("JaroWinkler(%q,%q)=%g < Jaro=%g", p[0], p[1], jw, j)
+		}
+	}
+	// A shared-prefix pair should beat a same-Jaro pair without prefix.
+	withPrefix := JaroWinkler("temperature", "temperatura")
+	if withPrefix < 0.9 {
+		t.Errorf("prefixed pair JW = %g, want >= 0.9", withPrefix)
+	}
+}
+
+func TestJaroWinklerBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1 && s == JaroWinkler(b, a) == (JaroWinkler(a, b) == JaroWinkler(b, a))
+	}
+	// The composite condition above simplifies to bounds + symmetry.
+	g := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1.0000001 && s == JaroWinkler(b, a)
+	}
+	_ = f
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("water_temperature_near_surface", "water_temperatrue_near_surface")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("water_temperature_near_surface", "water_temperatrue_near_surface")
+	}
+}

@@ -1,0 +1,295 @@
+// Package table provides the columnar grid model the refine engine
+// operates on: named columns, string-valued cells, and bulk accessors.
+// It mirrors the data model of Google Refine projects: catalog entries
+// are extracted into a grid, cleaned by operations, and written back.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Table is a rectangular grid of string cells under named columns.
+// All mutating methods keep every row exactly len(Columns()) wide.
+type Table struct {
+	cols []string
+	idx  map[string]int
+	rows [][]string
+}
+
+// New creates an empty table with the given column names. Duplicate
+// column names are rejected.
+func New(cols ...string) (*Table, error) {
+	t := &Table{idx: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if _, dup := t.idx[c]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", c)
+		}
+		t.idx[c] = len(t.cols)
+		t.cols = append(t.cols, c)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error, for static schemas.
+func MustNew(cols ...string) *Table {
+	t, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Columns returns a copy of the column names in order.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.cols))
+	copy(out, t.cols)
+	return out
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// ColumnIndex returns the position of the named column.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.idx[name]
+	return i, ok
+}
+
+// AppendRow adds a row; it must have exactly one cell per column.
+func (t *Table) AppendRow(cells ...string) error {
+	if len(cells) != len(t.cols) {
+		return fmt.Errorf("table: row has %d cells, want %d", len(cells), len(t.cols))
+	}
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Cell returns the cell at (row, named column).
+func (t *Table) Cell(row int, col string) (string, error) {
+	ci, ok := t.idx[col]
+	if !ok {
+		return "", fmt.Errorf("table: no column %q", col)
+	}
+	if row < 0 || row >= len(t.rows) {
+		return "", fmt.Errorf("table: row %d out of range (%d rows)", row, len(t.rows))
+	}
+	return t.rows[row][ci], nil
+}
+
+// SetCell assigns the cell at (row, named column).
+func (t *Table) SetCell(row int, col, value string) error {
+	ci, ok := t.idx[col]
+	if !ok {
+		return fmt.Errorf("table: no column %q", col)
+	}
+	if row < 0 || row >= len(t.rows) {
+		return fmt.Errorf("table: row %d out of range (%d rows)", row, len(t.rows))
+	}
+	t.rows[row][ci] = value
+	return nil
+}
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) ([]string, error) {
+	if i < 0 || i >= len(t.rows) {
+		return nil, fmt.Errorf("table: row %d out of range (%d rows)", i, len(t.rows))
+	}
+	out := make([]string, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out, nil
+}
+
+// ColumnValues returns a copy of the named column's cells, top to bottom.
+func (t *Table) ColumnValues(col string) ([]string, error) {
+	ci, ok := t.idx[col]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", col)
+	}
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r[ci]
+	}
+	return out, nil
+}
+
+// ValueCounts returns the distinct values of a column with their
+// frequencies, ordered by descending count then ascending value — the
+// shape a text facet displays.
+func (t *Table) ValueCounts(col string) ([]ValueCount, error) {
+	vals, err := t.ColumnValues(col)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	for _, v := range vals {
+		counts[v]++
+	}
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out, nil
+}
+
+// ValueCount pairs a distinct cell value with its frequency.
+type ValueCount struct {
+	Value string `json:"value"`
+	Count int    `json:"count"`
+}
+
+// AddColumn appends a new empty column (cells default to "").
+func (t *Table) AddColumn(name string) error {
+	if _, dup := t.idx[name]; dup {
+		return fmt.Errorf("table: duplicate column %q", name)
+	}
+	t.idx[name] = len(t.cols)
+	t.cols = append(t.cols, name)
+	for i := range t.rows {
+		t.rows[i] = append(t.rows[i], "")
+	}
+	return nil
+}
+
+// RemoveColumn deletes a column and its cells.
+func (t *Table) RemoveColumn(name string) error {
+	ci, ok := t.idx[name]
+	if !ok {
+		return fmt.Errorf("table: no column %q", name)
+	}
+	t.cols = append(t.cols[:ci], t.cols[ci+1:]...)
+	delete(t.idx, name)
+	for n, i := range t.idx {
+		if i > ci {
+			t.idx[n] = i - 1
+		}
+	}
+	for r := range t.rows {
+		t.rows[r] = append(t.rows[r][:ci], t.rows[r][ci+1:]...)
+	}
+	return nil
+}
+
+// RenameColumn changes a column's name in place.
+func (t *Table) RenameColumn(oldName, newName string) error {
+	ci, ok := t.idx[oldName]
+	if !ok {
+		return fmt.Errorf("table: no column %q", oldName)
+	}
+	if _, dup := t.idx[newName]; dup && newName != oldName {
+		return fmt.Errorf("table: duplicate column %q", newName)
+	}
+	delete(t.idx, oldName)
+	t.idx[newName] = ci
+	t.cols[ci] = newName
+	return nil
+}
+
+// FilterRows removes all rows for which keep returns false and reports
+// how many were removed. keep receives the row index and a live view of
+// the row; it must not retain or mutate the slice.
+func (t *Table) FilterRows(keep func(i int, row []string) bool) int {
+	out := t.rows[:0]
+	removed := 0
+	for i, r := range t.rows {
+		if keep(i, r) {
+			out = append(out, r)
+		} else {
+			removed++
+		}
+	}
+	t.rows = out
+	return removed
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		cols: make([]string, len(t.cols)),
+		idx:  make(map[string]int, len(t.idx)),
+		rows: make([][]string, len(t.rows)),
+	}
+	copy(c.cols, t.cols)
+	for k, v := range t.idx {
+		c.idx[k] = v
+	}
+	for i, r := range t.rows {
+		nr := make([]string, len(r))
+		copy(nr, r)
+		c.rows[i] = nr
+	}
+	return c
+}
+
+// Equal reports whether two tables have identical columns and cells.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.cols) != len(o.cols) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	for i := range t.cols {
+		if t.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			if t.rows[i][j] != o.rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteCSV writes the table (header row first) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.cols); err != nil {
+		return fmt.Errorf("table: write header: %w", err)
+	}
+	for i, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("table: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table from CSV: first record is the header.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read header: %w", err)
+	}
+	t, err := New(header...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read row: %w", err)
+		}
+		if err := t.AppendRow(rec...); err != nil {
+			return nil, err
+		}
+	}
+}

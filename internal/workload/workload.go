@@ -1,0 +1,207 @@
+// Package workload generates the query workloads and ground-truth
+// relevance judgements the experiments score against. Relevance is
+// computed from the archive generator's manifest, not from the system
+// under test: a dataset is relevant to a query when its ground truth
+// says it carries the queried canonical variable and its true spatial
+// and temporal extents fall within the query's tolerances.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"metamess/internal/archive"
+	"metamess/internal/catalog"
+	"metamess/internal/geo"
+	"metamess/internal/search"
+	"metamess/internal/semdiv"
+)
+
+// RelevanceSpec defines when a dataset counts as relevant to a query.
+type RelevanceSpec struct {
+	// MaxKm is the largest center-to-center distance still relevant.
+	MaxKm float64
+	// RequireTimeOverlap demands the dataset's true time range overlap
+	// the query's.
+	RequireTimeOverlap bool
+}
+
+// DefaultRelevance matches the experiment setup: within 20 km and
+// overlapping in time.
+func DefaultRelevance() RelevanceSpec {
+	return RelevanceSpec{MaxKm: 20, RequireTimeOverlap: true}
+}
+
+// Judged pairs a query with its ground-truth relevant dataset IDs.
+type Judged struct {
+	Query    search.Query
+	Relevant map[string]bool
+	// Variable is the canonical variable the query asks for.
+	Variable string
+	// RawForm is the (possibly messy) surface form used as the query
+	// term; equals Variable for clean queries.
+	RawForm string
+}
+
+// Queries derives n judged queries from a manifest. Each query anchors
+// on a randomly chosen dataset: its centroid, its time range, and one of
+// its variables (queried by canonical name, or by a messy raw form when
+// useRawForms is set — the workload that shows why wrangling matters).
+func Queries(m *archive.Manifest, n int, seed int64, spec RelevanceSpec, useRawForms bool) ([]Judged, error) {
+	if len(m.Datasets) == 0 {
+		return nil, fmt.Errorf("workload: empty manifest")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Judged
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		d := m.Datasets[rng.Intn(len(m.Datasets))]
+		// Pick a non-excessive variable.
+		var candidates []archive.VarTruth
+		for _, v := range d.Vars {
+			if v.Category != semdiv.CatExcessive {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		vt := candidates[rng.Intn(len(candidates))]
+		center := d.BBox.Center()
+		tr := d.Time
+		q := search.Query{
+			Location: &center,
+			Time:     &tr,
+			K:        10,
+		}
+		term := vt.Canonical
+		if useRawForms {
+			term = vt.Raw
+		}
+		q.Terms = []search.Term{{Name: term}}
+
+		relevant := relevantSet(m, vt.Canonical, center, tr, spec)
+		out = append(out, Judged{
+			Query:    q,
+			Relevant: relevant,
+			Variable: vt.Canonical,
+			RawForm:  vt.Raw,
+		})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("workload: only derived %d of %d queries", len(out), n)
+	}
+	return out, nil
+}
+
+// VariableQueries derives n judged variable-only queries: no location or
+// time dimension, so a dataset can only be found through its variable
+// names. Relevance is every dataset carrying the canonical variable, and
+// K admits the whole catalog — the workload that exposes how messy names
+// hide data from exact matching.
+func VariableQueries(m *archive.Manifest, n int, seed int64, useRawForms bool) ([]Judged, error) {
+	if len(m.Datasets) == 0 {
+		return nil, fmt.Errorf("workload: empty manifest")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Judged
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		d := m.Datasets[rng.Intn(len(m.Datasets))]
+		var candidates []archive.VarTruth
+		for _, v := range d.Vars {
+			if v.Category != semdiv.CatExcessive {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		vt := candidates[rng.Intn(len(candidates))]
+		term := vt.Canonical
+		if useRawForms {
+			term = vt.Raw
+		}
+		out = append(out, Judged{
+			Query: search.Query{
+				Terms: []search.Term{{Name: term}},
+				K:     len(m.Datasets),
+			},
+			Relevant: relevantSet(m, vt.Canonical, geo.Point{}, geo.TimeRange{},
+				RelevanceSpec{MaxKm: 0, RequireTimeOverlap: false}),
+			Variable: vt.Canonical,
+			RawForm:  vt.Raw,
+		})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("workload: only derived %d of %d queries", len(out), n)
+	}
+	return out, nil
+}
+
+// relevantSet computes ground-truth relevance from the manifest.
+func relevantSet(m *archive.Manifest, canonical string, center geo.Point,
+	tr geo.TimeRange, spec RelevanceSpec) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range m.Datasets {
+		has := false
+		for _, v := range d.Vars {
+			if v.Canonical == canonical && v.Category != semdiv.CatExcessive {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		if spec.MaxKm > 0 && geo.HaversineKm(d.BBox.Center(), center) > spec.MaxKm {
+			continue
+		}
+		if spec.RequireTimeOverlap && !d.Time.Overlaps(tr) {
+			continue
+		}
+		out[catalog.IDForPath(d.Path)] = true
+	}
+	return out
+}
+
+// RankedIDs extracts the dataset IDs of a result list, in rank order.
+func RankedIDs(results []search.Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Feature.ID
+	}
+	return out
+}
+
+// MessyNameCorpus derives the flat classification corpus for the Table-1
+// experiment from a manifest: every (raw name, true category) pair.
+type LabeledName struct {
+	Raw      string
+	Category semdiv.Category
+	// Canonical is the ground-truth resolution.
+	Canonical string
+}
+
+// Corpus extracts the labeled names of a manifest, de-duplicated by raw
+// form (first truth wins, matching Manifest.CanonicalFor).
+func Corpus(m *archive.Manifest) []LabeledName {
+	seen := make(map[string]bool)
+	var out []LabeledName
+	for _, d := range m.Datasets {
+		for _, v := range d.Vars {
+			if seen[v.Raw] {
+				continue
+			}
+			seen[v.Raw] = true
+			out = append(out, LabeledName{Raw: v.Raw, Category: v.Category, Canonical: v.Canonical})
+		}
+	}
+	return out
+}
+
+// TimeRangeAround is a convenience for example programs: the n-day range
+// centred on a date.
+func TimeRangeAround(center time.Time, days int) geo.TimeRange {
+	half := time.Duration(days) * 24 * time.Hour / 2
+	return geo.NewTimeRange(center.Add(-half), center.Add(half))
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"metamess/internal/archive"
+	"metamess/internal/catalog"
+	"metamess/internal/semdiv"
+)
+
+func manifest(t *testing.T, n int, seed int64) *archive.Manifest {
+	t.Helper()
+	m, err := archive.Generate(t.TempDir(), archive.DefaultGenConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQueriesDeterministicAndJudged(t *testing.T) {
+	m := manifest(t, 21, 5)
+	a, err := Queries(m, 10, 42, DefaultRelevance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Queries(m, 10, 42, DefaultRelevance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Variable != b[i].Variable || len(a[i].Relevant) != len(b[i].Relevant) {
+			t.Errorf("query %d differs between runs", i)
+		}
+	}
+	for i, j := range a {
+		if j.Query.Location == nil || j.Query.Time == nil || len(j.Query.Terms) != 1 {
+			t.Errorf("query %d incomplete: %+v", i, j.Query)
+		}
+		// The anchor dataset itself is always relevant.
+		if len(j.Relevant) == 0 {
+			t.Errorf("query %d has no relevant datasets", i)
+		}
+	}
+}
+
+func TestQueriesUseRawForms(t *testing.T) {
+	m := manifest(t, 30, 7)
+	js, err := Queries(m, 20, 1, DefaultRelevance(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMessy := false
+	for _, j := range js {
+		if j.Query.Terms[0].Name != j.Variable {
+			sawMessy = true
+		}
+		if j.Query.Terms[0].Name != j.RawForm {
+			t.Errorf("raw-form query uses %q, want %q", j.Query.Terms[0].Name, j.RawForm)
+		}
+	}
+	if !sawMessy {
+		t.Error("no messy raw form in 20 queries at default mess rates")
+	}
+}
+
+func TestVariableQueriesRelevanceIgnoresSpaceTime(t *testing.T) {
+	m := manifest(t, 21, 11)
+	js, err := VariableQueries(m, 10, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range js {
+		if j.Query.Location != nil || j.Query.Time != nil {
+			t.Error("variable-only query has space/time dimensions")
+		}
+		// Relevance must equal the ground-truth carrier set.
+		want := 0
+		for _, d := range m.Datasets {
+			for _, v := range d.Vars {
+				if v.Canonical == j.Variable && v.Category != semdiv.CatExcessive {
+					want++
+					break
+				}
+			}
+		}
+		if len(j.Relevant) != want {
+			t.Errorf("variable %s: relevant = %d, want %d", j.Variable, len(j.Relevant), want)
+		}
+		// Every relevant ID is a valid dataset ID.
+		valid := map[string]bool{}
+		for _, d := range m.Datasets {
+			valid[catalog.IDForPath(d.Path)] = true
+		}
+		for id := range j.Relevant {
+			if !valid[id] {
+				t.Errorf("relevant ID %s not in manifest", id)
+			}
+		}
+	}
+}
+
+func TestQueriesEmptyManifest(t *testing.T) {
+	if _, err := Queries(&archive.Manifest{}, 5, 1, DefaultRelevance(), false); err == nil {
+		t.Error("empty manifest accepted")
+	}
+	if _, err := VariableQueries(&archive.Manifest{}, 5, 1, false); err == nil {
+		t.Error("empty manifest accepted by VariableQueries")
+	}
+}
+
+func TestCorpusDedupes(t *testing.T) {
+	m := manifest(t, 30, 13)
+	corpus := Corpus(m)
+	seen := map[string]bool{}
+	for _, ln := range corpus {
+		if seen[ln.Raw] {
+			t.Errorf("duplicate raw %q in corpus", ln.Raw)
+		}
+		seen[ln.Raw] = true
+		if ln.Canonical == "" {
+			t.Errorf("raw %q lacks canonical", ln.Raw)
+		}
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+}
+
+func TestRelevanceSpecFiltering(t *testing.T) {
+	m := manifest(t, 21, 17)
+	loose, err := VariableQueries(m, 5, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight relevance (1 km, time overlap) is a subset of loose.
+	tight, err := Queries(m, 5, 9, RelevanceSpec{MaxKm: 1, RequireTimeOverlap: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = loose
+	for _, j := range tight {
+		if len(j.Relevant) == 0 {
+			t.Error("tight relevance excluded even the anchor dataset")
+		}
+	}
+}
+
+func TestTimeRangeAround(t *testing.T) {
+	center := time.Date(2010, 6, 15, 12, 0, 0, 0, time.UTC)
+	r := TimeRangeAround(center, 30)
+	if !r.Contains(center) {
+		t.Error("range misses center")
+	}
+	if r.Duration() != 30*24*time.Hour {
+		t.Errorf("duration = %v", r.Duration())
+	}
+}
+
+func TestRankedIDsOrder(t *testing.T) {
+	if got := RankedIDs(nil); len(got) != 0 {
+		t.Error("nil results should produce empty ids")
+	}
+}

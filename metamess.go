@@ -1,0 +1,366 @@
+// Package metamess is a reproduction of "Taming the Metadata Mess"
+// (Megler, 2013): a metadata wrangling pipeline and ranked dataset
+// search engine ("Data Near Here") for heterogeneous scientific-data
+// archives.
+//
+// The facade wraps the full system — archive scanner, working/published
+// metadata catalogs, semantic-diversity classifier, Refine-style
+// transformation discovery, synonym and hierarchy curation, validation,
+// and distance-ranked search — behind a small API:
+//
+//	sys, err := metamess.New(metamess.Config{ArchiveRoot: "/data/archive"})
+//	report, err := sys.Wrangle()
+//	hits, err := sys.Search(metamess.Query{
+//	    Near:      &metamess.LatLon{Lat: 45.5, Lon: -124.4},
+//	    From:      time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+//	    To:        time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC),
+//	    Variables: []metamess.VariableTerm{{Name: "temperature", Min: f(5), Max: f(10)}},
+//	})
+//
+// Sub-systems are available under internal/ for the example programs and
+// the experiment harness; downstream users drive everything through this
+// package.
+package metamess
+
+import (
+	"fmt"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/core"
+	"metamess/internal/geo"
+	"metamess/internal/hierarchy"
+	"metamess/internal/refine"
+	"metamess/internal/scan"
+	"metamess/internal/search"
+	"metamess/internal/semdiv"
+	"metamess/internal/vocab"
+)
+
+// Config configures a System.
+type Config struct {
+	// ArchiveRoot is the directory holding the scientific-data archive.
+	ArchiveRoot string
+	// Dirs restricts scanning to these root-relative directories
+	// (empty = whole archive). Appending a directory between Wrangle
+	// calls is the poster's "specify an additional directory" improvement.
+	Dirs []string
+	// ExpectedDatasets lists archive-relative paths validation requires.
+	ExpectedDatasets []string
+	// StrictValidation makes Wrangle fail (and skip publishing) when any
+	// validation check errors.
+	StrictValidation bool
+}
+
+// System is a wired-up metadata wrangling pipeline plus search engine.
+type System struct {
+	cfg      Config
+	ctx      *core.Context
+	process  *core.Process
+	taxonomy *hierarchy.Taxonomy
+	searcher *search.Searcher
+}
+
+// New builds a system over an archive with the standard canonical
+// vocabulary and the poster's default chain.
+func New(cfg Config) (*System, error) {
+	if cfg.ArchiveRoot == "" {
+		return nil, fmt.Errorf("metamess: Config.ArchiveRoot is required")
+	}
+	k, err := semdiv.NewKnowledge(vocab.Standard())
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	ctx := core.NewContext(k, scan.Config{Root: cfg.ArchiveRoot, Dirs: cfg.Dirs})
+	ctx.ExpectedPaths = cfg.ExpectedDatasets
+	s := &System{cfg: cfg, ctx: ctx}
+
+	chain := []core.Component{
+		core.ScanArchive{},
+		core.KnownTransforms{},
+		core.AddExternalMetadata{},
+		core.DiscoverTransforms{},
+		core.PerformDiscovered{},
+		core.KnownTransforms{},
+		core.GenerateHierarchies{Taxonomy: &s.taxonomy},
+		core.Validate{AllowErrors: !cfg.StrictValidation},
+		core.Publish{},
+	}
+	s.process = core.NewProcess("metamess", chain...)
+
+	opts := search.DefaultOptions()
+	opts.Expander = search.NewKnowledgeExpander(k)
+	s.searcher = search.New(ctx.Published, opts)
+	return s, nil
+}
+
+// StepSummary reports one chain component of a Wrangle run.
+type StepSummary struct {
+	Component string
+	Duration  time.Duration
+	Counters  map[string]int
+	// Coverage is the occurrence coverage after the step, in [0,1].
+	Coverage float64
+}
+
+// Report summarizes a Wrangle run.
+type Report struct {
+	Datasets int
+	// CoverageBefore and CoverageAfter bracket the run's mess reduction.
+	CoverageBefore, CoverageAfter float64
+	DistinctNames                 int
+	UnresolvedNames               int
+	Steps                         []StepSummary
+	ValidationErrors              int
+	ValidationWarnings            int
+	Duration                      time.Duration
+}
+
+// Wrangle runs the full chain: scan (incrementally), transform, discover,
+// generate hierarchies, validate, publish. Safe to call repeatedly; the
+// published catalog is replaced atomically each time.
+func (s *System) Wrangle() (*Report, error) {
+	run, err := s.process.Run(s.ctx)
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	rep := &Report{
+		Datasets:        s.ctx.Published.Len(),
+		CoverageBefore:  run.MessBefore.OccurrenceCoverage,
+		CoverageAfter:   run.MessAfter.OccurrenceCoverage,
+		DistinctNames:   run.MessAfter.DistinctNames,
+		UnresolvedNames: run.MessAfter.UnresolvedNames,
+		Duration:        run.Duration,
+	}
+	for _, st := range run.Steps {
+		rep.Steps = append(rep.Steps, StepSummary{
+			Component: st.Component,
+			Duration:  st.Duration,
+			Counters:  st.Counters,
+			Coverage:  st.MessAfter.OccurrenceCoverage,
+		})
+	}
+	if v := s.ctx.LastValidation; v != nil {
+		rep.ValidationErrors = v.Errors()
+		rep.ValidationWarnings = v.Warnings()
+	}
+	return rep, nil
+}
+
+// LatLon is a WGS84 coordinate.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// VariableTerm is one queried variable, optionally range-constrained.
+type VariableTerm struct {
+	Name     string
+	Min, Max *float64
+}
+
+// Query is a "Data Near Here" search request.
+type Query struct {
+	// Near ranks datasets by distance from this point.
+	Near *LatLon
+	// From and To bound the time period of interest (both zero = no time
+	// dimension).
+	From, To time.Time
+	// Variables are the environmental variables of interest.
+	Variables []VariableTerm
+	// K caps the result count (default 10).
+	K int
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	// Path is the dataset's archive-relative path.
+	Path string
+	// Score is the similarity in [0,1].
+	Score float64
+	// MatchedVariables explains which catalog variables matched each
+	// query term.
+	MatchedVariables []string
+	// Summary is the rendered dataset summary page.
+	Summary string
+}
+
+// Search ranks published datasets against the query.
+func (s *System) Search(q Query) ([]Hit, error) {
+	iq := search.Query{K: q.K}
+	if q.Near != nil {
+		iq.Location = &geo.Point{Lat: q.Near.Lat, Lon: q.Near.Lon}
+	}
+	if !q.From.IsZero() || !q.To.IsZero() {
+		tr := geo.NewTimeRange(q.From, q.To)
+		iq.Time = &tr
+	}
+	for _, v := range q.Variables {
+		term := search.Term{Name: v.Name}
+		if v.Min != nil || v.Max != nil {
+			lo, hi := 0.0, 0.0
+			if v.Min != nil {
+				lo = *v.Min
+			}
+			if v.Max != nil {
+				hi = *v.Max
+			} else {
+				hi = lo
+			}
+			r := geo.NewValueRange(lo, hi)
+			term.Range = &r
+		}
+		iq.Terms = append(iq.Terms, term)
+	}
+	results, err := s.searcher.Search(iq)
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	hits := make([]Hit, len(results))
+	for i, r := range results {
+		h := Hit{
+			Path:    r.Feature.Path,
+			Score:   r.Score,
+			Summary: search.Summarize(r.Feature).Render(),
+		}
+		for _, ts := range r.TermScores {
+			if ts.MatchedAs != "" {
+				h.MatchedVariables = append(h.MatchedVariables,
+					fmt.Sprintf("%s -> %s (%.2f)", ts.Term, ts.MatchedAs, ts.Score))
+			}
+		}
+		hits[i] = h
+	}
+	return hits, nil
+}
+
+// SearchText parses and runs a textual "Data Near Here" query, e.g. the
+// poster's example information need:
+//
+//	near 45.5,-124.4 in mid-2010 with temperature between 5 and 10
+func (s *System) SearchText(query string) ([]Hit, error) {
+	iq, err := search.ParseQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	results, err := s.searcher.Search(iq)
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	hits := make([]Hit, len(results))
+	for i, r := range results {
+		h := Hit{
+			Path:    r.Feature.Path,
+			Score:   r.Score,
+			Summary: search.Summarize(r.Feature).Render(),
+		}
+		for _, ts := range r.TermScores {
+			if ts.MatchedAs != "" {
+				h.MatchedVariables = append(h.MatchedVariables,
+					fmt.Sprintf("%s -> %s (%.2f)", ts.Term, ts.MatchedAs, ts.Score))
+			}
+		}
+		hits[i] = h
+	}
+	return hits, nil
+}
+
+// DatasetSummary renders the summary page for an archive-relative path.
+func (s *System) DatasetSummary(path string) (string, error) {
+	f, ok := s.ctx.Published.Get(catalog.IDForPath(path))
+	if !ok {
+		return "", fmt.Errorf("metamess: dataset %q not in published catalog", path)
+	}
+	return search.Summarize(f).Render(), nil
+}
+
+// AddSynonym records a curated synonym mapping (curatorial activity 3:
+// adding entries to a synonym table). Takes effect on the next Wrangle.
+func (s *System) AddSynonym(preferred string, alternates ...string) error {
+	return s.ctx.Knowledge.Synonyms.Add(preferred, alternates...)
+}
+
+// CuratorQueue lists the names awaiting a curator decision, with the
+// classifier's evidence.
+func (s *System) CuratorQueue() []string {
+	cls := semdiv.NewClassifier(s.ctx.Knowledge)
+	var out []string
+	for _, vc := range s.ctx.Working.VariableNameCounts() {
+		f := cls.Classify(vc.Value)
+		switch f.Category {
+		case semdiv.CatAmbiguous, semdiv.CatUnknown, semdiv.CatSourceContext:
+			out = append(out, fmt.Sprintf("%s (%s; %s)", vc.Value, f.Category, f.Evidence))
+		}
+	}
+	return out
+}
+
+// Clarify records a curator decision mapping an ambiguous or unknown
+// name to a canonical target; Hide excludes it instead. Decisions apply
+// on the next Wrangle.
+func (s *System) Clarify(rawName, target string) {
+	s.ctx.PendingDecisions = append(s.ctx.PendingDecisions,
+		semdiv.Decision{RawName: rawName, Action: semdiv.ClarifyTo, Target: target})
+}
+
+// Hide records a curator decision to exclude a name from search.
+func (s *System) Hide(rawName string) {
+	s.ctx.PendingDecisions = append(s.ctx.PendingDecisions,
+		semdiv.Decision{RawName: rawName, Action: semdiv.Hide})
+}
+
+// ExportRules renders the transformation rules discovered so far in the
+// poster's JSON format (audit, versioning, replay elsewhere).
+func (s *System) ExportRules() ([]byte, error) {
+	return refine.ExportJSON(s.ctx.DiscoveredRules)
+}
+
+// VariableMenu renders the generated variable hierarchy as an indented
+// menu, expanded to maxDepth levels (0 = fully expanded).
+func (s *System) VariableMenu(maxDepth int) []string {
+	if s.taxonomy == nil {
+		return nil
+	}
+	return s.taxonomy.Menu(maxDepth)
+}
+
+// Validation returns the latest validation findings as display strings.
+func (s *System) Validation() []string {
+	if s.ctx.LastValidation == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range s.ctx.LastValidation.Findings {
+		out = append(out, fmt.Sprintf("[%s] %s: %s", f.Severity, f.Check, f.Detail))
+	}
+	return out
+}
+
+// SaveCatalog persists the published catalog as a checksummed snapshot.
+func (s *System) SaveCatalog(path string) error {
+	return catalog.Save(path, s.ctx.Published)
+}
+
+// LoadCatalog replaces the published catalog from a snapshot, so a
+// search service can start without re-scanning the archive.
+func (s *System) LoadCatalog(path string) error {
+	c, err := catalog.Load(path)
+	if err != nil {
+		return err
+	}
+	s.ctx.Published.ReplaceAll(c)
+	return nil
+}
+
+// DatasetCount returns the published catalog's size.
+func (s *System) DatasetCount() int { return s.ctx.Published.Len() }
+
+// Vocabulary returns the canonical variable names the system wrangles
+// toward.
+func (s *System) Vocabulary() []string {
+	return vocab.Names(s.ctx.Knowledge.Vocabulary)
+}
+
+// ValidationOK reports whether the last run's validation passed.
+func (s *System) ValidationOK() bool {
+	return s.ctx.LastValidation != nil && s.ctx.LastValidation.OK()
+}

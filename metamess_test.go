@@ -1,0 +1,264 @@
+package metamess
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"metamess/internal/archive"
+)
+
+func newSystem(t testing.TB, datasets int, seed int64) (*System, *archive.Manifest) {
+	t.Helper()
+	root := t.TempDir()
+	m, err := archive.Generate(root, archive.DefaultGenConfig(datasets, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{ArchiveRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, m
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestNewRequiresRoot(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestWrangleAndSearchEndToEnd(t *testing.T) {
+	sys, m := newSystem(t, 30, 42)
+	rep, err := sys.Wrangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Datasets != len(m.Datasets) {
+		t.Errorf("datasets = %d, want %d", rep.Datasets, len(m.Datasets))
+	}
+	if rep.CoverageAfter <= rep.CoverageBefore || rep.CoverageAfter < 0.9 {
+		t.Errorf("coverage %.3f -> %.3f", rep.CoverageBefore, rep.CoverageAfter)
+	}
+	if len(rep.Steps) == 0 {
+		t.Error("no steps reported")
+	}
+	if sys.DatasetCount() != len(m.Datasets) {
+		t.Errorf("DatasetCount = %d", sys.DatasetCount())
+	}
+
+	// The poster's motivating query: observations near a point in
+	// mid-2010 with temperature between 5 and 10 C.
+	hits, err := sys.Search(Query{
+		Near:      &LatLon{Lat: 46.2, Lon: -123.8},
+		From:      time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+		To:        time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC),
+		Variables: []VariableTerm{{Name: "temperature", Min: f64(5), Max: f64(10)}},
+		K:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("motivating query found nothing")
+	}
+	if hits[0].Score <= 0 || hits[0].Score > 1 {
+		t.Errorf("score = %v", hits[0].Score)
+	}
+	if hits[0].Summary == "" || !strings.Contains(hits[0].Summary, "Dataset:") {
+		t.Error("hit missing summary page")
+	}
+	if len(hits[0].MatchedVariables) == 0 {
+		t.Error("hit missing match explanations")
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Score < hits[i].Score {
+			t.Error("hits not ranked")
+		}
+	}
+}
+
+func TestSearchTextMatchesStructuredQuery(t *testing.T) {
+	sys, _ := newSystem(t, 30, 42)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	textHits, err := sys.SearchText(
+		`near 46.2,-123.8 from 2010-05-01 to 2010-08-01 with temperature between 5 and 10 top 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 5.0, 10.0
+	structHits, err := sys.Search(Query{
+		Near:      &LatLon{Lat: 46.2, Lon: -123.8},
+		From:      time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+		To:        time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC),
+		Variables: []VariableTerm{{Name: "temperature", Min: &lo, Max: &hi}},
+		K:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(textHits) != len(structHits) {
+		t.Fatalf("text %d hits vs structured %d", len(textHits), len(structHits))
+	}
+	for i := range textHits {
+		if textHits[i].Path != structHits[i].Path || textHits[i].Score != structHits[i].Score {
+			t.Errorf("rank %d: %s/%.3f vs %s/%.3f", i,
+				textHits[i].Path, textHits[i].Score, structHits[i].Path, structHits[i].Score)
+		}
+	}
+	if _, err := sys.SearchText("gibberish query"); err == nil {
+		t.Error("bad text query accepted")
+	}
+}
+
+func TestDatasetSummaryLookup(t *testing.T) {
+	sys, m := newSystem(t, 9, 3)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	page, err := sys.DatasetSummary(m.Datasets[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, m.Datasets[0].Path) {
+		t.Error("summary missing path")
+	}
+	if _, err := sys.DatasetSummary("no/such/file.csv"); err == nil {
+		t.Error("unknown path accepted")
+	}
+}
+
+func TestCuratorWorkflow(t *testing.T) {
+	sys, _ := newSystem(t, 30, 99)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	queue := sys.CuratorQueue()
+	if len(queue) == 0 {
+		t.Skip("no curator queue at this seed")
+	}
+	// Clarify the first queued name (facade smoke path; targets come from
+	// the curator's own knowledge in practice).
+	raw := strings.Fields(queue[0])[0]
+	sys.Clarify(raw, "water_temperature")
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range sys.CuratorQueue() {
+		if strings.Fields(q)[0] == raw {
+			t.Errorf("clarified name %q still queued", raw)
+		}
+	}
+}
+
+func TestAddSynonymImprovesCoverage(t *testing.T) {
+	sys, m := newSystem(t, 30, 99)
+	r1, err := sys.Wrangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.UnresolvedNames == 0 {
+		t.Skip("nothing unresolved at this seed")
+	}
+	canonical := m.CanonicalFor()
+	for _, line := range sys.CuratorQueue() {
+		raw := strings.Fields(line)[0]
+		if canon := canonical[raw]; canon != "" && canon != raw {
+			if err := sys.AddSynonym(canon, raw); err != nil {
+				t.Logf("AddSynonym(%q, %q): %v", canon, raw, err)
+			}
+		}
+	}
+	r2, err := sys.Wrangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.UnresolvedNames > r1.UnresolvedNames {
+		t.Errorf("unresolved grew: %d -> %d", r1.UnresolvedNames, r2.UnresolvedNames)
+	}
+}
+
+func TestExportRulesAndMenu(t *testing.T) {
+	sys, _ := newSystem(t, 30, 42)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := sys.ExportRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(rules)), "[") {
+		t.Error("rules not a JSON array")
+	}
+	menu := sys.VariableMenu(0)
+	if len(menu) == 0 {
+		t.Error("empty variable menu")
+	}
+	collapsed := sys.VariableMenu(1)
+	if len(collapsed) > len(menu) {
+		t.Error("collapsed menu longer than full menu")
+	}
+	if len(sys.Vocabulary()) == 0 {
+		t.Error("empty vocabulary")
+	}
+}
+
+func TestSaveLoadCatalog(t *testing.T) {
+	sys, _ := newSystem(t, 9, 7)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/published.snapshot"
+	if err := sys.SaveCatalog(path); err != nil {
+		t.Fatal(err)
+	}
+	// A second system loads the snapshot without touching the archive.
+	other, err := New(Config{ArchiveRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadCatalog(path); err != nil {
+		t.Fatal(err)
+	}
+	if other.DatasetCount() != sys.DatasetCount() {
+		t.Errorf("loaded %d datasets, want %d", other.DatasetCount(), sys.DatasetCount())
+	}
+	hits, err := other.Search(Query{Variables: []VariableTerm{{Name: "salinity"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("loaded catalog not searchable")
+	}
+}
+
+func TestStrictValidationBlocksPublish(t *testing.T) {
+	root := t.TempDir()
+	if _, err := archive.Generate(root, archive.DefaultGenConfig(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{
+		ArchiveRoot:      root,
+		ExpectedDatasets: []string{"never/there.obs"},
+		StrictValidation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Wrangle(); err == nil {
+		t.Fatal("strict validation should fail the run")
+	}
+	if sys.DatasetCount() != 0 {
+		t.Error("publish happened despite failed validation")
+	}
+	if sys.ValidationOK() {
+		t.Error("validation reported OK")
+	}
+	if len(sys.Validation()) == 0 {
+		t.Error("no validation findings exposed")
+	}
+}
