@@ -9,10 +9,15 @@ package metamess
 // both reproduces the paper's exhibits and measures the system.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"metamess/internal/catalog"
 	"metamess/internal/experiments"
+	"metamess/internal/geo"
+	"metamess/internal/search"
 )
 
 // benchSizes keeps the bench suite fast enough for CI while large enough
@@ -145,4 +150,103 @@ func BenchmarkAblationScoring(b *testing.B) {
 		}
 		report(b, tab)
 	}
+}
+
+// snapshotBenchCatalog builds a deterministic synthetic catalog large
+// enough that the read-path shapes (indexed vs. linear, worker
+// scaling) are stable.
+func snapshotBenchCatalog(b *testing.B, n int) *catalog.Catalog {
+	b.Helper()
+	names := []string{"water_temperature", "salinity", "turbidity", "dissolved_oxygen", "nitrate", "ph"}
+	base := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := catalog.New()
+	for i := 0; i < n; i++ {
+		lat := 42 + float64(i%500)*0.02
+		lon := -127 + float64((i*7)%600)*0.02
+		path := fmt.Sprintf("bench/%04d.obs", i)
+		f := &catalog.Feature{
+			ID:     catalog.IDForPath(path),
+			Path:   path,
+			Source: "stations",
+			Format: "obs",
+			BBox: geo.BBox{
+				MinLat: lat - 0.01, MinLon: lon - 0.01,
+				MaxLat: lat + 0.01, MaxLon: lon + 0.01,
+			},
+			Time: geo.NewTimeRange(
+				base.AddDate(0, 0, i%1500),
+				base.AddDate(0, 0, i%1500+14)),
+			Variables: []catalog.VarFeature{
+				{RawName: names[i%len(names)], Name: names[i%len(names)],
+					Range: geo.NewValueRange(0, 30), Count: 100},
+				{RawName: names[(i+1)%len(names)], Name: names[(i+1)%len(names)],
+					Range: geo.NewValueRange(0, 30), Count: 100},
+			},
+		}
+		if err := c.Upsert(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Pre-build the snapshot so the publish cost stays out of the
+	// per-query timings, as it does in the serving system.
+	c.Snapshot()
+	return c
+}
+
+// BenchmarkSnapshotSearch measures the snapshot read path: the indexed
+// planner vs. the linear-scan ablation at 1/4/8 workers, plus the
+// seed's copy-per-search behavior (deep-copying the catalog before
+// every scan) for reference. Results are recorded in BENCH_search.json.
+func BenchmarkSnapshotSearch(b *testing.B) {
+	const n = 5000
+	c := snapshotBenchCatalog(b, n)
+	loc := geo.Point{Lat: 45.5, Lon: -124.4}
+	tr := geo.NewTimeRange(
+		time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC))
+	vr := geo.NewValueRange(5, 10)
+	q := search.Query{
+		Location: &loc,
+		Time:     &tr,
+		Terms:    []search.Term{{Name: "salinity", Range: &vr}},
+	}
+	run := func(name string, opts search.Options) {
+		b.Run(name, func(b *testing.B) {
+			s := search.New(c, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, w := range []int{1, 4, 8} {
+		opts := search.DefaultOptions()
+		opts.Workers = w
+		run(fmt.Sprintf("indexed-%dw", w), opts)
+	}
+	for _, w := range []int{1, 4, 8} {
+		opts := search.DefaultOptions()
+		opts.UseIndex = false
+		opts.Workers = w
+		run(fmt.Sprintf("linear-%dw", w), opts)
+	}
+	b.Run("seed-copy-per-search", func(b *testing.B) {
+		opts := search.DefaultOptions()
+		opts.UseIndex = false
+		opts.Workers = 1
+		s := search.New(c, opts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The seed cloned every feature on each search (All());
+			// reproduce that cost on top of the scan.
+			_ = c.All()
+			if _, err := s.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -58,6 +58,7 @@ func main() {
 	from := flag.String("from", "", "period start (YYYY-MM-DD)")
 	to := flag.String("to", "", "period end (YYYY-MM-DD)")
 	k := flag.Int("k", 10, "result count")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores)")
 	showSummary := flag.Bool("summary", false, "print the full dataset summary page per hit")
 	textQuery := flag.String("q", "", `textual query, e.g. "near 45.5,-124.4 in mid-2010 with temperature between 5 and 10"`)
 	var vars varFlags
@@ -75,7 +76,7 @@ func main() {
 		// supplies the catalog.
 		root = os.TempDir()
 	}
-	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnh:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module metamess
+
+go 1.22

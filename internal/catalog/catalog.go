@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"metamess/internal/table"
 )
 
 // Catalog is an in-memory feature store with secondary indexes. It is
-// safe for concurrent use; search reads run under a shared lock while
-// wrangling writes take the exclusive lock.
+// safe for concurrent use; wrangling writes take the exclusive lock,
+// while search reads go through an immutable published Snapshot swapped
+// in atomically, so the read path takes no locks at all.
 type Catalog struct {
 	mu       sync.RWMutex
 	features map[string]*Feature
@@ -22,6 +24,11 @@ type Catalog struct {
 	// generation counts mutations, letting long-running searchers detect
 	// that a published catalog replaced this one.
 	generation uint64
+	// snap caches the current immutable snapshot. Mutations clear it;
+	// ReplaceAll (publish) rebuilds it eagerly; Snapshot() rebuilds it
+	// lazily otherwise. Readers load it with a single atomic pointer
+	// load — the lock-free search fast path.
+	snap atomic.Pointer[Snapshot]
 }
 
 // New returns an empty catalog.
@@ -63,7 +70,26 @@ func (c *Catalog) Upsert(f *Feature) error {
 	c.features[clone.ID] = clone
 	c.indexLocked(clone)
 	c.generation++
+	c.snap.Store(nil)
 	return nil
+}
+
+// Snapshot returns the catalog's current immutable snapshot, building
+// it (once) if a mutation invalidated the cached one. The fast path is
+// a single atomic load; concurrent callers after a mutation serialize
+// on the write lock and share the rebuilt snapshot.
+func (c *Catalog) Snapshot() *Snapshot {
+	if s := c.snap.Load(); s != nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.snap.Load(); s != nil {
+		return s
+	}
+	s := newSnapshot(c.features, c.generation)
+	c.snap.Store(s)
+	return s
 }
 
 // Get returns a copy of the feature with the given ID.
@@ -88,10 +114,13 @@ func (c *Catalog) Delete(id string) bool {
 	c.unindexLocked(f)
 	delete(c.features, id)
 	c.generation++
+	c.snap.Store(nil)
 	return true
 }
 
 // All returns copies of every feature, ordered by ID for determinism.
+// Callers that only read should prefer Snapshot().All(), which shares
+// the immutable snapshot's features instead of cloning the catalog.
 func (c *Catalog) All() []*Feature {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -202,6 +231,9 @@ func (c *Catalog) MutateVariables(fn func(f *Feature) bool) int {
 	if changed > 0 {
 		c.generation++
 	}
+	// Invalidate unconditionally: fn may have mutated without
+	// reporting a change.
+	c.snap.Store(nil)
 	return changed
 }
 
@@ -220,15 +252,18 @@ func (c *Catalog) Clone() *Catalog {
 }
 
 // ReplaceAll swaps this catalog's contents for those of other — the
-// atomic Publish step. The source catalog is left untouched.
+// atomic Publish step. The source catalog is left untouched. The new
+// snapshot is built eagerly here, so the first search after a publish
+// pays no build cost and in-flight searches keep their consistent view.
 func (c *Catalog) ReplaceAll(other *Catalog) {
-	snapshot := other.Clone()
+	clone := other.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.features = snapshot.features
-	c.byName = snapshot.byName
-	c.byParent = snapshot.byParent
+	c.features = clone.features
+	c.byName = clone.byName
+	c.byParent = clone.byParent
 	c.generation++
+	c.snap.Store(newSnapshot(c.features, c.generation))
 }
 
 // ToTable extracts the catalog's variable occurrences into a refine grid
@@ -237,10 +272,11 @@ func (c *Catalog) ReplaceAll(other *Catalog) {
 // Rows are ordered by dataset ID then variable position.
 func (c *Catalog) ToTable() *table.Table {
 	t := table.MustNew("dataset", "source", "field", "unit")
-	for _, f := range c.All() {
+	// The snapshot's shared features are read-only here, so no copies.
+	for _, f := range c.Snapshot().All() {
 		for _, v := range f.Variables {
-			// All() returns deep copies sorted by ID; AppendRow only fails
-			// on width mismatch, which is impossible here.
+			// Snapshot().All() is sorted by ID; AppendRow only fails on
+			// width mismatch, which is impossible here.
 			_ = t.AppendRow(f.ID, f.Source, v.Name, v.Unit)
 		}
 	}

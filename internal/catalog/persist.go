@@ -180,7 +180,8 @@ func Compact(path string, c *Catalog) error {
 	defer os.Remove(tmpPath) // no-op after successful rename
 
 	w := bufio.NewWriter(tmp)
-	for _, f := range c.All() {
+	// Read-only export: iterate the shared snapshot, no per-feature copies.
+	for _, f := range c.Snapshot().All() {
 		payload, err := json.Marshal(logRecord{Op: "put", Feature: f})
 		if err != nil {
 			tmp.Close()

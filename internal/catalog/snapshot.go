@@ -1,0 +1,327 @@
+package catalog
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"metamess/internal/geo"
+)
+
+// Snapshot is an immutable, index-carrying view of a catalog at one
+// generation. It is built once — at publish time, or lazily on the
+// first read after a mutation — and then shared by every search until
+// the next mutation swaps in a successor, so queries touch no locks and
+// copy no features.
+//
+// The features a snapshot exposes are private clones made at build
+// time: later catalog mutations cannot reach them. In exchange, callers
+// must treat everything a Snapshot returns as read-only.
+//
+// Positions: the feature slice is sorted by ID, and the secondary
+// indexes speak in positions (indices into All()) rather than IDs, so
+// candidate sets intersect and union as sorted integer slices without
+// hashing.
+type Snapshot struct {
+	features []*Feature
+	pos      map[string]int32
+	// byName indexes positions by current searchable variable name;
+	// byParent by the hierarchy parent of searchable variables.
+	byName   map[string][]int32
+	byParent map[string][]int32
+	spatial  spatialGrid
+	temporal temporalIndex
+
+	generation uint64
+}
+
+// newSnapshot clones the feature map and builds every index. Callers
+// synchronize access to the map (the catalog holds its lock).
+func newSnapshot(features map[string]*Feature, generation uint64) *Snapshot {
+	ids := make([]string, 0, len(features))
+	for id := range features {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	s := &Snapshot{
+		features:   make([]*Feature, len(ids)),
+		pos:        make(map[string]int32, len(ids)),
+		byName:     make(map[string][]int32),
+		byParent:   make(map[string][]int32),
+		generation: generation,
+	}
+	for i, id := range ids {
+		f := features[id].Clone()
+		s.features[i] = f
+		s.pos[id] = int32(i)
+		for _, name := range f.SearchableNames() {
+			s.byName[name] = append(s.byName[name], int32(i))
+		}
+		seenParent := make(map[string]bool)
+		for _, v := range f.Variables {
+			if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
+				continue
+			}
+			seenParent[v.Parent] = true
+			s.byParent[v.Parent] = append(s.byParent[v.Parent], int32(i))
+		}
+	}
+	s.spatial = buildSpatialGrid(s.features)
+	s.temporal = buildTemporalIndex(s.features)
+	return s
+}
+
+// Len returns the number of features in the snapshot.
+func (s *Snapshot) Len() int { return len(s.features) }
+
+// Generation returns the catalog generation the snapshot was built at.
+func (s *Snapshot) Generation() uint64 { return s.generation }
+
+// All returns the shared feature slice, sorted by ID. Callers must not
+// mutate the slice or the features; use Catalog.All for private copies.
+func (s *Snapshot) All() []*Feature { return s.features }
+
+// At returns the feature at a position. Read-only.
+func (s *Snapshot) At(i int32) *Feature { return s.features[i] }
+
+// Get returns the feature with the given ID. Read-only.
+func (s *Snapshot) Get(id string) (*Feature, bool) {
+	i, ok := s.pos[id]
+	if !ok {
+		return nil, false
+	}
+	return s.features[i], true
+}
+
+// WithVariable returns the positions of features whose searchable
+// variables include name, sorted ascending. Read-only.
+func (s *Snapshot) WithVariable(name string) []int32 { return s.byName[name] }
+
+// WithParent returns the positions of features having a searchable
+// variable whose hierarchy parent is name, sorted ascending. Read-only.
+func (s *Snapshot) WithParent(name string) []int32 { return s.byParent[name] }
+
+// SpatialCandidates returns the positions of every feature whose
+// scoring distance from the query box (BBox.DistanceKm for point-sized
+// boxes, BBox.DistanceToBoxKm otherwise) can be at most maxKm. The set
+// is a superset of the truth — grid cells are included conservatively —
+// so pruning against it never loses an exact result. Positions come
+// back in unspecified order and may repeat (a feature spanning several
+// visited cells); callers deduplicate. ok is false when the radius is
+// too large to prune (callers must treat every feature as a candidate).
+func (s *Snapshot) SpatialCandidates(query geo.BBox, maxKm float64) (pos []int32, ok bool) {
+	return s.spatial.candidates(query, maxKm)
+}
+
+// TimeCandidates returns the positions of every feature whose temporal
+// gap from the query range (TimeRange.Distance) can be at most maxGap,
+// again conservatively and in unspecified order. ok is false when the
+// gap is too large to prune.
+func (s *Snapshot) TimeCandidates(query geo.TimeRange, maxGap time.Duration) (pos []int32, ok bool) {
+	return s.temporal.candidates(query, maxGap)
+}
+
+// --- spatial grid ---------------------------------------------------
+
+// The spatial index is a fixed geohash-style grid over the globe:
+// every feature registers in each cell its bounding box overlaps, and a
+// query visits the cells of its padded box. Padding is conservative —
+// derived from lower bounds on the haversine metric the scorer itself
+// uses — so the candidate set is always a superset of the features
+// within maxKm.
+const (
+	gridCellDeg = 2.0
+	gridCols    = int32(360 / gridCellDeg)
+	gridRows    = int32(180 / gridCellDeg)
+	// kmPerDegLat underestimates a degree of latitude (true value
+	// ~111.195 km on the scoring sphere), inflating the pad.
+	kmPerDegLat = 110.0
+	// maxPruneKm: beyond this radius the grid stops pruning entirely.
+	maxPruneKm = 15000.0
+	gridPadDeg = 0.01
+)
+
+type spatialGrid struct {
+	cells map[int32][]int32
+}
+
+func gridRow(lat float64) int32 {
+	r := int32((lat + 90) / gridCellDeg)
+	if r < 0 {
+		r = 0
+	}
+	if r >= gridRows {
+		r = gridRows - 1
+	}
+	return r
+}
+
+func gridCol(lon float64) int32 {
+	c := int32((lon + 180) / gridCellDeg)
+	if c < 0 {
+		c = 0
+	}
+	if c >= gridCols {
+		c = gridCols - 1
+	}
+	return c
+}
+
+func buildSpatialGrid(features []*Feature) spatialGrid {
+	g := spatialGrid{cells: make(map[int32][]int32)}
+	for i, f := range features {
+		if f.BBox.IsEmpty() {
+			// Empty extent scores zero on the space dimension; it is
+			// never a spatial candidate.
+			continue
+		}
+		r0, r1 := gridRow(f.BBox.MinLat), gridRow(f.BBox.MaxLat)
+		c0, c1 := gridCol(f.BBox.MinLon), gridCol(f.BBox.MaxLon)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				key := r*gridCols + c
+				g.cells[key] = append(g.cells[key], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+// candidates visits the cells of the query box padded by maxKm.
+//
+// Latitude pad: haversine distance is at least R·Δφ, so a feature
+// within maxKm clamps to a point within maxKm/kmPerDegLat degrees of
+// the query's latitude span. Longitude pad: distance is at least
+// 2R·sqrt(cosφ1·cosφ2)·sin(Δλ/2), giving Δλ ≤ 2·asin(maxKm/(2R·sqrt(cc)))
+// with cc lower-bounded over the padded latitude band; near the poles
+// (or when the bound degenerates) every column is visited. Columns wrap
+// across the antimeridian, matching haversine's wrapped Δλ.
+func (g spatialGrid) candidates(query geo.BBox, maxKm float64) ([]int32, bool) {
+	if maxKm < 0 || math.IsInf(maxKm, 1) || maxKm >= maxPruneKm {
+		return nil, false
+	}
+	latPad := maxKm/kmPerDegLat + gridPadDeg
+	latLo := query.MinLat - latPad
+	latHi := query.MaxLat + latPad
+
+	const degToRad = math.Pi / 180
+	a1 := math.Max(math.Abs(query.MinLat), math.Abs(query.MaxLat))
+	a2 := math.Min(math.Max(math.Abs(latLo), math.Abs(latHi)), 90)
+	cc := math.Cos(a1*degToRad) * math.Cos(a2*degToRad)
+
+	allCols := false
+	var lonPad float64
+	if cc <= 1e-6 {
+		allCols = true
+	} else {
+		sinHalf := maxKm / (2 * geo.EarthRadiusKm * math.Sqrt(cc))
+		if sinHalf >= 1 {
+			allCols = true
+		} else {
+			lonPad = 2*math.Asin(sinHalf)/degToRad + gridPadDeg
+		}
+	}
+
+	r0, r1 := gridRow(latLo), gridRow(latHi)
+	var cols []int32
+	if allCols || (query.MaxLon+lonPad)-(query.MinLon-lonPad) >= 360 {
+		for c := int32(0); c < gridCols; c++ {
+			cols = append(cols, c)
+		}
+	} else {
+		// Wrapped column range: pad may cross the antimeridian.
+		c0 := int32(math.Floor((query.MinLon - lonPad + 180) / gridCellDeg))
+		c1 := int32(math.Floor((query.MaxLon + lonPad + 180) / gridCellDeg))
+		for c := c0; c <= c1; c++ {
+			cols = append(cols, ((c%gridCols)+gridCols)%gridCols)
+		}
+	}
+
+	var out []int32
+	for r := r0; r <= r1; r++ {
+		for _, c := range cols {
+			out = append(out, g.cells[r*gridCols+c]...)
+		}
+	}
+	return out, true
+}
+
+// --- temporal interval index ----------------------------------------
+
+// The temporal index keeps the features sorted by interval start
+// (ascending) and by interval end (descending). A feature is within
+// maxGap of query [qs,qe] iff Start ≤ qe+maxGap and End ≥ qs−maxGap;
+// binary search on one order yields a prefix, the other predicate
+// filters it. Zero time ranges are indexed at their literal (year-1)
+// endpoints, matching TimeRange.Distance's scoring semantics exactly.
+type temporalIndex struct {
+	byStart []int32
+	starts  []time.Time // key array aligned with byStart
+	byEnd   []int32
+	ends    []time.Time // key array aligned with byEnd
+	startAt []time.Time // position-indexed Start
+	endAt   []time.Time // position-indexed End
+}
+
+func buildTemporalIndex(features []*Feature) temporalIndex {
+	n := len(features)
+	t := temporalIndex{
+		byStart: make([]int32, n),
+		byEnd:   make([]int32, n),
+		startAt: make([]time.Time, n),
+		endAt:   make([]time.Time, n),
+	}
+	for i, f := range features {
+		t.byStart[i] = int32(i)
+		t.byEnd[i] = int32(i)
+		t.startAt[i] = f.Time.Start
+		t.endAt[i] = f.Time.End
+	}
+	sort.SliceStable(t.byStart, func(a, b int) bool {
+		return t.startAt[t.byStart[a]].Before(t.startAt[t.byStart[b]])
+	})
+	sort.SliceStable(t.byEnd, func(a, b int) bool {
+		return t.endAt[t.byEnd[a]].After(t.endAt[t.byEnd[b]])
+	})
+	t.starts = make([]time.Time, n)
+	t.ends = make([]time.Time, n)
+	for i, p := range t.byStart {
+		t.starts[i] = t.startAt[p]
+	}
+	for i, p := range t.byEnd {
+		t.ends[i] = t.endAt[p]
+	}
+	return t
+}
+
+func (t temporalIndex) candidates(query geo.TimeRange, maxGap time.Duration) ([]int32, bool) {
+	if maxGap < 0 {
+		return nil, false
+	}
+	latestStart := query.End.Add(maxGap)
+	earliestEnd := query.Start.Add(-maxGap)
+
+	// Prefix of byStart with Start ≤ latestStart.
+	n1 := sort.Search(len(t.starts), func(i int) bool { return t.starts[i].After(latestStart) })
+	// Prefix of byEnd with End ≥ earliestEnd.
+	n2 := sort.Search(len(t.ends), func(i int) bool { return t.ends[i].Before(earliestEnd) })
+
+	var out []int32
+	if n1 <= n2 {
+		for i := 0; i < n1; i++ {
+			p := t.byStart[i]
+			if !t.endAt[p].Before(earliestEnd) {
+				out = append(out, p)
+			}
+		}
+	} else {
+		for i := 0; i < n2; i++ {
+			p := t.byEnd[i]
+			if !t.startAt[p].After(latestStart) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out, true
+}

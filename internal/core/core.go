@@ -165,7 +165,9 @@ func Mess(c *catalog.Catalog, k *semdiv.Knowledge) MessReport {
 	cls := semdiv.NewClassifier(k)
 	excludedNames := make(map[string]bool)
 	groupedNames := make(map[string]bool)
-	for _, f := range c.All() {
+	// Read-only pass: the shared snapshot avoids cloning the catalog
+	// once per chain step.
+	for _, f := range c.Snapshot().All() {
 		for _, v := range f.Variables {
 			if v.Excluded {
 				excludedNames[v.Name] = true

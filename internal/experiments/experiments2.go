@@ -209,7 +209,7 @@ func Figure5DatasetSummary(dir string, datasets int, seed int64) (*Table, error)
 	truth := m.ByPath()
 	var total, varsShown, exclShown, ctxShown, parentShown, rangesOK int
 	var exclTotal, ctxTotal int
-	for _, f := range ctx.Published.All() {
+	for _, f := range ctx.Published.Snapshot().All() {
 		total++
 		sum := search.Summarize(f)
 		d := truth[f.Path]

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+
+	"metamess/internal/catalog"
+)
+
+// parallelMinWork is the candidate count below which scoring stays on
+// the calling goroutine; a package variable so tests can force the
+// parallel path on tiny catalogs.
+var parallelMinWork = 256
+
+// executePlan runs the tiers of a plan over the snapshot: score each
+// tier's not-yet-scored candidates (in parallel), merge into the
+// accumulated top-K, and stop as soon as the K-th score strictly
+// exceeds the tier's outside bound — anything unscored is then provably
+// below every returned result.
+func (s *Searcher) executePlan(snap *catalog.Snapshot, pln plan, q Query, expanded []expandedTerm, k int) []Result {
+	n := snap.Len()
+	scored := make([]bool, n)
+	var acc []Result
+	for _, t := range pln.tiers {
+		var batch []int32
+		if t.all {
+			for i := 0; i < n; i++ {
+				if !scored[i] {
+					batch = append(batch, int32(i))
+				}
+			}
+		} else {
+			for _, p := range t.pos {
+				if !scored[p] {
+					batch = append(batch, p)
+				}
+			}
+		}
+		for _, p := range batch {
+			scored[p] = true
+		}
+		if len(batch) > 0 {
+			acc = append(acc, s.scorePositions(snap, batch, q, expanded, k)...)
+			rank(acc)
+			if len(acc) > k {
+				acc = acc[:k]
+			}
+		}
+		if len(acc) >= k && acc[k-1].Score > t.bound {
+			break
+		}
+	}
+	return acc
+}
+
+// scorePositions scores a candidate batch and returns its top-K (by the
+// ranking order), unsorted. Large batches fan out across a worker pool;
+// each worker keeps a bounded top-K min-heap so memory stays O(K·workers)
+// regardless of catalog size, and the merged heaps contain a superset
+// of the batch's true top-K.
+func (s *Searcher) scorePositions(snap *catalog.Snapshot, pos []int32, q Query, expanded []expandedTerm, k int) []Result {
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(pos) < parallelMinWork || workers <= 1 {
+		h := newTopK(k)
+		for _, p := range pos {
+			if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
+				h.consider(r)
+			}
+		}
+		return h.items
+	}
+	if workers > len(pos) {
+		workers = len(pos)
+	}
+	heaps := make([]*topK, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pos) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pos) {
+			hi = len(pos)
+		}
+		if lo >= hi {
+			heaps[w] = newTopK(k)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := newTopK(k)
+			for _, p := range pos[lo:hi] {
+				if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
+					h.consider(r)
+				}
+			}
+			heaps[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []Result
+	for _, h := range heaps {
+		out = append(out, h.items...)
+	}
+	return out
+}
+
+// topK is a bounded min-heap ordered by the ranking comparator (score
+// ascending, then ID descending), so the root is the worst kept result
+// and a better candidate evicts it in O(log K).
+type topK struct {
+	k     int
+	items []Result
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// outranked reports whether a ranks strictly below b in the final
+// ordering (score descending, ID ascending on ties).
+func outranked(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Feature.ID > b.Feature.ID
+}
+
+func (h *topK) consider(r Result) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if outranked(h.items[0], r) {
+		h.items[0] = r
+		h.down(0)
+	}
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !outranked(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && outranked(h.items[l], h.items[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && outranked(h.items[r], h.items[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}

@@ -1,0 +1,179 @@
+package search
+
+import (
+	"math"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/geo"
+)
+
+// The planner turns a query into tiers of candidate positions over a
+// snapshot, one per widening step. Each query dimension contributes a
+// candidate set from its index:
+//
+//   - variables: union of the name and hierarchy-parent indexes over
+//     all term expansions — a non-candidate's variable score is exactly 0;
+//   - space: grid candidates within the distance where the decay score
+//     falls below PruneScore — a non-candidate's space score is < ε;
+//   - time: interval-index candidates within the corresponding gap —
+//     a non-candidate's time score is < ε.
+//
+// Tier 1 is the intersection of the dimension sets (datasets plausible
+// on every dimension), tier 2 their union, tier 3 the full catalog.
+// Each tier carries the exact upper bound on the score of anything
+// outside it: beyond the intersection, a dataset misses at least one
+// dimension set; beyond the union it misses all of them. The executor
+// stops widening as soon as the current K-th score strictly exceeds
+// the tier bound, so results are provably identical to a full scan.
+type plan struct {
+	tiers []tier
+}
+
+// tier is one widening step: score these positions (all=true → every
+// feature), then stop if the K-th accumulated score beats bound.
+type tier struct {
+	pos   []int32
+	all   bool
+	bound float64 // score ceiling for anything outside this tier; <0 = none
+}
+
+// dimSet is one query dimension's candidate set — unsorted positions,
+// possibly with duplicates (the mark sweep below tolerates both).
+// all=true means the dimension cannot prune (its index declined, e.g.
+// an over-large radius) and every feature must be treated as a
+// candidate.
+type dimSet struct {
+	pos    []int32
+	all    bool
+	weight float64
+	// beta bounds the dimension score of a non-candidate (0 for
+	// variables, PruneScore for space and time).
+	beta float64
+}
+
+func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expandedTerm) plan {
+	var dims []dimSet
+	w := s.opts.Weights
+	eps := s.opts.PruneScore
+
+	if len(expanded) > 0 {
+		dims = append(dims, dimSet{
+			pos:    varCandidates(snap, expanded),
+			weight: w.Variables,
+			beta:   0,
+		})
+	}
+	if q.Location != nil || q.Region != nil {
+		var qb geo.BBox
+		if q.Location != nil {
+			qb = geo.BBox{
+				MinLat: q.Location.Lat, MinLon: q.Location.Lon,
+				MaxLat: q.Location.Lat, MaxLon: q.Location.Lon,
+			}
+		} else {
+			qb = *q.Region
+		}
+		// decay(d, scale) ≥ ε  ⟺  d ≤ scale·(1/ε − 1); +1 km of slack
+		// keeps float rounding on the candidate side.
+		maxKm := s.opts.SpaceScaleKm*(1/eps-1) + 1
+		pos, ok := snap.SpatialCandidates(qb, maxKm)
+		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Space, beta: eps})
+	}
+	if q.Time != nil {
+		gapF := float64(s.opts.TimeScale) * (1/eps - 1)
+		var pos []int32
+		ok := false
+		if gapF < float64(math.MaxInt64)/4 {
+			maxGap := time.Duration(gapF) + time.Hour
+			pos, ok = snap.TimeCandidates(*q.Time, maxGap)
+		}
+		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Time, beta: eps})
+	}
+
+	totalWeight := 0.0
+	for _, d := range dims {
+		totalWeight += d.weight
+	}
+	if totalWeight == 0 {
+		return plan{tiers: []tier{{all: true, bound: -1}}}
+	}
+
+	// Intersection and union come from one mark sweep: each dimension
+	// sets its bit on its candidate positions (idempotent, so unsorted
+	// and duplicated index output is fine), then a single ascending
+	// pass classifies every position. No sorting, and the tiers come
+	// out in deterministic position order.
+	fullMask := uint8(1)<<len(dims) - 1
+	var allMask uint8
+	for di, d := range dims {
+		if d.all {
+			allMask |= uint8(1) << di
+		}
+	}
+	interAll := allMask == fullMask
+	unionAll := allMask != 0
+
+	var interPos, unionPos []int32
+	if !interAll {
+		marks := make([]uint8, snap.Len())
+		for di, d := range dims {
+			if d.all {
+				continue
+			}
+			bit := uint8(1) << di
+			for _, p := range d.pos {
+				marks[p] |= bit
+			}
+		}
+		for i, m := range marks {
+			m |= allMask
+			if m == fullMask {
+				interPos = append(interPos, int32(i))
+			}
+			if !unionAll && m != 0 {
+				unionPos = append(unionPos, int32(i))
+			}
+		}
+	}
+
+	// Outside the intersection at least one dimension d is missed:
+	// score ≤ (Σw − w_d·(1−β_d))/Σw, maximized over d. Outside the
+	// union every dimension is missed: score ≤ Σ(w_d·β_d)/Σw.
+	interBound := 0.0
+	unionBound := 0.0
+	for _, d := range dims {
+		if b := (totalWeight - d.weight*(1-d.beta)) / totalWeight; b > interBound {
+			interBound = b
+		}
+		unionBound += d.weight * d.beta / totalWeight
+	}
+
+	// A single dimension makes intersection and union identical, so the
+	// union tier is only added for multi-dimensional queries. An all
+	// intersection implies every dimension declined to prune (interAll
+	// ⟹ unionAll), leaving just the full scan.
+	var tiers []tier
+	if !interAll {
+		tiers = append(tiers, tier{pos: interPos, bound: interBound})
+		if len(dims) > 1 && !unionAll {
+			tiers = append(tiers, tier{pos: unionPos, bound: unionBound})
+		}
+	}
+	tiers = append(tiers, tier{all: true, bound: -1})
+	return plan{tiers: tiers}
+}
+
+// varCandidates unions the variable-name and hierarchy-parent indexes
+// over all term expansions; positions may repeat across terms (the
+// mark sweep dedups).
+func varCandidates(snap *catalog.Snapshot, expanded []expandedTerm) []int32 {
+	var out []int32
+	for _, et := range expanded {
+		for _, exp := range et.expansions {
+			out = append(out, snap.WithVariable(exp.Name)...)
+		}
+		out = append(out, snap.WithParent(et.term.Name)...)
+	}
+	return out
+}

@@ -88,9 +88,21 @@ type Options struct {
 	SpaceScaleKm float64
 	// TimeScale is the gap at which the time score halves. Default 30 days.
 	TimeScale time.Duration
-	// UseIndex prunes candidates through the variable-name index when the
-	// query has terms. Disable for the linear-scan ablation.
+	// UseIndex plans candidate sets through the snapshot's secondary
+	// indexes (variable-name, spatial grid, time-interval) before
+	// scoring. Disable for the linear-scan ablation, which scores every
+	// feature; both paths return identical rankings.
 	UseIndex bool
+	// Workers is the number of goroutines scoring candidates in
+	// parallel, each with a bounded top-K heap. 0 means GOMAXPROCS;
+	// small batches stay on the calling goroutine either way.
+	Workers int
+	// PruneScore is the per-dimension score ε below which the spatial
+	// and temporal indexes may prune a candidate. Exactness is kept by
+	// the planner's widening bounds regardless of the value; smaller ε
+	// means larger candidate sets and less frequent widening. Default
+	// 0.05 (≈475 km / 570 days at the default scales).
+	PruneScore float64
 	// Expander rewrites query terms (synonyms, abbreviations, context
 	// qualification). Nil means exact matching only.
 	Expander Expander
@@ -105,6 +117,7 @@ func DefaultOptions() Options {
 		SpaceScaleKm: 25,
 		TimeScale:    30 * 24 * time.Hour,
 		UseIndex:     true,
+		PruneScore:   0.05,
 		ParentWeight: 0.8,
 	}
 }
@@ -127,7 +140,8 @@ type TermScore struct {
 	MatchedAs string  `json:"matchedAs,omitempty"`
 }
 
-// Result is one ranked hit.
+// Result is one ranked hit. Feature points into the immutable search
+// snapshot and must be treated as read-only.
 type Result struct {
 	Feature *catalog.Feature `json:"feature"`
 	// Score is the overall similarity in [0,1].
@@ -138,7 +152,9 @@ type Result struct {
 	TermScores        []TermScore `json:"termScores,omitempty"`
 }
 
-// Searcher ranks catalog features against queries.
+// Searcher ranks catalog features against queries. Every query runs
+// over the catalog's current immutable snapshot: one atomic pointer
+// load, no locks, and no feature copies on the read path.
 type Searcher struct {
 	cat  *catalog.Catalog
 	opts Options
@@ -157,15 +173,22 @@ func New(cat *catalog.Catalog, opts Options) *Searcher {
 	if opts.ParentWeight <= 0 {
 		opts.ParentWeight = def.ParentWeight
 	}
+	if opts.PruneScore <= 0 || opts.PruneScore >= 1 {
+		opts.PruneScore = def.PruneScore
+	}
 	opts.Weights = opts.Weights.normalized()
 	return &Searcher{cat: cat, opts: opts}
 }
 
-// Search returns the top-K datasets by similarity to the query. Results
-// are exact: when index pruning is on, the searcher scores the index
-// candidates first and only widens to a full scan if a dataset matching
-// no variable term could still reach the top K (its score is bounded
-// because its variable dimension contributes zero).
+// Search returns the top-K datasets by similarity to the query.
+//
+// Results are exact: the planner scores index candidates tier by tier
+// (intersection of the per-dimension candidate sets, then their union,
+// then everything) and stops only when the K-th score strictly exceeds
+// the provable ceiling on everything unscored — a dataset outside a
+// dimension's candidate set scores 0 on the variable dimension and
+// below PruneScore on the spatial and temporal ones. The linear-scan
+// ablation (UseIndex=false) returns byte-identical rankings.
 func (s *Searcher) Search(q Query) ([]Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -175,36 +198,21 @@ func (s *Searcher) Search(q Query) ([]Result, error) {
 		k = 10
 	}
 	expanded := s.expandTerms(q.Terms)
+	snap := s.cat.Snapshot()
 
-	if s.opts.UseIndex && len(expanded) > 0 {
-		candidateIDs := s.candidateIDs(expanded)
-		results := s.scoreIDs(candidateIDs, q, expanded)
-		rank(results)
-		if len(results) >= k && results[k-1].Score > s.nonCandidateBound(q) {
-			return results[:k], nil
+	if !s.opts.UseIndex {
+		all := make([]int32, snap.Len())
+		for i := range all {
+			all[i] = int32(i)
 		}
-		// Widen: score every non-candidate too.
-		rest := s.scoreAllExcept(candidateIDs, q, expanded)
-		results = append(results, rest...)
+		results := s.scorePositions(snap, all, q, expanded, k)
 		rank(results)
 		if len(results) > k {
 			results = results[:k]
 		}
 		return results, nil
 	}
-
-	var results []Result
-	for _, f := range s.cat.All() {
-		r := s.score(f, q, expanded)
-		if r.Score > 0 {
-			results = append(results, r)
-		}
-	}
-	rank(results)
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results, nil
+	return s.executePlan(snap, s.buildPlan(snap, q, expanded), q, expanded, k), nil
 }
 
 func rank(results []Result) {
@@ -214,72 +222,6 @@ func rank(results []Result) {
 		}
 		return results[i].Feature.ID < results[j].Feature.ID
 	})
-}
-
-// nonCandidateBound is the best total score a dataset matching no
-// variable term can achieve: perfect space and time, zero variables.
-func (s *Searcher) nonCandidateBound(q Query) float64 {
-	w := s.opts.Weights
-	total := w.Variables
-	best := 0.0
-	if q.Location != nil || q.Region != nil {
-		total += w.Space
-		best += w.Space
-	}
-	if q.Time != nil {
-		total += w.Time
-		best += w.Time
-	}
-	return best / total
-}
-
-// candidateIDs unions the variable-name and hierarchy-parent indexes over
-// all term expansions.
-func (s *Searcher) candidateIDs(expanded []expandedTerm) map[string]bool {
-	ids := make(map[string]bool)
-	for _, et := range expanded {
-		for _, exp := range et.expansions {
-			for _, id := range s.cat.DatasetsWithVariable(exp.Name) {
-				ids[id] = true
-			}
-		}
-		for _, id := range s.cat.DatasetsWithParent(et.term.Name) {
-			ids[id] = true
-		}
-	}
-	return ids
-}
-
-func (s *Searcher) scoreIDs(ids map[string]bool, q Query, expanded []expandedTerm) []Result {
-	sorted := make([]string, 0, len(ids))
-	for id := range ids {
-		sorted = append(sorted, id)
-	}
-	sort.Strings(sorted)
-	var out []Result
-	for _, id := range sorted {
-		f, ok := s.cat.Get(id)
-		if !ok {
-			continue
-		}
-		if r := s.score(f, q, expanded); r.Score > 0 {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-func (s *Searcher) scoreAllExcept(skip map[string]bool, q Query, expanded []expandedTerm) []Result {
-	var out []Result
-	for _, f := range s.cat.All() {
-		if skip[f.ID] {
-			continue
-		}
-		if r := s.score(f, q, expanded); r.Score > 0 {
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // expandedTerm carries a term with its rewrites.

@@ -116,7 +116,7 @@ func (SameTypeDirectory) Name() string { return "same-type-directory" }
 // Run implements Check.
 func (SameTypeDirectory) Run(ctx *Context) []Finding {
 	byDir := make(map[string]map[string][]string) // dir -> format -> paths
-	for _, f := range ctx.Catalog.All() {
+	for _, f := range ctx.Catalog.Snapshot().All() {
 		dir := path.Dir(filepath.ToSlash(f.Path))
 		if byDir[dir] == nil {
 			byDir[dir] = make(map[string][]string)
@@ -234,7 +234,7 @@ func (UnitsResolved) Run(ctx *Context) []Finding {
 	}
 	seen := make(map[string]bool)
 	var out []Finding
-	for _, f := range ctx.Catalog.All() {
+	for _, f := range ctx.Catalog.Snapshot().All() {
 		for _, v := range f.Variables {
 			if v.Unit == "" || seen[v.Unit] {
 				continue
@@ -271,7 +271,7 @@ func (p PlausibleRanges) Run(ctx *Context) []Finding {
 	}
 	byName := vocab.ByName(ctx.Knowledge.Vocabulary)
 	var out []Finding
-	for _, f := range ctx.Catalog.All() {
+	for _, f := range ctx.Catalog.Snapshot().All() {
 		for _, v := range f.Variables {
 			cv, ok := byName[v.Name]
 			if !ok || v.Count == 0 {

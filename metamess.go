@@ -50,6 +50,11 @@ type Config struct {
 	// StrictValidation makes Wrangle fail (and skip publishing) when any
 	// validation check errors.
 	StrictValidation bool
+	// SearchWorkers is the number of goroutines scoring search
+	// candidates in parallel (0 = GOMAXPROCS). Searches run over the
+	// immutable snapshot published by Wrangle, so workers never contend
+	// with wrangling.
+	SearchWorkers int
 }
 
 // System is a wired-up metadata wrangling pipeline plus search engine.
@@ -90,6 +95,7 @@ func New(cfg Config) (*System, error) {
 
 	opts := search.DefaultOptions()
 	opts.Expander = search.NewKnowledgeExpander(k)
+	opts.Workers = cfg.SearchWorkers
 	s.searcher = search.New(ctx.Published, opts)
 	return s, nil
 }
@@ -118,7 +124,9 @@ type Report struct {
 
 // Wrangle runs the full chain: scan (incrementally), transform, discover,
 // generate hierarchies, validate, publish. Safe to call repeatedly; the
-// published catalog is replaced atomically each time.
+// published catalog — and the immutable snapshot searches read — is
+// replaced atomically each time, so concurrent searches see either the
+// old or the new catalog, never a mix.
 func (s *System) Wrangle() (*Report, error) {
 	run, err := s.process.Run(s.ctx)
 	if err != nil {
