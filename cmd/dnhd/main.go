@@ -1,0 +1,127 @@
+// Command dnhd is the "Data Near Here" daemon: it wrangles (or loads)
+// a metadata catalog once, then serves ranked search over HTTP until
+// stopped — the long-lived service the one-shot dnh CLI is not.
+//
+// Usage:
+//
+//	dnhd -archive /data/archive -addr :8080 -rewrangle 15m
+//	dnhd -catalog /var/dnh/catalog.json -addr :8080
+//
+// Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
+// GET /curator/queue, GET /healthz, GET /stats.
+//
+// Signals: SIGHUP triggers an immediate background re-wrangle — or, in
+// -catalog mode, reloads the catalog file — while searches keep serving
+// the old snapshot until the new one publishes; SIGINT and SIGTERM
+// drain in-flight requests for up to -drain, then exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metamess"
+	"metamess/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	archiveRoot := flag.String("archive", "", "archive root (wrangled before serving)")
+	catalogPath := flag.String("catalog", "", "published catalog snapshot (skips wrangling)")
+	rewrangle := flag.Duration("rewrangle", 0, "background re-wrangle interval (0 = SIGHUP only)")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "query cache entries (negative disables)")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dnhd: ", log.LstdFlags)
+	if *archiveRoot == "" && *catalogPath == "" {
+		fmt.Fprintln(os.Stderr, "dnhd: one of -archive or -catalog is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	root := *archiveRoot
+	if root == "" {
+		// A throwaway root satisfies config validation; the snapshot
+		// supplies the catalog.
+		root = os.TempDir()
+	}
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fromCatalog := *catalogPath != "" && *archiveRoot == ""
+	if fromCatalog && *rewrangle > 0 {
+		// There is no archive to wrangle — a scheduled run would scan the
+		// throwaway root and publish an empty catalog over the loaded one.
+		logger.Printf("-rewrangle ignored in -catalog mode (SIGHUP reloads the catalog instead)")
+		*rewrangle = 0
+	}
+	if *catalogPath != "" {
+		if err := sys.LoadCatalog(*catalogPath); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded catalog %s: %d datasets", *catalogPath, sys.DatasetCount())
+	} else {
+		start := time.Now()
+		rep, err := sys.Wrangle()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("wrangled %s: %d datasets, coverage %.3f, %v",
+			root, rep.Datasets, rep.CoverageAfter, time.Since(start))
+	}
+
+	srv, err := server.New(server.Config{
+		Sys:            sys,
+		CacheSize:      *cacheSize,
+		RewrangleEvery: *rewrangle,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving on %s (generation %d)", bound, sys.SnapshotGeneration())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			if fromCatalog {
+				// Reload the snapshot file; ReplaceAll publishes it
+				// atomically and bumps the generation, invalidating the
+				// query cache just like a wrangled publish.
+				if err := sys.LoadCatalog(*catalogPath); err != nil {
+					logger.Printf("SIGHUP: reload %s: %v", *catalogPath, err)
+				} else {
+					logger.Printf("SIGHUP: reloaded catalog %s: %d datasets, generation %d",
+						*catalogPath, sys.DatasetCount(), sys.SnapshotGeneration())
+				}
+				continue
+			}
+			logger.Printf("SIGHUP: scheduling re-wrangle")
+			srv.Rewrangle()
+			continue
+		}
+		logger.Printf("%v: draining (up to %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("bye")
+		return
+	}
+}

@@ -1,0 +1,188 @@
+// Command dnhload replays a generated query workload against a dnhd
+// server, concurrently, and reports serving throughput and latency
+// percentiles — the numbers in BENCH_serve.json.
+//
+// Two modes:
+//
+//	dnhload -out BENCH_serve.json                 # self-hosted benchmark:
+//	    generates an archive, wrangles it, starts an in-process server,
+//	    and replays cold (distinct queries) and hot (one repeated query)
+//	    phases against it.
+//
+//	dnhload -addr http://127.0.0.1:8080 -manifest /tmp/archive/manifest.json
+//	    replays against an already-running server, deriving queries from
+//	    the archive's ground-truth manifest (e.g. the CI smoke test, with
+//	    a SIGHUP re-wrangle racing the replay).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"metamess"
+	"metamess/internal/archive"
+	"metamess/internal/server"
+	"metamess/internal/workload"
+)
+
+// searchRequests converts judged workload queries into POST /search
+// wire requests against base.
+func searchRequests(base string, queries []workload.Judged) ([]workload.HTTPRequest, error) {
+	out := make([]workload.HTTPRequest, len(queries))
+	for i, j := range queries {
+		body, err := json.Marshal(server.RequestFromQuery(j.Query))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = workload.HTTPRequest{Method: http.MethodPost, URL: base + "/search", Body: body}
+	}
+	return out, nil
+}
+
+// benchReport is the BENCH_serve.json schema.
+type benchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	Mode        string `json:"mode"`
+	Datasets    int    `json:"datasets"`
+	Concurrency int    `json:"concurrency"`
+	// Cold replays distinct queries (mostly cache misses); Hot replays
+	// one query (first request misses, the rest hit the snapshot-keyed
+	// cache).
+	Cold workload.LoadStats `json:"cold"`
+	Hot  workload.LoadStats `json:"hot"`
+	// HotSpeedupP50 is Cold.P50Ms / Hot.P50Ms — how much faster the
+	// cached hot query is at the median.
+	HotSpeedupP50 float64 `json:"hotSpeedupP50"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running dnhd (empty = self-hosted benchmark)")
+	manifestPath := flag.String("manifest", "", "archive manifest.json for query derivation (required with -addr)")
+	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
+	n := flag.Int("n", 400, "requests per phase")
+	conc := flag.Int("c", 8, "concurrent requests")
+	datasets := flag.Int("datasets", 300, "archive size in self-hosted mode")
+	seed := flag.Int64("seed", 42, "workload/archive seed")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dnhload: ", log.LstdFlags)
+	rep := benchReport{Concurrency: *conc}
+
+	var m *archive.Manifest
+	base := *addr
+	if base == "" {
+		rep.Mode = "selfhosted"
+		var shutdown func()
+		var err error
+		base, m, shutdown, err = selfHost(logger, *datasets, *seed)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer shutdown()
+	} else {
+		rep.Mode = "external"
+		if *manifestPath == "" {
+			logger.Fatal("-manifest is required with -addr")
+		}
+		var err error
+		m, err = archive.ReadManifest(*manifestPath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+	rep.Datasets = len(m.Datasets)
+
+	queries, err := workload.Queries(m, *n, *seed, workload.DefaultRelevance(), false)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	coldReqs, err := searchRequests(base, queries)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	hotReqs := make([]workload.HTTPRequest, *n)
+	for i := range hotReqs {
+		hotReqs[i] = coldReqs[0]
+	}
+
+	ctx := context.Background()
+	opts := workload.LoadOptions{Concurrency: *conc}
+	logger.Printf("cold phase: %d distinct queries, c=%d", len(coldReqs), *conc)
+	if rep.Cold, err = workload.Replay(ctx, coldReqs, opts); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("hot phase: 1 query x %d, c=%d", len(hotReqs), *conc)
+	if rep.Hot, err = workload.Replay(ctx, hotReqs, opts); err != nil {
+		logger.Fatal(err)
+	}
+	if rep.Hot.P50Ms > 0 {
+		rep.HotSpeedupP50 = rep.Cold.P50Ms / rep.Hot.P50Ms
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	body = append(body, '\n')
+	if *out == "" {
+		os.Stdout.Write(body)
+	} else if err := os.WriteFile(*out, body, 0o644); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("cold: %.0f qps p50=%.2fms p99=%.2fms (%d errors); hot: %.0f qps p50=%.2fms p99=%.2fms (%d errors); hot p50 speedup %.1fx",
+		rep.Cold.QPS, rep.Cold.P50Ms, rep.Cold.P99Ms, rep.Cold.Errors,
+		rep.Hot.QPS, rep.Hot.P50Ms, rep.Hot.P99Ms, rep.Hot.Errors, rep.HotSpeedupP50)
+	if rep.Cold.Errors+rep.Hot.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// selfHost generates an archive, wrangles it, and starts an in-process
+// server on a loopback port.
+func selfHost(logger *log.Logger, datasets int, seed int64) (base string, m *archive.Manifest, shutdown func(), err error) {
+	root, err := os.MkdirTemp("", "dnhload-archive-")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(root) }
+	m, err = archive.Generate(root, archive.DefaultGenConfig(datasets, seed))
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	start := time.Now()
+	if _, err = sys.Wrangle(); err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	logger.Printf("wrangled %d datasets in %v", sys.DatasetCount(), time.Since(start))
+	srv, err := server.New(server.Config{Sys: sys, Logger: logger})
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		cleanup()
+	}
+	return fmt.Sprintf("http://%s", bound), m, shutdown, nil
+}

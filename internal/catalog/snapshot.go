@@ -85,8 +85,10 @@ func (s *Snapshot) All() []*Feature { return s.features }
 // At returns the feature at a position. Read-only.
 func (s *Snapshot) At(i int32) *Feature { return s.features[i] }
 
-// Get returns the feature with the given ID. Read-only.
-func (s *Snapshot) Get(id string) (*Feature, bool) {
+// ByID returns the feature with the given ID without taking a lock or
+// cloning: the serving-path alternative to Catalog.Get, whose per-call
+// deep clone is wasted on read-only consumers. Read-only.
+func (s *Snapshot) ByID(id string) (*Feature, bool) {
 	i, ok := s.pos[id]
 	if !ok {
 		return nil, false

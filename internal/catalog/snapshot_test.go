@@ -52,6 +52,26 @@ func TestSnapshotCachedUntilMutation(t *testing.T) {
 	}
 }
 
+func TestSnapshotByID(t *testing.T) {
+	c := New()
+	base := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := c.Upsert(snapFeat("a.obs", 45, -124, base, 10, "salinity")); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	f, ok := s.ByID(IDForPath("a.obs"))
+	if !ok || f.Path != "a.obs" {
+		t.Fatalf("ByID = %v, %v", f, ok)
+	}
+	if _, ok := s.ByID(IDForPath("missing.obs")); ok {
+		t.Error("ByID found a missing ID")
+	}
+	// ByID shares the snapshot's feature (no per-call clone).
+	if s.At(0) != f {
+		t.Error("ByID does not share the snapshot feature")
+	}
+}
+
 func TestSnapshotIsolatedFromMutation(t *testing.T) {
 	c := New()
 	base := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
@@ -109,8 +129,8 @@ func TestSnapshotNameAndParentIndexes(t *testing.T) {
 	if pos := snap.WithParent("fluorescence"); len(pos) != 1 {
 		t.Errorf("WithParent(fluorescence) = %v", pos)
 	}
-	if got, ok := snap.Get(f.ID); !ok || got.Path != "a.obs" {
-		t.Errorf("Get = %v, %v", got, ok)
+	if got, ok := snap.ByID(f.ID); !ok || got.Path != "a.obs" {
+		t.Errorf("ByID = %v, %v", got, ok)
 	}
 }
 

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -12,16 +13,33 @@ import (
 // parallel path on tiny catalogs.
 var parallelMinWork = 256
 
+// cancelCheckEvery is how many candidates a scoring loop processes
+// between context checks; a Background context makes the check a nil
+// select, so the uncancellable path pays almost nothing.
+const cancelCheckEvery = 512
+
+func canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // executePlan runs the tiers of a plan over the snapshot: score each
 // tier's not-yet-scored candidates (in parallel), merge into the
 // accumulated top-K, and stop as soon as the K-th score strictly
 // exceeds the tier's outside bound — anything unscored is then provably
 // below every returned result.
-func (s *Searcher) executePlan(snap *catalog.Snapshot, pln plan, q Query, expanded []expandedTerm, k int) []Result {
+func (s *Searcher) executePlan(ctx context.Context, snap *catalog.Snapshot, pln plan, q Query, expanded []expandedTerm, k int) []Result {
 	n := snap.Len()
 	scored := make([]bool, n)
 	var acc []Result
 	for _, t := range pln.tiers {
+		if canceled(ctx) {
+			return acc
+		}
 		var batch []int32
 		if t.all {
 			for i := 0; i < n; i++ {
@@ -40,7 +58,7 @@ func (s *Searcher) executePlan(snap *catalog.Snapshot, pln plan, q Query, expand
 			scored[p] = true
 		}
 		if len(batch) > 0 {
-			acc = append(acc, s.scorePositions(snap, batch, q, expanded, k)...)
+			acc = append(acc, s.scorePositions(ctx, snap, batch, q, expanded, k)...)
 			rank(acc)
 			if len(acc) > k {
 				acc = acc[:k]
@@ -58,14 +76,17 @@ func (s *Searcher) executePlan(snap *catalog.Snapshot, pln plan, q Query, expand
 // each worker keeps a bounded top-K min-heap so memory stays O(K·workers)
 // regardless of catalog size, and the merged heaps contain a superset
 // of the batch's true top-K.
-func (s *Searcher) scorePositions(snap *catalog.Snapshot, pos []int32, q Query, expanded []expandedTerm, k int) []Result {
+func (s *Searcher) scorePositions(ctx context.Context, snap *catalog.Snapshot, pos []int32, q Query, expanded []expandedTerm, k int) []Result {
 	workers := s.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(pos) < parallelMinWork || workers <= 1 {
 		h := newTopK(k)
-		for _, p := range pos {
+		for i, p := range pos {
+			if i%cancelCheckEvery == 0 && canceled(ctx) {
+				return h.items
+			}
 			if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
 				h.consider(r)
 			}
@@ -92,7 +113,10 @@ func (s *Searcher) scorePositions(snap *catalog.Snapshot, pos []int32, q Query, 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			h := newTopK(k)
-			for _, p := range pos[lo:hi] {
+			for i, p := range pos[lo:hi] {
+				if i%cancelCheckEvery == 0 && canceled(ctx) {
+					break
+				}
 				if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
 					h.consider(r)
 				}

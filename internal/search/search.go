@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -190,7 +191,18 @@ func New(cat *catalog.Catalog, opts Options) *Searcher {
 // below PruneScore on the spatial and temporal ones. The linear-scan
 // ablation (UseIndex=false) returns byte-identical rankings.
 func (s *Searcher) Search(q Query) ([]Result, error) {
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with cancellation: a long scoring pass checks
+// ctx between tiers and every few hundred candidates, and returns
+// ctx.Err() instead of a partial ranking when the caller gives up — the
+// serving layer's request-scoped entry point.
+func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	k := q.K
@@ -200,19 +212,24 @@ func (s *Searcher) Search(q Query) ([]Result, error) {
 	expanded := s.expandTerms(q.Terms)
 	snap := s.cat.Snapshot()
 
+	var results []Result
 	if !s.opts.UseIndex {
 		all := make([]int32, snap.Len())
 		for i := range all {
 			all[i] = int32(i)
 		}
-		results := s.scorePositions(snap, all, q, expanded, k)
+		results = s.scorePositions(ctx, snap, all, q, expanded, k)
 		rank(results)
 		if len(results) > k {
 			results = results[:k]
 		}
-		return results, nil
+	} else {
+		results = s.executePlan(ctx, snap, s.buildPlan(snap, q, expanded), q, expanded, k)
 	}
-	return s.executePlan(snap, s.buildPlan(snap, q, expanded), q, expanded, k), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 func rank(results []Result) {

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	c := newQueryCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(1, fmt.Sprintf("q%d", i), []byte{byte(i)})
+	}
+	// Touch q0 so q1 is the least recently used.
+	if _, ok := c.Get(1, "q0"); !ok {
+		t.Fatal("q0 missing")
+	}
+	c.Put(1, "q3", []byte{3})
+	if _, ok := c.Get(1, "q1"); ok {
+		t.Error("q1 should have been evicted as LRU")
+	}
+	for _, q := range []string{"q0", "q2", "q3"} {
+		if _, ok := c.Get(1, q); !ok {
+			t.Errorf("%s should survive", q)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestQueryCacheGenerationKeying(t *testing.T) {
+	c := newQueryCache(8)
+	c.Put(1, "q", []byte("old"))
+	c.Put(2, "q", []byte("new"))
+	if body, ok := c.Get(1, "q"); !ok || !bytes.Equal(body, []byte("old")) {
+		t.Errorf("gen 1 = %q, %v", body, ok)
+	}
+	if body, ok := c.Get(2, "q"); !ok || !bytes.Equal(body, []byte("new")) {
+		t.Errorf("gen 2 = %q, %v", body, ok)
+	}
+	if _, ok := c.Get(3, "q"); ok {
+		t.Error("gen 3 should miss")
+	}
+}
+
+func TestQueryCachePutReplacesExisting(t *testing.T) {
+	c := newQueryCache(2)
+	c.Put(1, "q", []byte("a"))
+	c.Put(1, "q", []byte("b"))
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if body, _ := c.Get(1, "q"); !bytes.Equal(body, []byte("b")) {
+		t.Errorf("body = %q, want b", body)
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := newQueryCache(capacity)
+		c.Put(1, "q", []byte("x"))
+		if _, ok := c.Get(1, "q"); ok {
+			t.Errorf("capacity %d: disabled cache returned a hit", capacity)
+		}
+		if c.Len() != 0 {
+			t.Errorf("capacity %d: Len = %d", capacity, c.Len())
+		}
+	}
+}

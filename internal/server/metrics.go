@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// serveMetrics is the serving-side metrics registry: per-endpoint
+// request counts and latency histograms, cache hit/miss counters, and
+// an in-flight gauge. It measures the HTTP layer itself and is distinct
+// from internal/metrics, which scores IR quality (precision/recall)
+// offline. Endpoints are registered once at construction, so the hot
+// path is map-read plus atomic increments — no locks.
+type serveMetrics struct {
+	start     time.Time
+	inFlight  atomic.Int64
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+	endpoints map[string]*endpointMetrics
+	names     []string // registration order, for stable /stats output
+}
+
+// latencyBucketsMs are the histogram upper bounds in milliseconds; an
+// implicit +Inf bucket catches the rest.
+var latencyBucketsMs = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	totalUs  atomic.Uint64 // summed latency, microseconds
+	buckets  []atomic.Uint64
+}
+
+func newServeMetrics(endpoints []string) *serveMetrics {
+	m := &serveMetrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		names:     endpoints,
+	}
+	for _, name := range endpoints {
+		m.endpoints[name] = &endpointMetrics{
+			buckets: make([]atomic.Uint64, len(latencyBucketsMs)+1),
+		}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *serveMetrics) observe(endpoint string, status int, d time.Duration) {
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = m.endpoints[endpointOther]
+	}
+	e.requests.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.totalUs.Add(uint64(d.Microseconds()))
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	e.buckets[i].Add(1)
+}
+
+// EndpointStats is one endpoint's row in the /stats response.
+type EndpointStats struct {
+	Endpoint string  `json:"endpoint"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	MeanMs   float64 `json:"meanMs"`
+	P50Ms    float64 `json:"p50Ms"`
+	P90Ms    float64 `json:"p90Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	// Buckets is the cumulative latency histogram: Buckets[i] requests
+	// finished within latencyBucketsMs[i] (last entry = all).
+	Buckets []uint64 `json:"buckets"`
+}
+
+// CacheStats reports query-cache effectiveness.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// snapshotEndpoints renders the per-endpoint rows.
+func (m *serveMetrics) snapshotEndpoints() []EndpointStats {
+	out := make([]EndpointStats, 0, len(m.names))
+	for _, name := range m.names {
+		e := m.endpoints[name]
+		n := e.requests.Load()
+		row := EndpointStats{Endpoint: name, Requests: n, Errors: e.errors.Load()}
+		counts := make([]uint64, len(e.buckets))
+		var total uint64
+		for i := range e.buckets {
+			total += e.buckets[i].Load()
+			counts[i] = total
+		}
+		row.Buckets = counts
+		if n > 0 {
+			row.MeanMs = float64(e.totalUs.Load()) / float64(n) / 1000
+			row.P50Ms = bucketQuantile(counts, 0.50)
+			row.P90Ms = bucketQuantile(counts, 0.90)
+			row.P99Ms = bucketQuantile(counts, 0.99)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// bucketQuantile estimates a quantile from a cumulative histogram,
+// reporting the upper bound of the bucket holding the q-th request
+// (the conservative convention Prometheus uses without interpolation).
+func bucketQuantile(cumulative []uint64, q float64) float64 {
+	total := cumulative[len(cumulative)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cumulative {
+		if c >= rank {
+			if i < len(latencyBucketsMs) {
+				return latencyBucketsMs[i]
+			}
+			return latencyBucketsMs[len(latencyBucketsMs)-1] * 2 // +Inf bucket
+		}
+	}
+	return latencyBucketsMs[len(latencyBucketsMs)-1] * 2
+}

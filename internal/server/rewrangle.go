@@ -1,0 +1,143 @@
+package server
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"metamess"
+)
+
+// rewrangler re-runs the wrangling pipeline in the background — on a
+// fixed interval, and on demand when the daemon relays a SIGHUP through
+// Kick. Wrangling mutates only the working catalog until its final
+// Publish step atomically swaps the published snapshot, so searches
+// keep serving the old generation for the whole run and never see a
+// partial catalog; the cache's generation keying picks up the swap on
+// the next request. Runs are serialized by the loop goroutine itself.
+type rewrangler struct {
+	sys      *metamess.System
+	interval time.Duration
+	logger   *log.Logger
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu           sync.Mutex
+	runs         int
+	failures     int
+	lastErr      string
+	lastDuration time.Duration
+	lastFinished time.Time
+	running      bool
+}
+
+// RewrangleStats is the scheduler's row in the /stats response.
+type RewrangleStats struct {
+	Runs         int     `json:"runs"`
+	Failures     int     `json:"failures"`
+	Running      bool    `json:"running"`
+	LastError    string  `json:"lastError,omitempty"`
+	LastMs       float64 `json:"lastMs,omitempty"`
+	LastFinished string  `json:"lastFinished,omitempty"`
+	IntervalSec  float64 `json:"intervalSec,omitempty"`
+}
+
+func newRewrangler(sys *metamess.System, interval time.Duration, logger *log.Logger) *rewrangler {
+	return &rewrangler{
+		sys:      sys,
+		interval: interval,
+		logger:   logger,
+		kick:     make(chan struct{}, 1), // a kick before start() is kept
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// start launches the scheduler goroutine. With no interval the loop
+// only serves kicks.
+func (r *rewrangler) start() { go r.loop() }
+
+func (r *rewrangler) loop() {
+	defer close(r.done)
+	var tick <-chan time.Time
+	if r.interval > 0 {
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick:
+		case <-r.kick:
+		}
+		r.run()
+	}
+}
+
+// Kick schedules an immediate re-wrangle (the SIGHUP path); a kick is
+// dropped when one is already pending.
+func (r *rewrangler) Kick() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stopAndWait shuts the loop down, waiting for an in-progress run.
+func (r *rewrangler) stopAndWait() {
+	close(r.stop)
+	<-r.done
+}
+
+func (r *rewrangler) run() {
+	r.mu.Lock()
+	r.running = true
+	r.mu.Unlock()
+	start := time.Now()
+	rep, err := r.sys.Wrangle()
+	d := time.Since(start)
+
+	r.mu.Lock()
+	r.running = false
+	r.runs++
+	r.lastDuration = d
+	r.lastFinished = time.Now()
+	if err != nil {
+		r.failures++
+		r.lastErr = err.Error()
+	} else {
+		r.lastErr = ""
+	}
+	r.mu.Unlock()
+
+	if err != nil {
+		r.logger.Printf("rewrangle: failed after %v: %v", d, err)
+	} else {
+		r.logger.Printf("rewrangle: %d datasets, coverage %.3f, generation %d, %v",
+			rep.Datasets, rep.CoverageAfter, r.sys.SnapshotGeneration(), d)
+	}
+}
+
+func (r *rewrangler) stats() RewrangleStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RewrangleStats{
+		Runs:      r.runs,
+		Failures:  r.failures,
+		Running:   r.running,
+		LastError: r.lastErr,
+	}
+	if r.lastDuration > 0 {
+		s.LastMs = float64(r.lastDuration) / float64(time.Millisecond)
+	}
+	if !r.lastFinished.IsZero() {
+		s.LastFinished = r.lastFinished.UTC().Format(time.RFC3339)
+	}
+	if r.interval > 0 {
+		s.IntervalSec = r.interval.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,417 @@
+// Package server is the "Data Near Here" serving layer: a long-lived
+// HTTP JSON API over a wrangled metamess.System, so the catalog is
+// wrangled once and queried continuously instead of per-process.
+//
+// Endpoints:
+//
+//	POST /search          structured query (SearchRequest JSON body)
+//	GET  /search/text?q=  textual query ("near 45.5,-124.4 in mid-2010 ...")
+//	GET  /dataset/{path}  rendered summary page for an archive path
+//	GET  /curator/queue   names awaiting a curator decision
+//	GET  /healthz         liveness + catalog size and generation
+//	GET  /stats           serving metrics (counts, latency, cache, rewrangle)
+//
+// Search responses are cached in an LRU keyed by (normalized query,
+// snapshot generation): a publish bumps the generation, so stale
+// entries are invalidated by construction. A background rewrangler can
+// re-run the pipeline on an interval or on demand (SIGHUP) while
+// searches keep serving the previous snapshot.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"metamess"
+	"metamess/internal/search"
+)
+
+// Endpoint labels used by the metrics registry.
+const (
+	epSearch      = "/search"
+	epSearchText  = "/search/text"
+	epDataset     = "/dataset"
+	epCurator     = "/curator/queue"
+	epHealthz     = "/healthz"
+	epStats       = "/stats"
+	endpointOther = "other"
+)
+
+var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epStats, endpointOther}
+
+// DefaultCacheSize is the query-cache capacity when Config leaves it 0.
+const DefaultCacheSize = 512
+
+// Config configures a Server.
+type Config struct {
+	// Sys is the wrangled (or catalog-loaded) system to serve. Required.
+	Sys *metamess.System
+	// CacheSize caps the query-result cache entry count; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// RewrangleEvery re-runs the wrangling pipeline on this interval;
+	// 0 disables the timer (Rewrangle/SIGHUP kicks still work).
+	RewrangleEvery time.Duration
+	// Logger receives serving and rewrangle logs; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is the dnhd HTTP service.
+type Server struct {
+	sys     *metamess.System
+	cache   *queryCache
+	metrics *serveMetrics
+	rew     *rewrangler
+	logger  *log.Logger
+	httpSrv *http.Server
+}
+
+// New wires a server; call Start (or mount Handler yourself) to serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sys == nil {
+		return nil, fmt.Errorf("server: Config.Sys is required")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Server{
+		sys:     cfg.Sys,
+		cache:   newQueryCache(size),
+		metrics: newServeMetrics(endpointNames),
+		rew:     newRewrangler(cfg.Sys, cfg.RewrangleEvery, logger),
+		logger:  logger,
+	}, nil
+}
+
+// Handler returns the instrumented route tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /search/text", s.handleSearchText)
+	mux.HandleFunc("GET /dataset/{path...}", s.handleDataset)
+	mux.HandleFunc("GET /curator/queue", s.handleCuratorQueue)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return s.instrument(mux)
+}
+
+// Start listens on addr, launches the rewrangle scheduler, and serves
+// in the background; the returned address is concrete (useful with
+// ":0"). Use Shutdown to stop.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.rew.start()
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.logger.Printf("server: serve: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains in-flight requests (bounded by ctx), refuses new
+// ones, and stops the rewrangle scheduler, waiting for a run in
+// progress. Safe only after Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.rew.stopAndWait()
+	return err
+}
+
+// Rewrangle schedules an immediate background re-wrangle (the SIGHUP
+// path). It returns without waiting for the run.
+func (s *Server) Rewrangle() { s.rew.Kick() }
+
+// --- wire types ------------------------------------------------------
+
+// SearchRequest is the JSON body of POST /search, mirroring
+// metamess.Query.
+type SearchRequest struct {
+	Near      *LatLon    `json:"near,omitempty"`
+	From      time.Time  `json:"from,omitzero"`
+	To        time.Time  `json:"to,omitzero"`
+	Variables []Variable `json:"variables,omitempty"`
+	K         int        `json:"k,omitempty"`
+}
+
+// LatLon is a WGS84 coordinate on the wire.
+type LatLon struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Variable is one queried variable, optionally range-constrained.
+type Variable struct {
+	Name string   `json:"name"`
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+}
+
+// SearchResponse is the body of both search endpoints.
+type SearchResponse struct {
+	// Generation identifies the published snapshot the ranking was
+	// computed from.
+	Generation uint64         `json:"generation"`
+	Count      int            `json:"count"`
+	Hits       []metamess.Hit `json:"hits"`
+}
+
+// RequestFromQuery converts an internal workload query into the wire
+// request the load generator replays against /search.
+func RequestFromQuery(q search.Query) SearchRequest {
+	req := SearchRequest{K: q.K}
+	if q.Location != nil {
+		req.Near = &LatLon{Lat: q.Location.Lat, Lon: q.Location.Lon}
+	}
+	if q.Time != nil {
+		req.From, req.To = q.Time.Start, q.Time.End
+	}
+	for _, t := range q.Terms {
+		v := Variable{Name: t.Name}
+		if t.Range != nil {
+			lo, hi := t.Range.Min, t.Range.Max
+			v.Min, v.Max = &lo, &hi
+		}
+		req.Variables = append(req.Variables, v)
+	}
+	return req
+}
+
+func (req SearchRequest) toQuery() metamess.Query {
+	q := metamess.Query{From: req.From, To: req.To, K: req.K}
+	if req.Near != nil {
+		q.Near = &metamess.LatLon{Lat: req.Near.Lat, Lon: req.Near.Lon}
+	}
+	for _, v := range req.Variables {
+		q.Variables = append(q.Variables, metamess.VariableTerm{Name: v.Name, Min: v.Min, Max: v.Max})
+	}
+	return q
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	s.serveSearch(w, r, req)
+}
+
+func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	// Parse once, then feed the same structured path /search uses: the
+	// parsed form validates early, executes without a second parse, and
+	// normalizes the cache key — textual variants of one query (spacing,
+	// clause order) and their structured equivalent share an entry.
+	iq, err := search.ParseQuery(text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveSearch(w, r, RequestFromQuery(iq))
+}
+
+// serveSearch runs the cache-wrapped search path shared by both search
+// endpoints. Re-marshaling the decoded request normalizes field order,
+// whitespace, and unknown fields out of the cache key. The generation
+// is read before the search and re-checked after: if a publish landed
+// in between, the attempt is retried (so the response's generation
+// label is exact and an entry keyed G never holds data from a later
+// snapshot); with publishes landing faster than searches finish, the
+// last attempt is served unlabeled-safe — generation 0 — and uncached.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchRequest) {
+	keyBytes, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := string(keyBytes)
+	q := req.toQuery()
+
+	var body []byte
+	for attempt := 0; attempt < 3; attempt++ {
+		gen := s.sys.SnapshotGeneration()
+		if cached, ok := s.cache.Get(gen, key); ok {
+			s.metrics.cacheHits.Add(1)
+			w.Header().Set("X-Dnhd-Cache", "hit")
+			writeJSONBytes(w, http.StatusOK, cached)
+			return
+		}
+		hits, err := s.sys.SearchContext(r.Context(), q)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				writeError(w, http.StatusServiceUnavailable, "request canceled")
+				return
+			}
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if s.sys.SnapshotGeneration() != gen {
+			// A publish raced the search; the snapshot it used is
+			// ambiguous. Retry against the fresh generation.
+			if body, err = json.Marshal(SearchResponse{Count: len(hits), Hits: hits}); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			continue
+		}
+		body, err = json.Marshal(SearchResponse{Generation: gen, Count: len(hits), Hits: hits})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if s.cache.enabled() {
+			s.metrics.cacheMiss.Add(1)
+		}
+		s.cache.Put(gen, key, body)
+		w.Header().Set("X-Dnhd-Cache", "miss")
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
+	w.Header().Set("X-Dnhd-Cache", "miss")
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	path := r.PathValue("path")
+	summary, err := s.sys.DatasetSummary(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": path, "summary": summary})
+}
+
+func (s *Server) handleCuratorQueue(w http.ResponseWriter, r *http.Request) {
+	queue := s.sys.CuratorQueue()
+	if queue == nil {
+		queue = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(queue), "queue": queue})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"datasets":   s.sys.DatasetCount(),
+		"generation": s.sys.SnapshotGeneration(),
+	})
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	UptimeSec  float64         `json:"uptimeSec"`
+	Datasets   int             `json:"datasets"`
+	Generation uint64          `json:"generation"`
+	InFlight   int64           `json:"inFlight"`
+	Endpoints  []EndpointStats `json:"endpoints"`
+	Cache      CacheStats      `json:"cache"`
+	Rewrangle  RewrangleStats  `json:"rewrangle"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.metrics.cacheHits.Load(), s.metrics.cacheMiss.Load()
+	cache := CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()}
+	if hits+misses > 0 {
+		cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec:  time.Since(s.metrics.start).Seconds(),
+		Datasets:   s.sys.DatasetCount(),
+		Generation: s.sys.SnapshotGeneration(),
+		InFlight:   s.metrics.inFlight.Load(),
+		Endpoints:  s.metrics.snapshotEndpoints(),
+		Cache:      cache,
+		Rewrangle:  s.rew.stats(),
+	})
+}
+
+// --- instrumentation -------------------------------------------------
+
+// endpointLabel maps a request path to its metrics label.
+func endpointLabel(path string) string {
+	switch {
+	case path == epSearch:
+		return epSearch
+	case path == epSearchText:
+		return epSearchText
+	case strings.HasPrefix(path, epDataset+"/"):
+		return epDataset
+	case path == epCurator:
+		return epCurator
+	case path == epHealthz:
+		return epHealthz
+	case path == epStats:
+		return epStats
+	}
+	return endpointOther
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (recovered by net/http) still
+		// releases the gauge and records its request.
+		defer func() {
+			s.metrics.inFlight.Add(-1)
+			s.metrics.observe(endpointLabel(r.URL.Path), rec.status, time.Since(start))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// --- response helpers ------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSONBytes(w, status, body)
+}
+
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the serving-side load generator: it replays query
+// workloads against a running dnhd server over HTTP, concurrently, and
+// reports throughput and latency percentiles — the numbers recorded in
+// BENCH_serve.json. The offline side of the package judges ranking
+// quality; this side measures the serving layer itself. It speaks raw
+// HTTPRequests (no dependency on the server package, which the
+// experiment harness must be able to import this package without).
+
+// LoadOptions tunes a replay run.
+type LoadOptions struct {
+	// Concurrency is the number of in-flight requests (default 1).
+	Concurrency int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadStats summarizes one replay run. Latencies are client-observed,
+// percentiles computed exactly from every recorded request.
+type LoadStats struct {
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"durationSec"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50Ms"`
+	P90Ms       float64 `json:"p90Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	MaxMs       float64 `json:"maxMs"`
+	// CacheHits and CacheMisses count the server's X-Dnhd-Cache
+	// headers observed across responses.
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+}
+
+// HTTPRequest is one replayable request.
+type HTTPRequest struct {
+	Method string
+	URL    string
+	Body   []byte
+}
+
+// Replay issues the requests with opts.Concurrency workers and gathers
+// LoadStats. A response is an error when the transport fails, the
+// status is not 200, or the body is empty; replay continues regardless.
+// Requests are spread across workers in order, each issued once.
+func Replay(ctx context.Context, reqs []HTTPRequest, opts LoadOptions) (LoadStats, error) {
+	if len(reqs) == 0 {
+		return LoadStats{}, fmt.Errorf("workload: no requests to replay")
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	if conc > len(reqs) {
+		conc = len(reqs)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+
+	type workerStats struct {
+		latencies            []time.Duration
+		errors, hits, misses int
+	}
+	work := make(chan int)
+	perWorker := make([]workerStats, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &perWorker[w]
+			for i := range work {
+				r := reqs[i]
+				t0 := time.Now()
+				ok, cache := issue(ctx, client, r)
+				ws.latencies = append(ws.latencies, time.Since(t0))
+				if !ok {
+					ws.errors++
+				}
+				switch cache {
+				case "hit":
+					ws.hits++
+				case "miss":
+					ws.misses++
+				}
+			}
+		}(w)
+	}
+	for i := range reqs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return LoadStats{}, ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	stats := LoadStats{DurationSec: elapsed.Seconds()}
+	for _, ws := range perWorker {
+		all = append(all, ws.latencies...)
+		stats.Errors += ws.errors
+		stats.CacheHits += ws.hits
+		stats.CacheMisses += ws.misses
+	}
+	stats.Requests = len(all)
+	if elapsed > 0 {
+		stats.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	stats.P50Ms = ms(percentile(all, 0.50))
+	stats.P90Ms = ms(percentile(all, 0.90))
+	stats.P99Ms = ms(percentile(all, 0.99))
+	stats.MaxMs = ms(all[len(all)-1])
+	return stats, nil
+}
+
+// issue sends one request; ok means 200 with a non-empty body, and
+// cache echoes the X-Dnhd-Cache header ("" when absent).
+func issue(ctx context.Context, client *http.Client, r HTTPRequest) (ok bool, cache string) {
+	var body io.Reader
+	if r.Body != nil {
+		body = bytes.NewReader(r.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, r.URL, body)
+	if err != nil {
+		return false, ""
+	}
+	if r.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	cache = resp.Header.Get("X-Dnhd-Cache")
+	return resp.StatusCode == http.StatusOK && err == nil && n > 0, cache
+}
+
+// percentile returns the q-th percentile of sorted latencies (nearest
+// rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

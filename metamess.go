@@ -20,9 +20,25 @@
 // Sub-systems are available under internal/ for the example programs and
 // the experiment harness; downstream users drive everything through this
 // package.
+//
+// For a long-lived deployment, the dnhd daemon (cmd/dnhd) serves the
+// same facade over HTTP — wrangling once and answering queries
+// continuously, with a snapshot-generation-keyed response cache and
+// background re-wrangling:
+//
+//	dnhd -archive /data/archive -addr :8080 -rewrangle 15m &
+//	curl 'http://localhost:8080/search/text?q=near+45.5,-124.4+in+mid-2010+with+temperature'
+//	curl -X POST -d '{"variables":[{"name":"temperature","min":5,"max":10}],"k":5}' \
+//	    http://localhost:8080/search
+//	kill -HUP $(pidof dnhd)   # re-wrangle now; searches keep serving
+//
+// Request-scoped callers use the context-aware entry points
+// (SearchContext, SearchTextContext) and key caches on
+// SnapshotGeneration.
 package metamess
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -182,18 +198,47 @@ type Query struct {
 // Hit is one ranked search result.
 type Hit struct {
 	// Path is the dataset's archive-relative path.
-	Path string
+	Path string `json:"path"`
 	// Score is the similarity in [0,1].
-	Score float64
+	Score float64 `json:"score"`
 	// MatchedVariables explains which catalog variables matched each
 	// query term.
-	MatchedVariables []string
+	MatchedVariables []string `json:"matchedVariables,omitempty"`
 	// Summary is the rendered dataset summary page.
-	Summary string
+	Summary string `json:"summary"`
+}
+
+// hitsFromResults converts internal search results into the facade's
+// Hit shape, rendering each hit's summary page and match explanations.
+func hitsFromResults(results []search.Result) []Hit {
+	hits := make([]Hit, len(results))
+	for i, r := range results {
+		h := Hit{
+			Path:    r.Feature.Path,
+			Score:   r.Score,
+			Summary: search.Summarize(r.Feature).Render(),
+		}
+		for _, ts := range r.TermScores {
+			if ts.MatchedAs != "" {
+				h.MatchedVariables = append(h.MatchedVariables,
+					fmt.Sprintf("%s -> %s (%.2f)", ts.Term, ts.MatchedAs, ts.Score))
+			}
+		}
+		hits[i] = h
+	}
+	return hits
 }
 
 // Search ranks published datasets against the query.
 func (s *System) Search(q Query) ([]Hit, error) {
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with cancellation: when ctx ends before the
+// ranking is complete the search stops scoring and returns ctx's error.
+// This is the entry point request-scoped callers (the dnhd server)
+// use.
+func (s *System) SearchContext(ctx context.Context, q Query) ([]Hit, error) {
 	iq := search.Query{K: q.K}
 	if q.Near != nil {
 		iq.Location = &geo.Point{Lat: q.Near.Lat, Lon: q.Near.Lon}
@@ -219,26 +264,11 @@ func (s *System) Search(q Query) ([]Hit, error) {
 		}
 		iq.Terms = append(iq.Terms, term)
 	}
-	results, err := s.searcher.Search(iq)
+	results, err := s.searcher.SearchContext(ctx, iq)
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
 	}
-	hits := make([]Hit, len(results))
-	for i, r := range results {
-		h := Hit{
-			Path:    r.Feature.Path,
-			Score:   r.Score,
-			Summary: search.Summarize(r.Feature).Render(),
-		}
-		for _, ts := range r.TermScores {
-			if ts.MatchedAs != "" {
-				h.MatchedVariables = append(h.MatchedVariables,
-					fmt.Sprintf("%s -> %s (%.2f)", ts.Term, ts.MatchedAs, ts.Score))
-			}
-		}
-		hits[i] = h
-	}
-	return hits, nil
+	return hitsFromResults(results), nil
 }
 
 // SearchText parses and runs a textual "Data Near Here" query, e.g. the
@@ -246,39 +276,40 @@ func (s *System) Search(q Query) ([]Hit, error) {
 //
 //	near 45.5,-124.4 in mid-2010 with temperature between 5 and 10
 func (s *System) SearchText(query string) ([]Hit, error) {
+	return s.SearchTextContext(context.Background(), query)
+}
+
+// SearchTextContext is SearchText with cancellation (see SearchContext).
+func (s *System) SearchTextContext(ctx context.Context, query string) ([]Hit, error) {
 	iq, err := search.ParseQuery(query)
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
 	}
-	results, err := s.searcher.Search(iq)
+	results, err := s.searcher.SearchContext(ctx, iq)
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
 	}
-	hits := make([]Hit, len(results))
-	for i, r := range results {
-		h := Hit{
-			Path:    r.Feature.Path,
-			Score:   r.Score,
-			Summary: search.Summarize(r.Feature).Render(),
-		}
-		for _, ts := range r.TermScores {
-			if ts.MatchedAs != "" {
-				h.MatchedVariables = append(h.MatchedVariables,
-					fmt.Sprintf("%s -> %s (%.2f)", ts.Term, ts.MatchedAs, ts.Score))
-			}
-		}
-		hits[i] = h
-	}
-	return hits, nil
+	return hitsFromResults(results), nil
 }
 
 // DatasetSummary renders the summary page for an archive-relative path.
+// The lookup goes through the immutable snapshot — no lock, no feature
+// clone — so a serving layer can render summaries at full query rate.
 func (s *System) DatasetSummary(path string) (string, error) {
-	f, ok := s.ctx.Published.Get(catalog.IDForPath(path))
+	f, ok := s.ctx.Published.Snapshot().ByID(catalog.IDForPath(path))
 	if !ok {
 		return "", fmt.Errorf("metamess: dataset %q not in published catalog", path)
 	}
 	return search.Summarize(f).Render(), nil
+}
+
+// SnapshotGeneration returns the generation of the published snapshot
+// searches currently read. Every publish (and any direct mutation of
+// the published catalog) bumps it, so the value keys caches: a response
+// computed at generation G is valid exactly as long as
+// SnapshotGeneration() == G.
+func (s *System) SnapshotGeneration() uint64 {
+	return s.ctx.Published.Snapshot().Generation()
 }
 
 // AddSynonym records a curated synonym mapping (curatorial activity 3:

@@ -1,6 +1,8 @@
 package metamess
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -129,6 +131,55 @@ func TestDatasetSummaryLookup(t *testing.T) {
 	}
 	if _, err := sys.DatasetSummary("no/such/file.csv"); err == nil {
 		t.Error("unknown path accepted")
+	}
+}
+
+func TestSnapshotGenerationBumpsOnWrangle(t *testing.T) {
+	sys, _ := newSystem(t, 12, 8)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := sys.SnapshotGeneration()
+	// Reads do not move the generation.
+	if _, err := sys.Search(Query{Variables: []VariableTerm{{Name: "temperature"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.SnapshotGeneration(); got != gen1 {
+		t.Errorf("generation moved on read: %d -> %d", gen1, got)
+	}
+	// Every publish bumps it, even with no catalog change.
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.SnapshotGeneration(); got <= gen1 {
+		t.Errorf("generation not bumped by publish: %d -> %d", gen1, got)
+	}
+}
+
+func TestSearchContextCancellation(t *testing.T) {
+	sys, _ := newSystem(t, 12, 8)
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.SearchContext(ctx, Query{Variables: []VariableTerm{{Name: "temperature"}}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled structured search: err = %v", err)
+	}
+	if _, err := sys.SearchTextContext(ctx, "with temperature"); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled text search: err = %v", err)
+	}
+	// A live context behaves exactly like the plain entry points.
+	h1, err := sys.SearchContext(context.Background(), Query{Variables: []VariableTerm{{Name: "temperature"}}, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sys.Search(Query{Variables: []VariableTerm{{Name: "temperature"}}, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != len(h2) {
+		t.Errorf("context vs plain search: %d vs %d hits", len(h1), len(h2))
 	}
 }
 
