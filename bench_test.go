@@ -9,11 +9,16 @@ package metamess
 // both reproduces the paper's exhibits and measures the system.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"metamess/internal/archive"
 	"metamess/internal/catalog"
 	"metamess/internal/experiments"
 	"metamess/internal/geo"
@@ -149,6 +154,130 @@ func BenchmarkAblationScoring(b *testing.B) {
 			b.Fatal(err)
 		}
 		report(b, tab)
+	}
+}
+
+// BenchmarkWrangleWarm measures the delta-aware write path on the
+// 2000-dataset archive: a steady-state re-wrangle with ~1% of the
+// archive churned per iteration, reported against the cold
+// wrangle-everything baseline measured during setup. The results (and
+// the empty-delta generation-stability check) are written to
+// BENCH_wrangle.json for the CI bench-smoke gate.
+func BenchmarkWrangleWarm(b *testing.B) {
+	const (
+		datasets   = 2000
+		churnFiles = 20 // ~1%
+	)
+	root := b.TempDir()
+	m, err := archive.Generate(root, archive.DefaultGenConfig(datasets, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := New(Config{ArchiveRoot: root})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldStart := time.Now()
+	if _, err := sys.Wrangle(); err != nil {
+		b.Fatal(err)
+	}
+	coldNs := time.Since(coldStart).Nanoseconds()
+
+	// Settle into steady state: wait out the racy-mtime window (files
+	// were generated moments before the cold scan), let one warm run
+	// hash-verify everything and refresh the scan stamps so later runs
+	// trust stat fingerprints alone, then drive small churn rounds
+	// until transformation discovery reaches its fixed point — each
+	// newly discovered rule is a knowledge change that (correctly)
+	// forces one full reprocess, and the steady state this benchmark
+	// measures starts after the last of them.
+	time.Sleep(3 * time.Second)
+	if _, err := sys.Wrangle(); err != nil {
+		b.Fatal(err)
+	}
+	settleChurn := filepath.Join(root, m.Datasets[0].Path)
+	settled := false
+	for tries := 0; tries < 8 && !settled; tries++ {
+		appendDuplicateLastLine(b, settleChurn)
+		rep, err := sys.Wrangle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		settled = !rep.Delta.FullReprocess
+	}
+	if !settled {
+		b.Fatal("wrangling never settled into incremental steady state")
+	}
+
+	// Acceptance check: an empty-delta re-wrangle must not move the
+	// snapshot generation.
+	genBefore := sys.SnapshotGeneration()
+	noop, err := sys.Wrangle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	generationStable := noop.Delta.GenerationStable && sys.SnapshotGeneration() == genBefore
+	if !generationStable {
+		b.Errorf("empty-delta re-wrangle moved the generation: %+v", noop.Delta)
+	}
+
+	var obsPaths []string
+	for _, d := range m.Datasets {
+		if string(d.Format) == "obs" {
+			obsPaths = append(obsPaths, d.Path)
+		}
+	}
+	if len(obsPaths) < churnFiles {
+		b.Fatalf("archive has only %d OBS datasets", len(obsPaths))
+	}
+
+	b.ResetTimer()
+	churned := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < churnFiles; k++ {
+			appendDuplicateLastLine(b, filepath.Join(root, obsPaths[churned%len(obsPaths)]))
+			churned++
+		}
+		b.StartTimer()
+		rep, err := sys.Wrangle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Delta.FullReprocess {
+			b.Fatal("warm run fell back to full reprocess")
+		}
+	}
+	b.StopTimer()
+	warmNs := b.Elapsed().Nanoseconds() / int64(b.N)
+	speedup := float64(coldNs) / float64(warmNs)
+	b.ReportMetric(speedup, "cold/warm")
+
+	report := map[string]any{
+		"benchmark": "BenchmarkWrangleWarm",
+		"description": fmt.Sprintf(
+			"Write-path comparison on a %d-dataset generated archive: 'cold' is the first Wrangle (parse everything, full transform chain, snapshot build); 'warm' is a steady-state re-wrangle after ~1%% of the archive (%d OBS files) changed — the parallel scanner stat-skips the rest, delta-aware components process only the dirty features, and Publish patches the served snapshot incrementally. An empty-delta re-wrangle must leave SnapshotGeneration() unchanged (generation-keyed caches survive no-op re-wrangles).",
+			datasets, churnFiles),
+		"generatedAt": time.Now().UTC().Format(time.RFC3339),
+		"environment": map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"iters":  b.N,
+		},
+		"datasets":                   datasets,
+		"churnFilesPerIteration":     churnFiles,
+		"coldNsPerOp":                coldNs,
+		"warmNsPerOp":                warmNs,
+		"speedup":                    speedup,
+		"emptyDeltaGenerationStable": generationStable,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_wrangle.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not write BENCH_wrangle.json: %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metamess/internal/table"
 )
@@ -237,7 +238,69 @@ func (c *Catalog) MutateVariables(fn func(f *Feature) bool) int {
 	return changed
 }
 
-// Clone returns a deep copy of the catalog (used by Publish).
+// MutateVariablesOf is MutateVariables restricted to the given feature
+// IDs (absent IDs are ignored): the delta write path, which touches and
+// reindexes only the features a re-wrangle actually changed instead of
+// walking the whole catalog.
+func (c *Catalog) MutateVariablesOf(ids []string, fn func(f *Feature) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := 0
+	for _, id := range ids {
+		f, ok := c.features[id]
+		if !ok {
+			continue
+		}
+		c.unindexLocked(f)
+		if fn(f) {
+			changed++
+		}
+		c.indexLocked(f)
+	}
+	if len(ids) > 0 {
+		if changed > 0 {
+			c.generation++
+		}
+		// Invalidate unconditionally: fn may have mutated without
+		// reporting a change.
+		c.snap.Store(nil)
+	}
+	return changed
+}
+
+// StatView returns the stored stat fingerprint of a feature — size,
+// modification time, scan time, and content hash — without cloning the
+// feature. The incremental scanner consults it for every candidate
+// file, so the unchanged fast path allocates nothing.
+func (c *Catalog) StatView(id string) (bytes int64, modTime, scannedAt time.Time, hash string, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, found := c.features[id]
+	if !found {
+		return 0, time.Time{}, time.Time{}, "", false
+	}
+	return f.Bytes, f.ModTime, f.ScannedAt, f.ContentHash, true
+}
+
+// SetScanStamp updates a feature's ScannedAt bookkeeping in place (no
+// clone, no reindex, no generation bump — ScannedAt is not dataset
+// content). The scanner calls it after verifying an unchanged file by
+// content hash, so the file's stat fingerprint is trusted on the next
+// run instead of being re-hashed forever.
+func (c *Catalog) SetScanStamp(id string, scannedAt time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.features[id]
+	if !ok {
+		return
+	}
+	f.ScannedAt = scannedAt
+	// The cached snapshot (if any) holds clones with the old stamp;
+	// drop it so readers never observe a stale ScannedAt.
+	c.snap.Store(nil)
+}
+
+// Clone returns a deep copy of the catalog (used by loading and tests).
 func (c *Catalog) Clone() *Catalog {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -251,10 +314,112 @@ func (c *Catalog) Clone() *Catalog {
 	return n
 }
 
+// DiffTo compares this catalog (the published state) against next (the
+// working state) and returns the exact publish delta: clones of every
+// feature of next that is new or content-changed relative to c, and the
+// IDs present in c but absent from next. ScannedAt is ignored (see
+// Feature.ContentEquals), so a re-scan that merely re-verified files
+// yields an empty delta. Unchanged features are never cloned. Both
+// result slices are sorted by ID.
+func (c *Catalog) DiffTo(next *Catalog) (changed []*Feature, removed []string) {
+	// Lock ordering: the published catalog first, then the working one.
+	// The only caller is the chain's Publish step, which owns both.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	next.mu.RLock()
+	defer next.mu.RUnlock()
+	for id, f := range next.features {
+		old, ok := c.features[id]
+		if ok && old.ContentEquals(f) {
+			continue
+		}
+		changed = append(changed, f.Clone())
+	}
+	for id := range c.features {
+		if _, ok := next.features[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i].ID < changed[j].ID })
+	sort.Strings(removed)
+	return changed, removed
+}
+
+// ApplyDelta upserts the changed features and deletes the removed IDs
+// as one atomic publish: the generation moves exactly once, and the new
+// snapshot is patched incrementally from the previous one (features
+// outside the delta are shared, not re-cloned; the indexes are updated
+// in place of a rebuild). An empty delta is a strict no-op — the
+// generation and the served snapshot stay unchanged, so a re-wrangle
+// that found nothing to do invalidates no caches.
+//
+// ApplyDelta takes ownership of the passed features: callers must hand
+// in private clones (DiffTo does) and not touch them afterwards. It
+// reports whether the catalog changed.
+func (c *Catalog) ApplyDelta(changed []*Feature, removed []string) (bool, error) {
+	if len(changed) == 0 && len(removed) == 0 {
+		return false, nil
+	}
+	for _, f := range changed {
+		if err := f.Validate(); err != nil {
+			return false, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.snap.Load()
+	changedIDs := make(map[string]bool, len(changed))
+	for _, f := range changed {
+		changedIDs[f.ID] = true
+	}
+	removedSet := make(map[string]bool, len(removed))
+	for _, id := range removed {
+		if _, ok := c.features[id]; !ok {
+			continue // deleting an absent ID is a no-op
+		}
+		if changedIDs[id] {
+			continue // an ID both removed and upserted resolves to upsert
+		}
+		removedSet[id] = true
+	}
+	if len(changed) == 0 && len(removedSet) == 0 {
+		return false, nil
+	}
+	for id := range removedSet {
+		f := c.features[id]
+		c.unindexLocked(f)
+		delete(c.features, id)
+	}
+	for _, f := range changed {
+		if old, ok := c.features[f.ID]; ok {
+			c.unindexLocked(old)
+		}
+		// The map gets its own clone; the snapshot keeps the caller's
+		// instance, so later in-place mutations of the map copy (e.g.
+		// MutateVariables) can never reach the published snapshot.
+		clone := f.Clone()
+		c.features[f.ID] = clone
+		c.indexLocked(clone)
+	}
+	c.generation++
+	// Patch the previous snapshot when the delta is small relative to
+	// the catalog; fall back to a full rebuild when there is no live
+	// snapshot or the delta dominates (a patch would do more merge work
+	// than building afresh).
+	if prev != nil && len(changed)+len(removedSet) <= len(c.features)/2+1 {
+		c.snap.Store(prev.applyDelta(changed, removedSet, c.generation))
+	} else {
+		c.snap.Store(newSnapshot(c.features, c.generation))
+	}
+	return true, nil
+}
+
 // ReplaceAll swaps this catalog's contents for those of other — the
-// atomic Publish step. The source catalog is left untouched. The new
-// snapshot is built eagerly here, so the first search after a publish
-// pays no build cost and in-flight searches keep their consistent view.
+// wholesale load path (catalog snapshots from disk). The source catalog
+// is left untouched. The new snapshot is built eagerly here, so the
+// first search after a load pays no build cost and in-flight searches
+// keep their consistent view. The wrangling chain's Publish step uses
+// DiffTo + ApplyDelta instead, so its cost tracks churn, not size.
 func (c *Catalog) ReplaceAll(other *Catalog) {
 	clone := other.Clone()
 	c.mu.Lock()
@@ -266,17 +431,57 @@ func (c *Catalog) ReplaceAll(other *Catalog) {
 	c.snap.Store(newSnapshot(c.features, c.generation))
 }
 
+// ForEach calls fn for every feature in ID order under the read lock,
+// without cloning. fn must treat the feature as read-only and must not
+// retain it past the call — this is the cheap full-catalog read the
+// wrangling chain's bookkeeping passes (mess metric, grid extraction,
+// publish diff) use instead of forcing a snapshot rebuild after every
+// mutation step.
+func (c *Catalog) ForEach(fn func(f *Feature)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, 0, len(c.features))
+	for id := range c.features {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fn(c.features[id])
+	}
+}
+
 // ToTable extracts the catalog's variable occurrences into a refine grid
 // with columns (dataset, source, field, unit): the "extract catalog
 // entries to Google Refine" arrow in the poster's discovery figure.
 // Rows are ordered by dataset ID then variable position.
 func (c *Catalog) ToTable() *table.Table {
 	t := table.MustNew("dataset", "source", "field", "unit")
-	// The snapshot's shared features are read-only here, so no copies.
-	for _, f := range c.Snapshot().All() {
+	c.ForEach(func(f *Feature) {
 		for _, v := range f.Variables {
-			// Snapshot().All() is sorted by ID; AppendRow only fails on
+			// ForEach iterates in ID order; AppendRow only fails on
 			// width mismatch, which is impossible here.
+			_ = t.AppendRow(f.ID, f.Source, v.Name, v.Unit)
+		}
+	})
+	return t
+}
+
+// ToTableOf is ToTable restricted to the given feature IDs (absent IDs
+// are ignored) — the delta-sized grid an incremental re-wrangle feeds
+// through the transformation rules instead of re-extracting the whole
+// catalog. Rows are ordered by dataset ID then variable position.
+func (c *Catalog) ToTableOf(ids []string) *table.Table {
+	t := table.MustNew("dataset", "source", "field", "unit")
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, id := range sorted {
+		f, ok := c.features[id]
+		if !ok {
+			continue
+		}
+		for _, v := range f.Variables {
 			_ = t.AppendRow(f.ID, f.Source, v.Name, v.Unit)
 		}
 	}
@@ -312,8 +517,16 @@ func (c *Catalog) ApplyTable(t *table.Table) (int, error) {
 		}
 		r.names = append(r.names, name)
 	}
+	ids := make([]string, 0, len(byDataset))
+	for id := range byDataset {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	missing := ""
-	changed := c.MutateVariables(func(f *Feature) bool {
+	// Only the datasets present in the grid are touched and reindexed —
+	// a delta grid from ToTableOf writes back in time proportional to
+	// its own size.
+	changed := c.MutateVariablesOf(ids, func(f *Feature) bool {
 		r, ok := byDataset[f.ID]
 		if !ok {
 			return false

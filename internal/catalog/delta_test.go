@@ -1,0 +1,307 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"metamess/internal/geo"
+)
+
+// deltaFeature fabricates a deterministic feature for the delta tests.
+// version changes the content (variables, extents) without changing the
+// identity, modelling an edited file.
+func deltaFeature(i, version int) *Feature {
+	path := fmt.Sprintf("src%d/ds%04d.obs", i%3, i)
+	names := []string{"water_temperature", "salinity", "turbidity", "dissolved_oxygen"}
+	lat := 25 + float64((i*13+version*7)%400)*0.1
+	lon := -130 + float64((i*31+version*3)%600)*0.1
+	base := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := &Feature{
+		ID:     IDForPath(path),
+		Path:   path,
+		Source: fmt.Sprintf("src%d", i%3),
+		Format: "obs",
+		BBox: geo.BBox{
+			MinLat: lat - 0.05, MinLon: lon - 0.05,
+			MaxLat: lat + 0.05, MaxLon: lon + 0.05,
+		},
+		Time: geo.NewTimeRange(
+			base.AddDate(0, 0, (i*11+version)%800),
+			base.AddDate(0, 0, (i*11+version)%800+10)),
+		RowCount:    100 + version,
+		Bytes:       int64(1000 + i),
+		ModTime:     base.AddDate(1, 0, version),
+		ScannedAt:   base.AddDate(2, 0, 0),
+		ContentHash: fmt.Sprintf("h%d-%d", i, version),
+		Variables: []VarFeature{
+			{RawName: names[i%len(names)], Name: names[i%len(names)],
+				Range: geo.NewValueRange(float64(version), float64(version+20)), Count: 50},
+			{RawName: names[(i+1+version)%len(names)], Name: names[(i+1+version)%len(names)],
+				Range: geo.NewValueRange(0, 30), Count: 70,
+				Parent: "fluorescence"},
+		},
+	}
+	if i%4 == 0 {
+		f.Variables[1].Excluded = true
+	}
+	if i%5 == 0 {
+		// No spatial extent: exercises the empty-bbox grid path.
+		f.BBox = geo.EmptyBBox()
+	}
+	return f
+}
+
+// requireSnapshotsEquivalent compares a patched snapshot against a
+// from-scratch rebuild: identical feature bytes, positions, posting
+// lists, and candidate sets from both auxiliary indexes.
+func requireSnapshotsEquivalent(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.features {
+		g, _ := json.Marshal(got.features[i])
+		w, _ := json.Marshal(want.features[i])
+		if string(g) != string(w) {
+			t.Fatalf("feature at position %d differs:\n got %s\nwant %s", i, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.pos, want.pos) {
+		t.Fatalf("pos maps differ: got %v, want %v", got.pos, want.pos)
+	}
+	if !reflect.DeepEqual(got.byName, want.byName) {
+		t.Fatalf("byName differs:\n got %v\nwant %v", got.byName, want.byName)
+	}
+	if !reflect.DeepEqual(got.byParent, want.byParent) {
+		t.Fatalf("byParent differs:\n got %v\nwant %v", got.byParent, want.byParent)
+	}
+	if !reflect.DeepEqual(got.spatial.cells, want.spatial.cells) {
+		t.Fatalf("spatial cells differ")
+	}
+	if !reflect.DeepEqual(got.temporal.byStart, want.temporal.byStart) ||
+		!reflect.DeepEqual(got.temporal.byEnd, want.temporal.byEnd) {
+		t.Fatalf("temporal orders differ:\n got %v / %v\nwant %v / %v",
+			got.temporal.byStart, got.temporal.byEnd, want.temporal.byStart, want.temporal.byEnd)
+	}
+	for i := range want.temporal.starts {
+		if !got.temporal.starts[i].Equal(want.temporal.starts[i]) ||
+			!got.temporal.ends[i].Equal(want.temporal.ends[i]) {
+			t.Fatalf("temporal key arrays differ at %d", i)
+		}
+	}
+}
+
+// TestSnapshotApplyDeltaEquivalence drives randomized add/modify/delete
+// deltas through ApplyDelta and checks after every round that the
+// incrementally patched snapshot is indistinguishable from a snapshot
+// rebuilt from scratch over the same features.
+func TestSnapshotApplyDeltaEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := New()
+			version := make(map[int]int) // live index → content version
+			next := 0
+			for i := 0; i < 40; i++ {
+				version[next] = 0
+				if err := c.Upsert(deltaFeature(next, 0)); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+			c.Snapshot() // materialize so later deltas patch, not rebuild
+
+			for round := 0; round < 12; round++ {
+				var changed []*Feature
+				var removed []string
+				// Adds.
+				for k := 0; k < rng.Intn(4); k++ {
+					version[next] = 0
+					changed = append(changed, deltaFeature(next, 0))
+					next++
+				}
+				// Modifies and deletes over the live set (each feature at
+				// most once per round).
+				live := make([]int, 0, len(version))
+				for i := range version {
+					live = append(live, i)
+				}
+				sort.Ints(live)
+				touched := make(map[int]bool)
+				for k := 0; k < rng.Intn(5); k++ {
+					if len(live) == 0 {
+						break
+					}
+					i := live[rng.Intn(len(live))]
+					if touched[i] {
+						continue
+					}
+					touched[i] = true
+					if rng.Intn(3) == 0 {
+						removed = append(removed, deltaFeature(i, 0).ID)
+						delete(version, i)
+					} else {
+						version[i]++
+						changed = append(changed, deltaFeature(i, version[i]))
+					}
+				}
+				sortFeaturesByID(changed)
+				bumped, err := c.ApplyDelta(changed, removed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := len(changed)+len(removed) > 0; bumped != want {
+					t.Fatalf("round %d: bumped = %v with %d changed, %d removed",
+						round, bumped, len(changed), len(removed))
+				}
+				got := c.Snapshot()
+				c.mu.RLock()
+				want := newSnapshot(c.features, c.generation)
+				c.mu.RUnlock()
+				requireSnapshotsEquivalent(t, got, want)
+				if got.Generation() != want.Generation() {
+					t.Fatalf("round %d: generation %d, want %d", round, got.Generation(), want.Generation())
+				}
+			}
+		})
+	}
+}
+
+// TestApplyDeltaEmptyIsNoOp locks in the generation-stability argument:
+// an empty delta must leave the generation and the served snapshot
+// untouched, so a no-op re-wrangle cannot evict generation-keyed caches.
+func TestApplyDeltaEmptyIsNoOp(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		if err := c.Upsert(deltaFeature(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Snapshot()
+	gen := c.Generation()
+	bumped, err := c.ApplyDelta(nil, nil)
+	if err != nil || bumped {
+		t.Fatalf("empty delta: bumped=%v err=%v", bumped, err)
+	}
+	// Removing an absent ID is also a no-op.
+	bumped, err = c.ApplyDelta(nil, []string{"not-present"})
+	if err != nil || bumped {
+		t.Fatalf("absent removal: bumped=%v err=%v", bumped, err)
+	}
+	if c.Generation() != gen {
+		t.Fatalf("generation moved: %d -> %d", gen, c.Generation())
+	}
+	if c.Snapshot() != before {
+		t.Fatal("snapshot pointer changed on empty delta")
+	}
+}
+
+// TestApplyDeltaLargeFallsBackToRebuild covers the full-rebuild branch:
+// a delta touching most of the catalog must still produce an equivalent
+// snapshot.
+func TestApplyDeltaLargeFallsBackToRebuild(t *testing.T) {
+	c := New()
+	for i := 0; i < 12; i++ {
+		if err := c.Upsert(deltaFeature(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Snapshot()
+	var changed []*Feature
+	for i := 0; i < 12; i++ {
+		changed = append(changed, deltaFeature(i, 9))
+	}
+	sortFeaturesByID(changed)
+	if _, err := c.ApplyDelta(changed, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Snapshot()
+	c.mu.RLock()
+	want := newSnapshot(c.features, c.generation)
+	c.mu.RUnlock()
+	requireSnapshotsEquivalent(t, got, want)
+}
+
+// TestApplyDeltaRejectsInvalid ensures validation still gates the write
+// path: a malformed feature fails the whole delta before any mutation.
+func TestApplyDeltaRejectsInvalid(t *testing.T) {
+	c := New()
+	if err := c.Upsert(deltaFeature(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	bad := deltaFeature(1, 0)
+	bad.ID = "mismatched"
+	if _, err := c.ApplyDelta([]*Feature{bad}, nil); err == nil {
+		t.Fatal("invalid feature accepted")
+	}
+	if c.Generation() != gen || c.Len() != 1 {
+		t.Fatal("failed delta mutated the catalog")
+	}
+}
+
+func sortFeaturesByID(fs []*Feature) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+}
+
+// TestContentEqualsCoversEveryField is the tripwire that keeps
+// ContentEquals honest as the structs grow: it pins the field counts of
+// Feature and VarFeature (grow one → this fails → extend ContentEquals
+// and the mutation table below), and checks per-field that a lone
+// mutation flips equality — except ScannedAt, the one field publish
+// deliberately ignores.
+func TestContentEqualsCoversEveryField(t *testing.T) {
+	if n := reflect.TypeOf(Feature{}).NumField(); n != 12 {
+		t.Fatalf("Feature has %d fields (expected 12): extend ContentEquals and this test's mutation table", n)
+	}
+	if n := reflect.TypeOf(VarFeature{}).NumField(); n != 9 {
+		t.Fatalf("VarFeature has %d fields (expected 9): extend ContentEquals and this test's mutation table", n)
+	}
+
+	base := func() *Feature { return deltaFeature(1, 0) }
+	if !base().ContentEquals(base()) {
+		t.Fatal("identical features compare unequal")
+	}
+
+	mutations := map[string]func(*Feature){
+		"ID":                      func(f *Feature) { f.ID = "other" },
+		"Path":                    func(f *Feature) { f.Path = "other/path.obs" },
+		"Source":                  func(f *Feature) { f.Source = "other" },
+		"Format":                  func(f *Feature) { f.Format = "csv" },
+		"BBox":                    func(f *Feature) { f.BBox.MaxLat += 0.5 },
+		"Time":                    func(f *Feature) { f.Time.End = f.Time.End.AddDate(0, 1, 0) },
+		"RowCount":                func(f *Feature) { f.RowCount++ },
+		"Bytes":                   func(f *Feature) { f.Bytes++ },
+		"ModTime":                 func(f *Feature) { f.ModTime = f.ModTime.Add(time.Second) },
+		"ContentHash":             func(f *Feature) { f.ContentHash = "deadbeef" },
+		"Variables/len":           func(f *Feature) { f.Variables = f.Variables[:1] },
+		"Variables/RawName":       func(f *Feature) { f.Variables[0].RawName = "x" },
+		"Variables/Name":          func(f *Feature) { f.Variables[0].Name = "x" },
+		"Variables/Unit":          func(f *Feature) { f.Variables[0].Unit = "x" },
+		"Variables/CanonicalUnit": func(f *Feature) { f.Variables[0].CanonicalUnit = "x" },
+		"Variables/Range":         func(f *Feature) { f.Variables[0].Range.Max += 1 },
+		"Variables/Count":         func(f *Feature) { f.Variables[0].Count++ },
+		"Variables/Excluded":      func(f *Feature) { f.Variables[0].Excluded = !f.Variables[0].Excluded },
+		"Variables/Contexts":      func(f *Feature) { f.Variables[0].Contexts = []string{"air"} },
+		"Variables/Parent":        func(f *Feature) { f.Variables[1].Parent = "other_parent" },
+	}
+	for name, mutate := range mutations {
+		f := base()
+		mutate(f)
+		if base().ContentEquals(f) {
+			t.Errorf("mutation of %s not detected by ContentEquals", name)
+		}
+	}
+
+	// ScannedAt is bookkeeping: publish must not see it as churn.
+	f := base()
+	f.ScannedAt = f.ScannedAt.Add(48 * time.Hour)
+	if !base().ContentEquals(f) {
+		t.Error("ScannedAt change treated as content churn")
+	}
+}

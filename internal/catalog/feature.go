@@ -129,6 +129,51 @@ func (f *Feature) Clone() *Feature {
 	return &c
 }
 
+// ContentEquals reports whether two features describe the same dataset
+// state: every field equal except ScannedAt, which is scan bookkeeping
+// (when we last looked) rather than dataset content. Publish uses this
+// to decide whether a working feature actually differs from its
+// published predecessor — a re-scan that re-parses a file into an
+// identical summary must not count as churn.
+func (f *Feature) ContentEquals(o *Feature) bool {
+	if f.ID != o.ID || f.Path != o.Path || f.Source != o.Source || f.Format != o.Format {
+		return false
+	}
+	if f.BBox != o.BBox {
+		return false
+	}
+	if !f.Time.Start.Equal(o.Time.Start) || !f.Time.End.Equal(o.Time.End) {
+		return false
+	}
+	if f.RowCount != o.RowCount || f.Bytes != o.Bytes || f.ContentHash != o.ContentHash {
+		return false
+	}
+	if !f.ModTime.Equal(o.ModTime) {
+		return false
+	}
+	if len(f.Variables) != len(o.Variables) {
+		return false
+	}
+	for i := range f.Variables {
+		a, b := &f.Variables[i], &o.Variables[i]
+		if a.RawName != b.RawName || a.Name != b.Name ||
+			a.Unit != b.Unit || a.CanonicalUnit != b.CanonicalUnit ||
+			a.Range != b.Range || a.Count != b.Count ||
+			a.Excluded != b.Excluded || a.Parent != b.Parent {
+			return false
+		}
+		if len(a.Contexts) != len(b.Contexts) {
+			return false
+		}
+		for j := range a.Contexts {
+			if a.Contexts[j] != b.Contexts[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // SearchableNames returns the current variable names visible to search
 // (excluded variables filtered out), sorted and de-duplicated.
 func (f *Feature) SearchableNames() []string {

@@ -72,6 +72,175 @@ func newSnapshot(features map[string]*Feature, generation uint64) *Snapshot {
 	return s
 }
 
+// applyDelta builds the successor snapshot incrementally: unchanged
+// features are shared with s (no re-clone), the ID-sorted slice is
+// spliced, and each index is patched — posting lists are remapped and
+// re-sorted only where the delta touched them, and the temporal orders
+// take sorted inserts instead of a full re-sort. The result is
+// indistinguishable from newSnapshot over the same feature set
+// (TestSnapshotApplyDeltaEquivalence), it just costs O(churn + index
+// size) instead of O(catalog · variables).
+//
+// changed must be sorted by ID and ownership passes to the snapshot;
+// removed must only name IDs present in s and disjoint from changed.
+func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, generation uint64) *Snapshot {
+	replace := make(map[string]*Feature)
+	var inserts []*Feature // sorted by ID (changed is)
+	for _, f := range changed {
+		if _, ok := s.pos[f.ID]; ok {
+			replace[f.ID] = f
+		} else {
+			inserts = append(inserts, f)
+		}
+	}
+
+	// Splice the ID-sorted feature slice, tracking the old→new position
+	// map and which positions carry new content ("dirty").
+	old := s.features
+	newLen := len(old) - len(removed) + len(inserts)
+	n := &Snapshot{
+		features:   make([]*Feature, 0, newLen),
+		pos:        make(map[string]int32, newLen),
+		byName:     make(map[string][]int32, len(s.byName)),
+		byParent:   make(map[string][]int32, len(s.byParent)),
+		generation: generation,
+	}
+	posMap := make([]int32, len(old)) // old position → new, -1 when removed
+	dirtyOld := make([]bool, len(old))
+	var dirtyNew []int32
+	i, j := 0, 0
+	for i < len(old) || j < len(inserts) {
+		takeOld := j >= len(inserts) || (i < len(old) && old[i].ID < inserts[j].ID)
+		if takeOld {
+			id := old[i].ID
+			if removed[id] {
+				posMap[i] = -1
+				dirtyOld[i] = true
+				i++
+				continue
+			}
+			p := int32(len(n.features))
+			if repl, ok := replace[id]; ok {
+				n.features = append(n.features, repl)
+				dirtyOld[i] = true
+				dirtyNew = append(dirtyNew, p)
+			} else {
+				n.features = append(n.features, old[i])
+			}
+			posMap[i] = p
+			n.pos[id] = p
+			i++
+		} else {
+			p := int32(len(n.features))
+			n.features = append(n.features, inserts[j])
+			n.pos[inserts[j].ID] = p
+			dirtyNew = append(dirtyNew, p)
+			j++
+		}
+	}
+	// When nothing was inserted or removed, positions are unchanged and
+	// untouched posting lists can be shared with s outright.
+	shifted := len(inserts) > 0 || len(removed) > 0
+
+	// Names, parents, and grid cells whose posting lists the delta
+	// touches: those of every dirty old feature (their entries leave)
+	// and of every dirty new feature (their entries arrive).
+	touchedNames := make(map[string]bool)
+	touchedParents := make(map[string]bool)
+	touchedCells := make(map[int32]bool)
+	collect := func(f *Feature) {
+		for _, name := range f.SearchableNames() {
+			touchedNames[name] = true
+		}
+		for _, v := range f.Variables {
+			if !v.Excluded && v.Parent != "" {
+				touchedParents[v.Parent] = true
+			}
+		}
+		for _, cell := range bboxCells(f.BBox) {
+			touchedCells[cell] = true
+		}
+	}
+	for p, dirty := range dirtyOld {
+		if dirty {
+			collect(old[p])
+		}
+	}
+	for _, p := range dirtyNew {
+		collect(n.features[p])
+	}
+
+	n.byName = patchPostings(s.byName, touchedNames, shifted, posMap, dirtyOld)
+	n.byParent = patchPostings(s.byParent, touchedParents, shifted, posMap, dirtyOld)
+	for _, p := range dirtyNew {
+		f := n.features[p]
+		for _, name := range f.SearchableNames() {
+			n.byName[name] = append(n.byName[name], p)
+		}
+		seenParent := make(map[string]bool)
+		for _, v := range f.Variables {
+			if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
+				continue
+			}
+			seenParent[v.Parent] = true
+			n.byParent[v.Parent] = append(n.byParent[v.Parent], p)
+		}
+	}
+	fixPostings(n.byName, touchedNames)
+	fixPostings(n.byParent, touchedParents)
+
+	// Spatial grid: the same remap/patch discipline, keyed by cell.
+	n.spatial = spatialGrid{cells: patchPostings(s.spatial.cells, touchedCells, shifted, posMap, dirtyOld)}
+	for _, p := range dirtyNew {
+		for _, cell := range bboxCells(n.features[p].BBox) {
+			n.spatial.cells[cell] = append(n.spatial.cells[cell], p)
+		}
+	}
+	fixPostings(n.spatial.cells, touchedCells)
+
+	n.temporal = s.temporal.applyDelta(n.features, posMap, dirtyOld, dirtyNew)
+	return n
+}
+
+// patchPostings rebuilds a posting-list map for a successor snapshot:
+// untouched lists are shared outright when no position shifted,
+// otherwise survivors are filtered (dropping removed and dirty old
+// positions) and remapped — the monotone posMap keeps every list
+// ascending. One discipline for all three position-keyed indexes.
+func patchPostings[K comparable](oldMap map[K][]int32, touched map[K]bool, shifted bool, posMap []int32, dirtyOld []bool) map[K][]int32 {
+	out := make(map[K][]int32, len(oldMap))
+	for key, list := range oldMap {
+		if !shifted && !touched[key] {
+			out[key] = list // shared: positions and membership unchanged
+			continue
+		}
+		kept := make([]int32, 0, len(list))
+		for _, p := range list {
+			if posMap[p] >= 0 && !dirtyOld[p] {
+				kept = append(kept, posMap[p])
+			}
+		}
+		out[key] = kept
+	}
+	return out
+}
+
+// fixPostings re-sorts every touched list after dirty-feature appends
+// and drops lists the delta emptied (newSnapshot never stores empties).
+func fixPostings[K comparable](m map[K][]int32, touched map[K]bool) {
+	for key := range touched {
+		list, ok := m[key]
+		if !ok {
+			continue
+		}
+		if len(list) == 0 {
+			delete(m, key)
+			continue
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+	}
+}
+
 // Len returns the number of features in the snapshot.
 func (s *Snapshot) Len() int { return len(s.features) }
 
@@ -170,21 +339,28 @@ func gridCol(lon float64) int32 {
 	return c
 }
 
+// bboxCells returns the grid cells a bounding box registers in; an
+// empty extent scores zero on the space dimension and occupies no cell.
+func bboxCells(b geo.BBox) []int32 {
+	if b.IsEmpty() {
+		return nil
+	}
+	r0, r1 := gridRow(b.MinLat), gridRow(b.MaxLat)
+	c0, c1 := gridCol(b.MinLon), gridCol(b.MaxLon)
+	cells := make([]int32, 0, (r1-r0+1)*(c1-c0+1))
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			cells = append(cells, r*gridCols+c)
+		}
+	}
+	return cells
+}
+
 func buildSpatialGrid(features []*Feature) spatialGrid {
 	g := spatialGrid{cells: make(map[int32][]int32)}
 	for i, f := range features {
-		if f.BBox.IsEmpty() {
-			// Empty extent scores zero on the space dimension; it is
-			// never a spatial candidate.
-			continue
-		}
-		r0, r1 := gridRow(f.BBox.MinLat), gridRow(f.BBox.MaxLat)
-		c0, c1 := gridCol(f.BBox.MinLon), gridCol(f.BBox.MaxLon)
-		for r := r0; r <= r1; r++ {
-			for c := c0; c <= c1; c++ {
-				key := r*gridCols + c
-				g.cells[key] = append(g.cells[key], int32(i))
-			}
+		for _, key := range bboxCells(f.BBox) {
+			g.cells[key] = append(g.cells[key], int32(i))
 		}
 	}
 	return g
@@ -295,6 +471,70 @@ func buildTemporalIndex(features []*Feature) temporalIndex {
 		t.ends[i] = t.endAt[p]
 	}
 	return t
+}
+
+// applyDelta patches the temporal index for a successor feature slice:
+// surviving entries are remapped in order (posMap is monotone, so both
+// sorted orders are preserved), and each dirty feature is merge-inserted
+// at the position a fresh stable sort would have given it — ascending
+// position among equal keys. The key arrays are then re-derived in one
+// linear pass.
+func (t temporalIndex) applyDelta(features []*Feature, posMap []int32, dirtyOld []bool, dirtyNew []int32) temporalIndex {
+	n := len(features)
+	out := temporalIndex{
+		byStart: make([]int32, 0, n),
+		byEnd:   make([]int32, 0, n),
+		startAt: make([]time.Time, n),
+		endAt:   make([]time.Time, n),
+	}
+	for i, f := range features {
+		out.startAt[i] = f.Time.Start
+		out.endAt[i] = f.Time.End
+	}
+	for _, p := range t.byStart {
+		if posMap[p] >= 0 && !dirtyOld[p] {
+			out.byStart = append(out.byStart, posMap[p])
+		}
+	}
+	for _, p := range t.byEnd {
+		if posMap[p] >= 0 && !dirtyOld[p] {
+			out.byEnd = append(out.byEnd, posMap[p])
+		}
+	}
+	for _, p := range dirtyNew {
+		s := out.startAt[p]
+		i := sort.Search(len(out.byStart), func(i int) bool {
+			q := out.byStart[i]
+			if !out.startAt[q].Equal(s) {
+				return out.startAt[q].After(s)
+			}
+			return q > p
+		})
+		out.byStart = append(out.byStart, 0)
+		copy(out.byStart[i+1:], out.byStart[i:])
+		out.byStart[i] = p
+
+		e := out.endAt[p]
+		i = sort.Search(len(out.byEnd), func(i int) bool {
+			q := out.byEnd[i]
+			if !out.endAt[q].Equal(e) {
+				return out.endAt[q].Before(e)
+			}
+			return q > p
+		})
+		out.byEnd = append(out.byEnd, 0)
+		copy(out.byEnd[i+1:], out.byEnd[i:])
+		out.byEnd[i] = p
+	}
+	out.starts = make([]time.Time, n)
+	out.ends = make([]time.Time, n)
+	for i, p := range out.byStart {
+		out.starts[i] = out.startAt[p]
+	}
+	for i, p := range out.byEnd {
+		out.ends[i] = out.endAt[p]
+	}
+	return out
 }
 
 func (t temporalIndex) candidates(query geo.TimeRange, maxGap time.Duration) ([]int32, bool) {

@@ -13,12 +13,14 @@ import (
 	"metamess/internal/scan"
 	"metamess/internal/semdiv"
 	"metamess/internal/synonym"
+	"metamess/internal/table"
 	"metamess/internal/validate"
 )
 
 // ScanArchive is the chain's first component: walk the configured
-// directories and upsert a feature per dataset into the working catalog
-// (incremental across reruns).
+// directories (in parallel), upsert a feature per added or changed
+// dataset into the working catalog, retract vanished ones, and record
+// the resulting Delta on the context for every downstream component.
 type ScanArchive struct{}
 
 // Name implements Component.
@@ -26,16 +28,75 @@ func (ScanArchive) Name() string { return "scan-archive" }
 
 // Run implements Component.
 func (ScanArchive) Run(ctx *Context) (StepReport, error) {
+	// The previous run's delta is spent; drop it before epoch checks so
+	// a knowledge bump cannot scribble on stale state.
+	ctx.Delta = nil
+	// Catch knowledge mutated behind the Context's back (curator tools
+	// and tests write Knowledge directly) plus undecided rulings: both
+	// can retroactively re-resolve names in features the scan will
+	// report as unchanged.
+	if fp := knowledgeFingerprint(ctx.Knowledge, ctx.Units, len(ctx.PendingDecisions)); ctx.hasRun && fp != ctx.lastKnowledgeFP {
+		ctx.KnowledgeEpoch++
+	}
 	res, err := scan.New(ctx.ScanConfig).ScanInto(ctx.Working)
 	if err != nil {
 		return StepReport{}, err
+	}
+	ctx.Delta = &Delta{
+		Added:     res.Added,
+		Changed:   res.Changed,
+		Removed:   res.Removed,
+		Unchanged: res.Stats.SkippedUnchanged,
+		Epoch:     ctx.KnowledgeEpoch,
+		Full:      !ctx.hasRun || ctx.KnowledgeEpoch != ctx.lastRunEpoch || ctx.ForceFullReprocess,
+	}
+	// Fold in dirty IDs stranded by runs that aborted before Publish:
+	// their re-parsed raw state sits in Working and the scan just
+	// re-classified them as unchanged.
+	carried := 0
+	if len(ctx.pendingDirty) > 0 {
+		// A stranded ID whose file has since vanished is in Removed (and
+		// already deleted from Working) — it is no longer dirty, just gone.
+		settled := make(map[string]bool, len(ctx.Delta.Added)+len(ctx.Delta.Changed)+len(ctx.Delta.Removed))
+		for _, id := range ctx.Delta.Added {
+			settled[id] = true
+		}
+		for _, id := range ctx.Delta.Changed {
+			settled[id] = true
+		}
+		for _, id := range ctx.Delta.Removed {
+			settled[id] = true
+			delete(ctx.pendingDirty, id)
+		}
+		for id := range ctx.pendingDirty {
+			if !settled[id] {
+				ctx.Delta.Changed = append(ctx.Delta.Changed, id)
+				carried++
+			}
+		}
+		sort.Strings(ctx.Delta.Changed)
+	}
+	// Everything dirty this run stays pending until a Publish lands.
+	if ctx.pendingDirty == nil {
+		ctx.pendingDirty = make(map[string]bool)
+	}
+	for _, id := range ctx.Delta.Dirty() {
+		ctx.pendingDirty[id] = true
 	}
 	step := StepReport{Counters: map[string]int{
 		"filesSeen":        res.Stats.FilesSeen,
 		"parsed":           res.Stats.Parsed,
 		"skippedUnchanged": res.Stats.SkippedUnchanged,
+		"hashVerified":     res.Stats.HashVerified,
 		"failed":           res.Stats.Failed,
+		"added":            len(res.Added),
+		"changed":          len(res.Changed),
+		"removed":          len(res.Removed),
+		"carriedOver":      carried,
 	}}
+	if ctx.Delta.Full {
+		step.Counters["fullReprocess"] = 1
+	}
 	for _, e := range res.Errors {
 		step.Notes = append(step.Notes, e.Error())
 	}
@@ -66,17 +127,51 @@ func (KnownTransforms) Run(ctx *Context) (StepReport, error) {
 			return StepReport{}, err
 		}
 		ctx.PendingDecisions = nil
+		// Decisions are knowledge: one may have landed after ScanArchive's
+		// fingerprint check (a curator racing the background rewrangler),
+		// and its translations must reach every feature — not just the
+		// scan delta — before this run consumes it.
+		ctx.NoteKnowledgeChange()
+	}
+
+	// The plan is global (classification is per-name, so it is cheap to
+	// compute over every distinct name), but with stable knowledge the
+	// non-dirty features are already fixed points of it: only the scan
+	// delta needs the feature pass.
+	full := ctx.fullRun()
+	var dirty []string
+	if !full {
+		dirty = ctx.Delta.Dirty()
+	}
+	processed := ctx.Working.Len()
+	if !full {
+		processed = len(dirty)
 	}
 
 	step := StepReport{Counters: map[string]int{
-		"translations": len(plan.Translations),
-		"exclusions":   len(plan.Exclusions),
-		"curatorQueue": len(plan.CuratorQueue),
+		"translations":      len(plan.Translations),
+		"exclusions":        len(plan.Exclusions),
+		"curatorQueue":      len(plan.CuratorQueue),
+		"featuresProcessed": processed,
+		"featuresSkipped":   ctx.Working.Len() - processed,
 	}}
+	for _, f := range plan.CuratorQueue {
+		step.Notes = append(step.Notes, fmt.Sprintf("curator: %q is %s (%s)", f.RawName, f.Category, f.Evidence))
+	}
+	if !full && len(dirty) == 0 {
+		return step, nil
+	}
 
 	// Translations run through the refine grid so the rule is auditable.
+	// An incremental run extracts (and writes back) only the dirty
+	// features' rows.
 	if op := plan.TranslationOp("field"); op != nil {
-		grid := ctx.Working.ToTable()
+		var grid *table.Table
+		if full {
+			grid = ctx.Working.ToTable()
+		} else {
+			grid = ctx.Working.ToTableOf(dirty)
+		}
 		if _, err := op.Apply(grid); err != nil {
 			return StepReport{}, err
 		}
@@ -102,14 +197,14 @@ func (KnownTransforms) Run(ctx *Context) (StepReport, error) {
 	}
 	unitMiss := make(map[string]bool)
 	marked, converted := 0, 0
-	ctx.Working.MutateVariables(func(f *catalog.Feature) bool {
-		dirty := false
+	mutate := func(f *catalog.Feature) bool {
+		changed := false
 		for i := range f.Variables {
 			v := &f.Variables[i]
 			if excluded[v.Name] && !v.Excluded {
 				v.Excluded = true
 				marked++
-				dirty = true
+				changed = true
 			}
 			if v.Unit != "" && v.CanonicalUnit == "" {
 				u, ok := ctx.Units.Lookup(v.Unit)
@@ -122,7 +217,7 @@ func (KnownTransforms) Run(ctx *Context) (StepReport, error) {
 					// Same unit (or no vocabulary entry): just record the
 					// resolved symbol, values need no conversion.
 					v.CanonicalUnit = u.Symbol
-					dirty = true
+					changed = true
 					continue
 				}
 				lo, err1 := ctx.Units.Convert(v.Range.Min, v.Unit, target)
@@ -131,23 +226,25 @@ func (KnownTransforms) Run(ctx *Context) (StepReport, error) {
 					// Cross-family surprise: keep the resolved symbol and
 					// leave values alone for the curator to inspect.
 					v.CanonicalUnit = u.Symbol
-					dirty = true
+					changed = true
 					continue
 				}
 				v.Range = geo.NewValueRange(lo, hi)
 				v.CanonicalUnit = target
 				converted++
-				dirty = true
+				changed = true
 			}
 		}
-		return dirty
-	})
+		return changed
+	}
+	if full {
+		ctx.Working.MutateVariables(mutate)
+	} else {
+		ctx.Working.MutateVariablesOf(dirty, mutate)
+	}
 	step.Counters["variablesExcluded"] = marked
 	step.Counters["unitsConverted"] = converted
 	step.Counters["unknownUnits"] = len(unitMiss)
-	for _, f := range plan.CuratorQueue {
-		step.Notes = append(step.Notes, fmt.Sprintf("curator: %q is %s (%s)", f.RawName, f.Category, f.Evidence))
-	}
 	return step, nil
 }
 
@@ -167,6 +264,7 @@ func (AddExternalMetadata) Name() string { return "add-external-metadata" }
 
 // Run implements Component.
 func (a AddExternalMetadata) Run(ctx *Context) (StepReport, error) {
+	before := knowledgeFingerprint(ctx.Knowledge, ctx.Units, 0)
 	merged := 0
 	for _, p := range a.TablePaths {
 		f, err := os.Open(p)
@@ -189,7 +287,15 @@ func (a AddExternalMetadata) Run(ctx *Context) (StepReport, error) {
 		}
 		merged++
 	}
-	return StepReport{Counters: map[string]int{"tablesMerged": merged}}, nil
+	step := StepReport{Counters: map[string]int{"tablesMerged": merged}}
+	// Re-merging a table already absorbed on an earlier run is a no-op;
+	// only an actual knowledge change forces the rest of the chain (and
+	// the next run, until published) onto the full path.
+	if merged > 0 && knowledgeFingerprint(ctx.Knowledge, ctx.Units, 0) != before {
+		ctx.NoteKnowledgeChange()
+		step.Counters["knowledgeChanged"] = 1
+	}
+	return step, nil
 }
 
 // DiscoverTransforms clusters "the mess that's left" — names the
@@ -207,6 +313,12 @@ func (DiscoverTransforms) Name() string { return "discover-transforms" }
 
 // Run implements Component.
 func (d DiscoverTransforms) Run(ctx *Context) (StepReport, error) {
+	// With stable knowledge and an empty archive delta the residual is
+	// exactly what the previous run's discovery already clustered:
+	// re-running could only rediscover the same fixed point.
+	if !ctx.fullRun() && ctx.Delta.Empty() {
+		return StepReport{Counters: map[string]int{"skipped": 1}}, nil
+	}
 	methods := d.Methods
 	if methods == nil {
 		methods = []cluster.Method{
@@ -217,10 +329,16 @@ func (d DiscoverTransforms) Run(ctx *Context) (StepReport, error) {
 		}
 	}
 	cls := semdiv.NewClassifier(ctx.Knowledge)
-	// The residual: names with no curated resolution.
+	// The residual: names with no curated resolution — and no already
+	// discovered one. A re-parsed file resurrects raw names that an
+	// accumulated rule folds later in this same run (PerformDiscovered
+	// runs after discovery); treating those as fresh mess would mint
+	// near-duplicate rules and needlessly re-trigger full reprocessing
+	// on every churned re-wrangle.
+	ruled := ruledNames(ctx.DiscoveredRules)
 	var residual []string
 	for _, vc := range ctx.Working.VariableNameCounts() {
-		if cls.Classify(vc.Value).Category == semdiv.CatUnknown {
+		if cls.Classify(vc.Value).Category == semdiv.CatUnknown && !ruled[vc.Value] {
 			residual = append(residual, vc.Value)
 		}
 	}
@@ -232,6 +350,16 @@ func (d DiscoverTransforms) Run(ctx *Context) (StepReport, error) {
 	step := StepReport{Counters: map[string]int{"residualNames": len(residual)}}
 	if len(residual) == 0 {
 		return step, nil
+	}
+
+	// Serialized forms of the accumulated rules, computed once: a rule
+	// already on the books must not be re-appended (it would re-trigger
+	// a full reprocess on every run for a residual that never resolves).
+	known := make(map[string]bool, len(ctx.DiscoveredRules))
+	for _, r := range ctx.DiscoveredRules {
+		if s, ok := serializeRule(r); ok {
+			known[s] = true
+		}
 	}
 
 	grid := ctx.Working.ToTable()
@@ -269,12 +397,51 @@ func (d DiscoverTransforms) Run(ctx *Context) (StepReport, error) {
 		}
 		if op := cluster.ToMassEdit("field", keep,
 			fmt.Sprintf("Discovered by %s over the residual mess", m.Name())); op != nil {
+			if s, ok := serializeRule(op); ok {
+				if known[s] {
+					continue // already on the books from an earlier run
+				}
+				known[s] = true
+			}
 			ctx.DiscoveredRules = append(ctx.DiscoveredRules, op)
 			rules++
 		}
 	}
 	step.Counters["rulesDiscovered"] = rules
+	if rules > 0 {
+		// A discovered fold can rename occurrences in features the scan
+		// classified as unchanged — rules are curated knowledge, so the
+		// rest of this run must walk the whole catalog.
+		ctx.NoteKnowledgeChange()
+	}
 	return step, nil
+}
+
+// ruledNames collects every name an accumulated mass-edit rule already
+// folds away (the From side of its edits).
+func ruledNames(rules []refine.Operation) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range rules {
+		me, ok := r.(*refine.MassEdit)
+		if !ok {
+			continue
+		}
+		for _, e := range me.Edits {
+			for _, from := range e.From {
+				out[from] = true
+			}
+		}
+	}
+	return out
+}
+
+// serializeRule renders a rule's canonical comparable form.
+func serializeRule(op refine.Operation) (string, bool) {
+	data, err := refine.ExportJSON([]refine.Operation{op})
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
 }
 
 // bestTarget picks a cluster's fold target: the canonical resolution of
@@ -309,7 +476,25 @@ func (PerformDiscovered) Run(ctx *Context) (StepReport, error) {
 	if len(ctx.DiscoveredRules) == 0 {
 		return step, nil
 	}
-	grid := ctx.Working.ToTable()
+	// With stable knowledge (no new rules this run) the accumulated
+	// rules were already applied to every feature on earlier runs; only
+	// the scan delta — e.g. a fresh file using a historically messy
+	// name — still needs them.
+	full := ctx.fullRun()
+	var dirty []string
+	if !full {
+		dirty = ctx.Delta.Dirty()
+		if len(dirty) == 0 {
+			step.Counters["skipped"] = 1
+			return step, nil
+		}
+	}
+	var grid *table.Table
+	if full {
+		grid = ctx.Working.ToTable()
+	} else {
+		grid = ctx.Working.ToTableOf(dirty)
+	}
 	project := refine.NewProject(grid)
 	if _, err := project.ApplyAll(ctx.DiscoveredRules); err != nil {
 		return StepReport{}, err
@@ -373,32 +558,57 @@ func (g GenerateHierarchies) Run(ctx *Context) (StepReport, error) {
 		}
 	}
 
+	// Taxonomy grouping is global — a new name can push a stem family
+	// over the grouping threshold and re-parent variables in untouched
+	// features — so the incremental pass is only sound while both the
+	// knowledge and the distinct-name set are unchanged. The generated
+	// tree itself is always rebuilt (it is cheap, sized by distinct
+	// names); only the per-feature write-back is delta-scoped.
+	nh := namesHash(names)
+	full := ctx.fullRun() || nh != ctx.lastNamesHash
+	var dirty []string
+	if !full {
+		dirty = ctx.Delta.Dirty()
+	}
+	processed := ctx.Working.Len()
+	if !full {
+		processed = len(dirty)
+	}
+
 	parents, linked := 0, 0
-	ctx.Working.MutateVariables(func(f *catalog.Feature) bool {
-		dirty := false
+	mutate := func(f *catalog.Feature) bool {
+		changed := false
 		for i := range f.Variables {
 			v := &f.Variables[i]
 			if p, ok := tax.Parent(v.Name); ok && v.Parent != p {
 				v.Parent = p
 				parents++
-				dirty = true
+				changed = true
 			} else if p, ok := classifiedParent[v.Name]; ok && v.Parent == "" {
 				v.Parent = p
 				parents++
-				dirty = true
+				changed = true
 			}
 			if ctxs, ok := contextsFor[v.Name]; ok && len(v.Contexts) == 0 {
 				v.Contexts = append([]string(nil), ctxs...)
 				linked++
-				dirty = true
+				changed = true
 			}
 		}
-		return dirty
-	})
+		return changed
+	}
+	if full {
+		ctx.Working.MutateVariables(mutate)
+	} else if len(dirty) > 0 {
+		ctx.Working.MutateVariablesOf(dirty, mutate)
+	}
+	ctx.lastNamesHash = nh
 	return StepReport{Counters: map[string]int{
-		"taxonomyTerms":  tax.Size(),
-		"parentsSet":     parents,
-		"contextsLinked": linked,
+		"taxonomyTerms":     tax.Size(),
+		"parentsSet":        parents,
+		"contextsLinked":    linked,
+		"featuresProcessed": processed,
+		"featuresSkipped":   ctx.Working.Len() - processed,
 	}}, nil
 }
 
@@ -449,8 +659,13 @@ func (v Validate) Run(ctx *Context) (StepReport, error) {
 	return step, nil
 }
 
-// Publish atomically replaces the published catalog with the working
-// catalog's current contents — the chain's final box.
+// Publish atomically applies the working catalog's changes to the
+// published catalog — the chain's final box. Instead of the historical
+// clone-everything swap, it diffs working against published (ignoring
+// scan bookkeeping) and applies exactly that delta: unchanged features
+// are not re-cloned, the served snapshot is patched rather than
+// rebuilt, and an empty diff leaves the snapshot generation untouched,
+// so a no-op re-wrangle cannot evict generation-keyed query caches.
 type Publish struct{}
 
 // Name implements Component.
@@ -461,8 +676,28 @@ func (Publish) Run(ctx *Context) (StepReport, error) {
 	if ctx.Published == nil {
 		return StepReport{}, fmt.Errorf("no published catalog configured")
 	}
-	ctx.Published.ReplaceAll(ctx.Working)
-	return StepReport{Counters: map[string]int{"datasetsPublished": ctx.Published.Len()}}, nil
+	changed, removed := ctx.Published.DiffTo(ctx.Working)
+	bumped, err := ctx.Published.ApplyDelta(changed, removed)
+	if err != nil {
+		return StepReport{}, fmt.Errorf("publish: %w", err)
+	}
+	// The run is complete: record the state the incremental machinery
+	// compares future runs against, and clear the carried-dirty set —
+	// everything dirty has now been transformed and published.
+	ctx.hasRun = true
+	ctx.lastRunEpoch = ctx.KnowledgeEpoch
+	ctx.lastKnowledgeFP = knowledgeFingerprint(ctx.Knowledge, ctx.Units, len(ctx.PendingDecisions))
+	ctx.pendingDirty = nil
+	step := StepReport{Counters: map[string]int{
+		"datasetsPublished": ctx.Published.Len(),
+		"changed":           len(changed),
+		"retracted":         len(removed),
+		"unchanged":         ctx.Published.Len() - len(changed),
+	}}
+	if !bumped {
+		step.Counters["generationStable"] = 1
+	}
+	return step, nil
 }
 
 // DefaultChain assembles the poster's full chain in order.

@@ -11,15 +11,26 @@
 //  1. Creating a process from composable components: build a Process
 //     from the Component implementations here (or from a ProcessConfig).
 //  2. Running & rerunning: Process.Run is idempotent over unchanged
-//     inputs and incremental over re-scans.
+//     inputs and incremental end to end — the scan classifies the
+//     archive churn into a Delta (added/changed/removed features), the
+//     transformation and hierarchy components process only the dirty
+//     features while the curated knowledge is unchanged (each
+//     StepReport counts processed vs. skipped), and Publish pushes only
+//     real differences into the published catalog, leaving the served
+//     snapshot generation untouched when nothing changed.
 //  3. Improving the process: mutate the Context's Knowledge (add synonym
 //     entries, unit aliases, scan directories, hierarchy edits) between
-//     runs.
+//     runs. Any knowledge change moves the knowledge epoch, and the
+//     next run falls back to a full reprocess — curated knowledge can
+//     retroactively change features the scan saw as clean.
 //  4. Validating results: the Validate component gates Publish.
 package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
 	"time"
 
 	"metamess/internal/catalog"
@@ -29,6 +40,43 @@ import (
 	"metamess/internal/units"
 	"metamess/internal/validate"
 )
+
+// Delta describes one run's archive churn, computed by ScanArchive and
+// threaded through the chain: downstream components restrict their work
+// to the dirty features when the curated knowledge is unchanged, and
+// Publish pushes only real differences into the published catalog. The
+// poster's "running & rerunning" loop thereby costs in proportion to
+// what changed, not to how much has accumulated.
+type Delta struct {
+	// Added, Changed, and Removed are the feature IDs the scan
+	// classified, each sorted.
+	Added, Changed, Removed []string
+	// Unchanged counts the features the scan skipped.
+	Unchanged int
+	// Epoch is the knowledge epoch the delta was computed at.
+	Epoch uint64
+	// Full forces components to reprocess every feature: set when the
+	// curated knowledge moved since the last completed run (a synonym
+	// add, curator decision, merged external table, or newly discovered
+	// rule can retroactively change features the scan saw as clean).
+	Full bool
+}
+
+// Empty reports whether the archive did not change at all. An empty,
+// non-full delta lets every downstream component skip its feature pass
+// and lets Publish leave the snapshot generation untouched.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Changed) == 0 && len(d.Removed) == 0
+}
+
+// Dirty returns the IDs needing reprocessing (added + changed), sorted.
+func (d *Delta) Dirty() []string {
+	out := make([]string, 0, len(d.Added)+len(d.Changed))
+	out = append(out, d.Added...)
+	out = append(out, d.Changed...)
+	sort.Strings(out)
+	return out
+}
 
 // Context carries the mutable state a chain threads through its
 // components: the working catalog, the curated knowledge, the unit
@@ -56,6 +104,130 @@ type Context struct {
 	ExpectedPaths []string
 	// LastValidation holds the most recent validation report.
 	LastValidation *validate.Report
+	// Delta is the current run's churn, set by ScanArchive and read by
+	// every delta-aware component downstream. Nil when no scan ran this
+	// run (custom chains), which components treat as "process all".
+	Delta *Delta
+	// ForceFullReprocess disables delta-scoped processing: every run
+	// walks the whole catalog as if the knowledge epoch had moved. The
+	// escape hatch for operators who suspect drift, and the ablation the
+	// equivalence property test compares the delta path against.
+	ForceFullReprocess bool
+	// KnowledgeEpoch counts curated-knowledge changes. It moves when a
+	// component or the facade calls NoteKnowledgeChange, and when
+	// ScanArchive detects that the knowledge fingerprint drifted from
+	// the last completed run (direct mutation of Knowledge). A run
+	// whose epoch differs from the last completed run's reprocesses
+	// everything.
+	KnowledgeEpoch uint64
+
+	// Bookkeeping recorded by Publish at the end of a completed run.
+	hasRun          bool
+	lastRunEpoch    uint64
+	lastKnowledgeFP uint64
+	// pendingDirty carries dirty feature IDs across runs that failed
+	// before Publish: the scan upserted their re-parsed (raw) state
+	// into Working, so until a run publishes them the next scan — which
+	// will see them stat-unchanged — must still treat them as dirty, or
+	// the chain would skip their transforms and publish raw features.
+	pendingDirty map[string]bool
+	// lastNamesHash fingerprints the distinct-name set the hierarchy
+	// generator last processed: taxonomy grouping is global over names,
+	// so parents may only be patched incrementally while the name set
+	// is stable.
+	lastNamesHash uint64
+}
+
+// NoteKnowledgeChange records that the curated knowledge (synonym
+// table, decisions, vocabulary, discovered rules) changed, forcing the
+// next run — or, mid-run, the remaining components — to reprocess every
+// feature instead of only the scan delta.
+func (c *Context) NoteKnowledgeChange() {
+	c.KnowledgeEpoch++
+	if c.Delta != nil {
+		c.Delta.Full = true
+	}
+}
+
+// fullRun reports whether components must ignore the delta and process
+// the whole catalog: no delta (custom chain without a scan), the delta
+// marked full outright, or the live knowledge epoch having moved past
+// the epoch the delta was scoped at (a mid-run knowledge change means
+// the dirty set no longer bounds what needs reprocessing).
+func (c *Context) fullRun() bool {
+	return c.Delta == nil || c.Delta.Full || c.KnowledgeEpoch != c.Delta.Epoch
+}
+
+// knowledgeFingerprint hashes the curated knowledge's observable state
+// — the semdiv knowledge base, the unit registry's aliases and symbols,
+// and the number of undecided curator rulings. ScanArchive compares it
+// against the last completed run's to catch curation mutated behind the
+// Context's back (tests and curator tools edit Knowledge and Units
+// directly), and Publish re-records it so a mid-run merge is not
+// mistaken for a fresh curator edit on the next run.
+func knowledgeFingerprint(k *semdiv.Knowledge, reg *units.Registry, pendingDecisions int) uint64 {
+	h := fnv.New64a()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	w(fmt.Sprintf("pending=%d", pendingDecisions))
+	if reg != nil {
+		w("units")
+		w(reg.Symbols()...)
+		w(reg.Aliases()...)
+	}
+	if k == nil {
+		return h.Sum64()
+	}
+	for _, pref := range k.Synonyms.PreferredNames() {
+		w("syn", pref)
+		w(k.Synonyms.AlternatesOf(pref)...)
+	}
+	abbrevs := make([]string, 0, len(k.Abbrevs))
+	for a, c := range k.Abbrevs {
+		abbrevs = append(abbrevs, a+"="+c)
+	}
+	sort.Strings(abbrevs)
+	w("abbrevs")
+	w(abbrevs...)
+	w("prefixes")
+	w(k.ExcessivePrefixes...)
+	w("suffixes")
+	w(k.ExcessiveSuffixes...)
+	amb := make([]string, 0, len(k.Ambiguous))
+	for a, opts := range k.Ambiguous {
+		amb = append(amb, a+"="+strings.Join(opts, ","))
+	}
+	sort.Strings(amb)
+	w("ambiguous")
+	w(amb...)
+	for _, v := range k.Vocabulary {
+		w("vocab", v.Name, v.Base, v.Context, v.Unit)
+		w(v.Synonyms...)
+		w(v.Abbrevs...)
+	}
+	if k.Contexts != nil {
+		for _, name := range k.Contexts.Names() {
+			if tax, ok := k.Contexts.Get(name); ok {
+				w("context", name)
+				w(tax.Menu(0)...)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// namesHash fingerprints a sorted distinct-name set.
+func namesHash(names []string) uint64 {
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // NewContext builds a context with empty catalogs.
@@ -165,10 +337,13 @@ func Mess(c *catalog.Catalog, k *semdiv.Knowledge) MessReport {
 	cls := semdiv.NewClassifier(k)
 	excludedNames := make(map[string]bool)
 	groupedNames := make(map[string]bool)
-	// Read-only pass: the shared snapshot avoids cloning the catalog
-	// once per chain step.
-	for _, f := range c.Snapshot().All() {
+	counts := make(map[string]int)
+	// One lock-free-of-clones pass over the live features: the metric
+	// runs after every chain step, so it must not force a snapshot
+	// rebuild (or a catalog copy) per step.
+	c.ForEach(func(f *catalog.Feature) {
 		for _, v := range f.Variables {
+			counts[v.Name]++
 			if v.Excluded {
 				excludedNames[v.Name] = true
 			}
@@ -176,22 +351,22 @@ func Mess(c *catalog.Catalog, k *semdiv.Knowledge) MessReport {
 				groupedNames[v.Name] = true
 			}
 		}
-	}
+	})
 	totalOcc, wrangledOcc := 0, 0
-	for _, vc := range c.VariableNameCounts() {
+	for name, count := range counts {
 		r.DistinctNames++
-		totalOcc += vc.Count
-		f := cls.Classify(vc.Value)
+		totalOcc += count
+		f := cls.Classify(name)
 		switch {
 		case f.Category == semdiv.CatClean:
 			r.CanonicalNames++
-			wrangledOcc += vc.Count
-		case excludedNames[vc.Value]:
+			wrangledOcc += count
+		case excludedNames[name]:
 			r.ExcludedNames++
-			wrangledOcc += vc.Count
-		case f.Category == semdiv.CatMultiLevel && groupedNames[vc.Value]:
+			wrangledOcc += count
+		case f.Category == semdiv.CatMultiLevel && groupedNames[name]:
 			r.GroupedNames++
-			wrangledOcc += vc.Count
+			wrangledOcc += count
 		default:
 			r.UnresolvedNames++
 		}

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"metamess/internal/archive"
+	"metamess/internal/catalog"
 	"metamess/internal/refine"
 	"metamess/internal/scan"
 	"metamess/internal/semdiv"
@@ -135,8 +140,32 @@ func TestRerunIsIdempotentAndIncremental(t *testing.T) {
 	if r2.MessAfter != r1.MessAfter {
 		t.Errorf("rerun changed mess: %+v vs %+v", r2.MessAfter, r1.MessAfter)
 	}
-	if ctx.Published.Generation() == before {
-		t.Error("publish should still bump generation on rerun")
+	// A no-op rerun publishes an empty delta: the generation — and with
+	// it every generation-keyed cache downstream — must survive.
+	if got := ctx.Published.Generation(); got != before {
+		t.Errorf("no-op rerun moved the published generation: %d -> %d", before, got)
+	}
+	last := r2.Steps[len(r2.Steps)-1]
+	if last.Counters["changed"] != 0 || last.Counters["generationStable"] != 1 {
+		t.Errorf("no-op publish counters = %v", last.Counters)
+	}
+	// Delta-aware components sat the rerun out.
+	for _, st := range r2.Steps {
+		switch st.Component {
+		case "known-transforms", "generate-hierarchies":
+			if st.Counters["featuresProcessed"] != 0 || st.Counters["featuresSkipped"] != ctx.Working.Len() {
+				t.Errorf("%s on no-op rerun processed %d, skipped %d (want 0/%d)",
+					st.Component, st.Counters["featuresProcessed"], st.Counters["featuresSkipped"], ctx.Working.Len())
+			}
+		case "discover-transforms":
+			if st.Counters["skipped"] != 1 {
+				t.Errorf("discover-transforms did not skip on no-op rerun: %v", st.Counters)
+			}
+		case "perform-discovered":
+			if st.Counters["rules"] > 0 && st.Counters["skipped"] != 1 {
+				t.Errorf("perform-discovered did not skip on no-op rerun: %v", st.Counters)
+			}
+		}
 	}
 }
 
@@ -335,5 +364,231 @@ func BenchmarkFullChain30(b *testing.B) {
 		if _, err := p.Run(ctx); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDeltaRerunProcessesOnlyChurn modifies one file between runs and
+// checks the delta machinery end to end: one re-parse, delta-scoped
+// component passes, a one-feature publish, and a moved generation.
+func TestDeltaRerunProcessesOnlyChurn(t *testing.T) {
+	ctx, m := newTestContext(t, 18, 21)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := ctx.Published.Generation()
+
+	target := filepath.Join(ctx.ScanConfig.Root, m.Datasets[2].Path)
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(3 * time.Second)
+	if err := os.Chtimes(target, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanStep := r2.Steps[0]
+	if scanStep.Counters["parsed"] != 1 || scanStep.Counters["changed"] != 1 {
+		t.Fatalf("churn scan counters = %v", scanStep.Counters)
+	}
+	if scanStep.Counters["fullReprocess"] != 0 {
+		t.Fatalf("churn rerun went full: %v", scanStep.Counters)
+	}
+	for _, st := range r2.Steps {
+		if st.Component == "known-transforms" && st.Counters["featuresProcessed"] != 1 {
+			t.Errorf("known-transforms processed %d features, want 1 (counters %v)",
+				st.Counters["featuresProcessed"], st.Counters)
+		}
+	}
+	last := r2.Steps[len(r2.Steps)-1]
+	if last.Counters["changed"] != 1 || last.Counters["unchanged"] != ctx.Published.Len()-1 {
+		t.Errorf("publish counters = %v", last.Counters)
+	}
+	if ctx.Published.Generation() == genBefore {
+		t.Error("real churn must move the published generation")
+	}
+}
+
+// TestKnowledgeChangeForcesFullReprocess mutates the knowledge between
+// runs (as curator tooling does, directly) and checks the epoch falls
+// the chain back to a full pass — including features the scan skipped.
+func TestKnowledgeChangeForcesFullReprocess(t *testing.T) {
+	ctx, _ := newTestContext(t, 12, 13)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	epoch := ctx.KnowledgeEpoch
+	if err := ctx.Knowledge.Synonyms.Add("water_temperature", "brand_new_alias"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.KnowledgeEpoch == epoch {
+		t.Fatal("direct knowledge mutation not detected")
+	}
+	if r2.Steps[0].Counters["fullReprocess"] != 1 {
+		t.Fatalf("knowledge change did not force full reprocess: %v", r2.Steps[0].Counters)
+	}
+	for _, st := range r2.Steps {
+		if st.Component == "known-transforms" && st.Counters["featuresSkipped"] != 0 {
+			t.Errorf("full run skipped %d features", st.Counters["featuresSkipped"])
+		}
+	}
+	// Third run with nothing new: incremental again.
+	r3, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Steps[0].Counters["fullReprocess"] != 0 {
+		t.Errorf("epoch did not settle after publish: %v", r3.Steps[0].Counters)
+	}
+}
+
+// TestDeletionRetractsFromPublished removes an archive file and checks
+// the vanished dataset leaves both catalogs — the leak the pre-delta
+// write path had ("files removed linger in the catalog forever").
+func TestDeletionRetractsFromPublished(t *testing.T) {
+	ctx, m := newTestContext(t, 10, 7)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(ctx.ScanConfig.Root, m.Datasets[0].Path)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Steps[0].Counters["removed"] != 1 {
+		t.Fatalf("scan counters = %v", r2.Steps[0].Counters)
+	}
+	last := r2.Steps[len(r2.Steps)-1]
+	if last.Counters["retracted"] != 1 {
+		t.Fatalf("publish counters = %v", last.Counters)
+	}
+	id := catalog.IDForPath(m.Datasets[0].Path)
+	if _, ok := ctx.Working.Get(id); ok {
+		t.Error("deleted dataset still in working catalog")
+	}
+	if _, ok := ctx.Published.Get(id); ok {
+		t.Error("deleted dataset still in published catalog")
+	}
+	if ctx.Published.Len() != len(m.Datasets)-1 {
+		t.Errorf("published len = %d, want %d", ctx.Published.Len(), len(m.Datasets)-1)
+	}
+}
+
+// failAfterScan is a component that errors, aborting the chain between
+// ScanArchive and Publish.
+type failAfterScan struct{}
+
+func (failAfterScan) Name() string { return "fail-after-scan" }
+func (failAfterScan) Run(*Context) (StepReport, error) {
+	return StepReport{}, fmt.Errorf("transient failure")
+}
+
+// TestAbortedRunDoesNotStrandDirtyFeatures reproduces the mid-chain
+// failure hazard: run N re-parses a churned file into Working (raw
+// names) and then aborts before Publish; run N+1's scan sees the file
+// stat-unchanged. The carried-dirty set must keep the feature in the
+// delta so it is transformed before publishing — otherwise raw,
+// unwrangled metadata would reach the served catalog.
+func TestAbortedRunDoesNotStrandDirtyFeatures(t *testing.T) {
+	ctx, m := newTestContext(t, 15, 31)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	namesBefore := ctx.Published.VariableNameCounts()
+
+	// Churn one file (names unchanged, content changed), then run a
+	// chain that scans and aborts.
+	target := filepath.Join(ctx.ScanConfig.Root, m.Datasets[3].Path)
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(3 * time.Second)
+	if err := os.Chtimes(target, future, future); err != nil {
+		t.Fatal(err)
+	}
+	broken := NewProcess("broken", ScanArchive{}, failAfterScan{})
+	if _, err := broken.Run(ctx); err == nil {
+		t.Fatal("broken chain should fail")
+	}
+
+	// Recovery run: the scan reports nothing parsed, but the stranded
+	// feature must be carried into the delta and fully re-wrangled.
+	r, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanStep := r.Steps[0]
+	if scanStep.Counters["parsed"] != 0 {
+		t.Fatalf("recovery run re-parsed: %v", scanStep.Counters)
+	}
+	if scanStep.Counters["carriedOver"] != 1 {
+		t.Fatalf("stranded feature not carried over: %v", scanStep.Counters)
+	}
+	for _, st := range r.Steps {
+		if st.Component == "known-transforms" && st.Counters["featuresProcessed"] != 1 {
+			t.Fatalf("carried feature not processed by %s: %v", st.Component, st.Counters)
+		}
+	}
+	// The published name multiset must be unchanged: a stranded raw
+	// feature would leak messy names into the served catalog.
+	namesAfter := ctx.Published.VariableNameCounts()
+	if len(namesBefore) != len(namesAfter) {
+		t.Fatalf("published distinct names changed: %d -> %d", len(namesBefore), len(namesAfter))
+	}
+	for i := range namesBefore {
+		if namesBefore[i] != namesAfter[i] {
+			t.Errorf("published names diverged: %v -> %v", namesBefore[i], namesAfter[i])
+		}
+	}
+	// Once published, the pending set is consumed: the next run carries
+	// nothing.
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Steps[0].Counters["carriedOver"] != 0 {
+		t.Fatalf("pending set not cleared after publish: %v", r2.Steps[0].Counters)
+	}
+}
+
+// TestUnitAliasChangeForcesFullReprocess guards the package doc's
+// promise that "unit aliases" added between runs move the knowledge
+// epoch: the unit registry is part of the curated-state fingerprint.
+func TestUnitAliasChangeForcesFullReprocess(t *testing.T) {
+	ctx, _ := newTestContext(t, 8, 41)
+	p := NewProcess("full", DefaultChain()...)
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Units.AddAlias("curator_degrees", ctx.Units.Symbols()[0]); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Steps[0].Counters["fullReprocess"] != 1 {
+		t.Fatalf("unit alias change did not force full reprocess: %v", r2.Steps[0].Counters)
 	}
 }

@@ -4,6 +4,14 @@
 // extent, per-variable observed ranges). The poster's annotation
 // "Configure: directories, file types, naming conventions" maps onto
 // Config.
+//
+// Scans are delta-aware: against an existing catalog the scanner skips
+// files whose stat fingerprint (size + mtime) matches, verifies
+// stat-stable files by content hash when the fingerprint cannot be
+// trusted (the racy-mtime window), reports files that vanished from the
+// archive, and classifies every parsed feature as added or changed.
+// Parsing fans out over a bounded worker pool, so a cold scan of a large
+// archive uses the hardware and a warm scan costs stat calls.
 package scan
 
 import (
@@ -13,8 +21,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"metamess/internal/archive"
@@ -34,27 +44,45 @@ type Config struct {
 	Extensions []string
 	// MaxFileBytes skips larger files (0 = no limit).
 	MaxFileBytes int64
+	// Workers bounds the parse worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Stats summarizes one scan run.
 type Stats struct {
 	// FilesSeen counts candidate files; Parsed counts full parses;
 	// SkippedUnchanged counts incremental skips; SkippedOther counts
-	// unknown types and oversized files; Failed counts parse errors.
+	// unknown types and oversized files; Failed counts stat, read, and
+	// parse errors.
 	FilesSeen, Parsed, SkippedUnchanged, SkippedOther, Failed int
+	// HashVerified counts the subset of SkippedUnchanged whose stat
+	// fingerprint was racy and had to be confirmed by content hash.
+	HashVerified int
+	// Removed counts previously cataloged files that no longer exist.
+	Removed int
 	// BytesParsed totals the raw bytes of parsed files.
 	BytesParsed int64
 	// Duration is the wall-clock scan time.
 	Duration time.Duration
 }
 
-// Result carries the scan's features and per-file errors. Errors do not
-// abort the scan: an archive with some corrupt files still yields a
-// catalog for everything else.
+// Result carries the scan's features, delta classification, and
+// per-file errors. Errors do not abort the scan: an archive with some
+// corrupt files still yields a catalog for everything else.
 type Result struct {
 	Features []*catalog.Feature
-	Errors   []error
-	Stats    Stats
+	// Added and Changed partition Features by whether the existing
+	// catalog already had the ID; on a from-scratch scan everything is
+	// Added. Removed lists the IDs of cataloged files the walk no
+	// longer found inside the scanned scope. All three are sorted.
+	Added, Changed, Removed []string
+	Errors                  []error
+	Stats                   Stats
+
+	// verified holds IDs whose unchanged-ness was confirmed by content
+	// hash; ScanInto refreshes their scan stamps so the next run can
+	// trust the stat fingerprint again.
+	verified []string
 }
 
 // Scanner scans archives per its config.
@@ -85,22 +113,66 @@ func (s *Scanner) ScanAll() (*Result, error) {
 }
 
 // ScanInto scans incrementally against an existing catalog: files whose
-// size and modification time match the stored feature are skipped, and
-// all parsed features are upserted into c. This is the poster's "running
-// & rerunning process" made cheap.
+// stat fingerprint (or, when that is racy, content hash) matches the
+// stored feature are skipped, parsed features are upserted into c, and
+// features whose files vanished are deleted. This is the poster's
+// "running & rerunning process" made cheap — the work tracks archive
+// churn, not archive size.
 func (s *Scanner) ScanInto(c *catalog.Catalog) (*Result, error) {
 	res, err := s.scan(c)
 	if err != nil {
 		return nil, err
 	}
+	rejected := map[string]bool{}
 	for _, f := range res.Features {
 		if err := c.Upsert(f); err != nil {
 			res.Errors = append(res.Errors, err)
 			res.Stats.Failed++
+			rejected[f.ID] = true
 		}
+	}
+	if len(rejected) > 0 {
+		// A feature the catalog refused is not part of the delta: it is
+		// surfaced through Errors/Failed, and leaving its ID in
+		// Added/Changed would keep the delta permanently non-empty (the
+		// file re-parses and re-fails every run), defeating the
+		// empty-delta fast paths for the whole archive.
+		keep := func(ids []string) []string {
+			out := ids[:0]
+			for _, id := range ids {
+				if !rejected[id] {
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+		res.Added = keep(res.Added)
+		res.Changed = keep(res.Changed)
+	}
+	for _, id := range res.Removed {
+		c.Delete(id)
+	}
+	stamp := s.now()
+	for _, id := range res.verified {
+		c.SetScanStamp(id, stamp)
 	}
 	return res, nil
 }
+
+// candidate is one file the walk selected for scanning.
+type candidate struct {
+	abs, rel string
+}
+
+// racyWindow is the stat-trust guard: a stored fingerprint is only
+// trusted when the file's mtime is at least this much older than the
+// scan that recorded it. Inside the window an edit could have landed
+// without moving size or mtime (filesystem timestamp granularity,
+// deliberate mtime restoration), so the scanner re-reads the file and
+// lets the content hash arbitrate. This is a stat-first trade-off, not
+// a universal guarantee: an edit that restores a mtime already far in
+// the past of the recorded scan is trusted-skipped without a read.
+const racyWindow = 2 * time.Second
 
 func (s *Scanner) scan(existing *catalog.Catalog) (*Result, error) {
 	start := s.now()
@@ -117,13 +189,30 @@ func (s *Scanner) scan(existing *catalog.Catalog) (*Result, error) {
 		dirs = []string{"."}
 	}
 	res := &Result{}
+
+	// Phase 1: a serial walk collects candidates. seen records every
+	// regular file (candidate or not) for de-duplication across
+	// overlapping dirs and for deletion detection. Subtrees the walk
+	// failed to read are remembered: their files were never observed,
+	// so treating them as deleted would retract live datasets over a
+	// transient EACCES/EIO — deletion detection skips them instead.
+	var cands []candidate
 	seen := make(map[string]bool)
+	var walkErrored []string
+	suppressRemovals := false
 	for _, dir := range dirs {
 		base := filepath.Join(s.cfg.Root, dir)
 		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
 				res.Errors = append(res.Errors, fmt.Errorf("scan: walk %s: %w", path, err))
 				res.Stats.Failed++
+				if rel, rerr := filepath.Rel(s.cfg.Root, path); rerr == nil && rel != "." {
+					walkErrored = append(walkErrored, filepath.ToSlash(rel))
+				} else {
+					// The archive root itself failed (rel "." prefixes
+					// nothing): no removal can be proven this scan.
+					suppressRemovals = true
+				}
 				if d != nil && d.IsDir() {
 					return fs.SkipDir
 				}
@@ -137,67 +226,184 @@ func (s *Scanner) scan(existing *catalog.Catalog) (*Result, error) {
 				return nil
 			}
 			seen[rel] = true
-			s.scanOne(path, rel, existing, res)
+			if s.exts[strings.ToLower(filepath.Ext(rel))] {
+				cands = append(cands, candidate{abs: path, rel: rel})
+			}
 			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scan: walk %s: %w", base, err)
 		}
 	}
+	res.Stats.FilesSeen = len(cands)
+
+	// Phase 2: parse over a bounded worker pool. Each worker writes
+	// only its own outcome slots, so aggregation needs no locks and the
+	// result is independent of scheduling order.
+	outs := make([]fileOutcome, len(cands))
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outs[i] = s.scanOne(cands[i].abs, cands[i].rel, existing)
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range cands {
+			outs[i] = s.scanOne(cands[i].abs, cands[i].rel, existing)
+		}
+	}
+
+	// Phase 3: aggregate in candidate order, then detect deletions.
+	for i, out := range outs {
+		switch {
+		case out.err != nil:
+			res.Errors = append(res.Errors, out.err)
+			res.Stats.Failed++
+		case out.oversize:
+			res.Stats.SkippedOther++
+		case out.feature != nil:
+			res.Features = append(res.Features, out.feature)
+			res.Stats.Parsed++
+			res.Stats.BytesParsed += out.feature.Bytes
+			id := out.feature.ID
+			if out.existed {
+				res.Changed = append(res.Changed, id)
+			} else {
+				res.Added = append(res.Added, id)
+			}
+		default:
+			res.Stats.SkippedUnchanged++
+			if out.verified {
+				res.Stats.HashVerified++
+				res.verified = append(res.verified, catalog.IDForPath(cands[i].rel))
+			}
+		}
+	}
+	if existing != nil && !suppressRemovals {
+		existing.ForEach(func(f *catalog.Feature) {
+			if seen[f.Path] || !pathInScope(f.Path, dirs) {
+				return
+			}
+			// Unreached, not deleted: the walk errored somewhere above
+			// this path, so its absence proves nothing.
+			p := filepath.ToSlash(f.Path)
+			for _, e := range walkErrored {
+				if p == e || strings.HasPrefix(p, e+"/") {
+					return
+				}
+			}
+			res.Removed = append(res.Removed, f.ID)
+		})
+		res.Stats.Removed = len(res.Removed)
+	}
+
 	sort.Slice(res.Features, func(i, j int) bool { return res.Features[i].ID < res.Features[j].ID })
+	sort.Strings(res.Added)
+	sort.Strings(res.Changed)
+	sort.Strings(res.Removed)
+	sort.Strings(res.verified)
 	res.Stats.Duration = s.now().Sub(start)
 	return res, nil
 }
 
-func (s *Scanner) scanOne(abs, rel string, existing *catalog.Catalog, res *Result) {
-	ext := strings.ToLower(filepath.Ext(rel))
-	if !s.exts[ext] {
-		return // not a candidate at all (manifest.json etc.)
-	}
-	res.Stats.FilesSeen++
-	st, err := os.Stat(abs)
-	if err != nil {
-		res.Errors = append(res.Errors, fmt.Errorf("scan: stat %s: %w", rel, err))
-		res.Stats.Failed++
-		return
-	}
-	if s.cfg.MaxFileBytes > 0 && st.Size() > s.cfg.MaxFileBytes {
-		res.Stats.SkippedOther++
-		return
-	}
-	if existing != nil {
-		if old, ok := existing.Get(catalog.IDForPath(rel)); ok {
-			if old.Bytes == st.Size() && old.ModTime.Equal(st.ModTime()) {
-				res.Stats.SkippedUnchanged++
-				return
-			}
+// pathInScope reports whether an archive-relative path lies inside one
+// of the scanned directories — deletion detection must not retract
+// features that simply live outside the current scan's scope.
+func pathInScope(rel string, dirs []string) bool {
+	p := filepath.ToSlash(rel)
+	for _, dir := range dirs {
+		d := filepath.ToSlash(dir)
+		if d == "." || d == "" || p == d || strings.HasPrefix(p, d+"/") {
+			return true
 		}
 	}
-	f, err := s.parseFile(abs, rel)
+	return false
+}
+
+// fileOutcome is one candidate's scan result.
+type fileOutcome struct {
+	feature  *catalog.Feature
+	existed  bool // the catalog already had this ID (feature != nil → changed)
+	verified bool // unchanged, confirmed by content hash
+	oversize bool
+	err      error
+}
+
+// scanOne stats (and, when needed, reads) a single candidate file. The
+// decision ladder is cheap-first: a stat mismatch or unknown file
+// parses immediately; a stat match outside the racy window is trusted;
+// a stat match inside it is read and the content hash arbitrates — the
+// path that catches edits preserving both size and mtime.
+func (s *Scanner) scanOne(abs, rel string, existing *catalog.Catalog) fileOutcome {
+	st, err := os.Stat(abs)
 	if err != nil {
-		res.Errors = append(res.Errors, err)
-		res.Stats.Failed++
-		return
+		return fileOutcome{err: fmt.Errorf("scan: stat %s: %w", rel, err)}
+	}
+	if s.cfg.MaxFileBytes > 0 && st.Size() > s.cfg.MaxFileBytes {
+		return fileOutcome{oversize: true}
+	}
+	existed := false
+	var data []byte
+	if existing != nil {
+		size, mod, scannedAt, hash, ok := existing.StatView(catalog.IDForPath(rel))
+		existed = ok
+		if ok && size == st.Size() && mod.Equal(st.ModTime()) && hash != "" {
+			if mod.Add(racyWindow).Before(scannedAt) {
+				return fileOutcome{} // fingerprint trusted: unchanged
+			}
+			data, err = os.ReadFile(abs)
+			if err != nil {
+				return fileOutcome{err: fmt.Errorf("scan: read %s: %w", rel, err)}
+			}
+			if contentHash(data) == hash {
+				return fileOutcome{verified: true}
+			}
+			// Content moved behind a stable stat: fall through to a
+			// re-parse of the bytes already in hand.
+		}
+	}
+	if data == nil {
+		data, err = os.ReadFile(abs)
+		if err != nil {
+			return fileOutcome{err: fmt.Errorf("scan: read %s: %w", rel, err)}
+		}
+	}
+	f, err := s.parseData(rel, data)
+	if err != nil {
+		return fileOutcome{err: err, existed: existed}
 	}
 	f.Bytes = st.Size()
 	f.ModTime = st.ModTime()
 	f.ScannedAt = s.now()
-	res.Features = append(res.Features, f)
-	res.Stats.Parsed++
-	res.Stats.BytesParsed += st.Size()
+	return fileOutcome{feature: f, existed: existed}
 }
 
-// parseFile sniffs and parses one file into a feature.
-func (s *Scanner) parseFile(abs, rel string) (*catalog.Feature, error) {
-	data, err := os.ReadFile(abs)
-	if err != nil {
-		return nil, fmt.Errorf("scan: read %s: %w", rel, err)
-	}
+// parseData sniffs and parses one file's bytes into a feature.
+func (s *Scanner) parseData(rel string, data []byte) (*catalog.Feature, error) {
 	format, ok := Sniff(rel, data)
 	if !ok {
 		return nil, fmt.Errorf("scan: %s: unrecognized format", rel)
 	}
 	var f *catalog.Feature
+	var err error
 	switch format {
 	case archive.FormatCSV:
 		f, err = parseCSV(rel, data)
@@ -215,9 +421,14 @@ func (s *Scanner) parseFile(abs, rel string) (*catalog.Feature, error) {
 	f.Path = rel
 	f.Format = string(format)
 	f.Source = sourceOf(rel)
-	sum := sha256.Sum256(data)
-	f.ContentHash = hex.EncodeToString(sum[:8])
+	f.ContentHash = contentHash(data)
 	return f, nil
+}
+
+// contentHash fingerprints raw file bytes (truncated sha256, hex).
+func contentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // sourceOf derives the source collection from the path's first element —
@@ -260,11 +471,4 @@ func Sniff(path string, head []byte) (archive.Format, bool) {
 		return archive.FormatJSONL, true
 	}
 	return "", false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -315,3 +315,373 @@ func BenchmarkScanArchive30(b *testing.B) {
 		}
 	}
 }
+
+func TestScanDeltaClassification(t *testing.T) {
+	root, m := genArchive(t, 10, 31)
+	c := catalog.New()
+	sc := New(Config{Root: root})
+	res1, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Added) != len(m.Datasets) || len(res1.Changed) != 0 || len(res1.Removed) != 0 {
+		t.Fatalf("initial delta: added=%d changed=%d removed=%d",
+			len(res1.Added), len(res1.Changed), len(res1.Removed))
+	}
+
+	// One modify, one delete, one add.
+	modTarget := filepath.Join(root, m.Datasets[0].Path)
+	data, err := os.ReadFile(modTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(modTarget, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	delTarget := filepath.Join(root, m.Datasets[1].Path)
+	if err := os.Remove(delTarget); err != nil {
+		t.Fatal(err)
+	}
+	added := filepath.Join(root, "stations", "fresh.obs")
+	if err := os.WriteFile(added, []byte("#station: s9\n#lat: 45.1\n#lon: -124.2\n#fields:\ttime\twater_temperature [degC]\n1273000000\t11.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Added) != 1 || res2.Added[0] != catalog.IDForPath(filepath.Join("stations", "fresh.obs")) {
+		t.Errorf("added = %v", res2.Added)
+	}
+	if len(res2.Changed) != 1 || res2.Changed[0] != catalog.IDForPath(m.Datasets[0].Path) {
+		t.Errorf("changed = %v", res2.Changed)
+	}
+	if len(res2.Removed) != 1 || res2.Removed[0] != catalog.IDForPath(m.Datasets[1].Path) {
+		t.Errorf("removed = %v", res2.Removed)
+	}
+	if res2.Stats.Removed != 1 {
+		t.Errorf("stats.Removed = %d", res2.Stats.Removed)
+	}
+	// The catalog reflects the delta: deleted gone, added present.
+	if _, ok := c.Get(catalog.IDForPath(m.Datasets[1].Path)); ok {
+		t.Error("deleted dataset still cataloged")
+	}
+	if _, ok := c.Get(catalog.IDForPath(filepath.Join("stations", "fresh.obs"))); !ok {
+		t.Error("added dataset not cataloged")
+	}
+}
+
+func TestScanRemovalRespectsDirScope(t *testing.T) {
+	root, m := genArchive(t, 12, 7)
+	c := catalog.New()
+	if _, err := New(Config{Root: root}).ScanInto(c); err != nil {
+		t.Fatal(err)
+	}
+	// Re-scan only "stations": features from other dirs are out of
+	// scope and must not be reported (or deleted) as removed.
+	res, err := New(Config{Root: root, Dirs: []string{"stations"}}).ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 {
+		t.Fatalf("scoped scan removed %v", res.Removed)
+	}
+	if c.Len() != len(m.Datasets) {
+		t.Fatalf("catalog shrank to %d, want %d", c.Len(), len(m.Datasets))
+	}
+}
+
+func TestScanCatchesMtimePreservingEdit(t *testing.T) {
+	root, _ := genArchive(t, 6, 11)
+	// A handcrafted dataset whose edit we fully control: both versions
+	// are valid OBS with identical byte length, differing only in an
+	// observed value.
+	rel := filepath.Join("stations", "pinned.obs")
+	target := filepath.Join(root, rel)
+	body := func(v int) string {
+		return "#station: pin\n#lat: 45.1000\n#lon: -124.2000\n" +
+			"#fields:\ttime\twater_temperature [degC]\n" +
+			"1273000000\t1" + string(rune('0'+v)) + ".5\n"
+	}
+	if err := os.WriteFile(target, []byte(body(1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := catalog.New()
+	sc := New(Config{Root: root})
+	if res, err := sc.ScanInto(c); err != nil || res.Stats.Failed != 0 {
+		t.Fatalf("initial scan: err=%v stats=%+v errors=%v", err, res.Stats, res.Errors)
+	}
+
+	// Edit the value, then restore the exact size and mtime: the stat
+	// fingerprint is a lie only the content hash can expose.
+	st, err := os.Stat(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, []byte(body(2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(target, st.ModTime(), st.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) != 1 || res.Changed[0] != catalog.IDForPath(rel) {
+		t.Fatalf("mtime-preserving edit not caught: changed=%v stats=%+v errors=%v", res.Changed, res.Stats, res.Errors)
+	}
+	f, ok := c.Get(catalog.IDForPath(rel))
+	if !ok || f.Variables[0].Range.Max < 12 {
+		t.Fatalf("edited value not reflected in catalog: %+v", f)
+	}
+}
+
+func TestScanHashVerifyStampsThenTrustsStat(t *testing.T) {
+	root, m := genArchive(t, 5, 19)
+	c := catalog.New()
+	sc := New(Config{Root: root})
+	if _, err := sc.ScanInto(c); err != nil {
+		t.Fatal(err)
+	}
+	// Files were written moments before the scan, inside the racy
+	// window: the first re-scan must verify them by content hash.
+	res2, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.HashVerified != len(m.Datasets) || res2.Stats.SkippedUnchanged != len(m.Datasets) {
+		t.Fatalf("first rescan: %+v", res2.Stats)
+	}
+	// The verify refreshed the scan stamps; with mtimes now safely in
+	// the past, the next re-scan trusts the stat fingerprint alone.
+	sc.now = func() time.Time { return time.Now().Add(time.Minute) }
+	res3, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Stats.HashVerified != len(m.Datasets) {
+		// Stamps were refreshed at "now"; mtime + racyWindow precedes
+		// them only after the clock moves past the window.
+		t.Logf("second rescan still verifying: %+v", res3.Stats)
+	}
+	res4, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Stats.HashVerified != 0 || res4.Stats.SkippedUnchanged != len(m.Datasets) {
+		t.Fatalf("stat fingerprint still distrusted: %+v", res4.Stats)
+	}
+}
+
+func TestScanStatFailureCountsAsFailed(t *testing.T) {
+	root, m := genArchive(t, 4, 3)
+	// A dangling symlink with a candidate extension stats to an error
+	// mid-walk; the scan must record it and carry on.
+	if err := os.Symlink(filepath.Join(root, "nowhere.csv"),
+		filepath.Join(root, "stations", "dangling.csv")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(Config{Root: root}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failed != 1 || len(res.Errors) != 1 {
+		t.Fatalf("failed = %d, errors = %v", res.Stats.Failed, res.Errors)
+	}
+	if !strings.Contains(res.Errors[0].Error(), "stat") {
+		t.Errorf("error should name the stat failure: %v", res.Errors[0])
+	}
+	if len(res.Features) != len(m.Datasets) {
+		t.Errorf("good files should still scan: %d, want %d", len(res.Features), len(m.Datasets))
+	}
+}
+
+func TestScanOversizedSkipCounters(t *testing.T) {
+	root, m := genArchive(t, 4, 9)
+	big := filepath.Join(root, "stations", "big.csv")
+	if err := os.WriteFile(big, []byte("time,latitude,longitude,x\n"+strings.Repeat("1,2,3,4\n", 1<<17)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(Config{Root: root, MaxFileBytes: 1 << 19}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SkippedOther != 1 {
+		t.Errorf("SkippedOther = %d, want 1 (only the oversized file)", res.Stats.SkippedOther)
+	}
+	if res.Stats.Parsed != len(m.Datasets) || res.Stats.Failed != 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.FilesSeen != len(m.Datasets)+1 {
+		t.Errorf("FilesSeen = %d, want %d", res.Stats.FilesSeen, len(m.Datasets)+1)
+	}
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	root, _ := genArchive(t, 24, 77)
+	serial, err := New(Config{Root: root, Workers: 1}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Config{Root: root, Workers: 8}).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Features) != len(parallel.Features) {
+		t.Fatalf("feature counts differ: %d vs %d", len(serial.Features), len(parallel.Features))
+	}
+	for i := range serial.Features {
+		a, b := serial.Features[i], parallel.Features[i]
+		if a.ID != b.ID || a.ContentHash != b.ContentHash || len(a.Variables) != len(b.Variables) {
+			t.Errorf("feature %d differs: %s vs %s", i, a.Path, b.Path)
+		}
+	}
+	if serial.Stats.Parsed != parallel.Stats.Parsed || serial.Stats.FilesSeen != parallel.Stats.FilesSeen {
+		t.Errorf("stats differ: %+v vs %+v", serial.Stats, parallel.Stats)
+	}
+}
+
+func TestWalkErrorDoesNotRetractSubtree(t *testing.T) {
+	root, m := genArchive(t, 10, 29)
+	c := catalog.New()
+	sc := New(Config{Root: root, Dirs: []string{"stations", "cruises", "auv"}})
+	if _, err := sc.ScanInto(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatal("nothing cataloged")
+	}
+	stations := 0
+	for _, d := range m.Datasets {
+		if d.Source == "stations" {
+			stations++
+		}
+	}
+	if stations == 0 {
+		t.Skip("no stations datasets at this seed")
+	}
+
+	// Make the "stations" scan dir transiently unavailable (an unmount /
+	// NFS blip): the walk errors, its files go unobserved, and deletion
+	// detection must NOT retract the datasets cataloged beneath it.
+	hidden := filepath.Join(t.TempDir(), "stations")
+	if err := os.Rename(filepath.Join(root, "stations"), hidden); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failed == 0 || len(res.Errors) == 0 {
+		t.Fatalf("walk error not recorded: %+v", res.Stats)
+	}
+	if len(res.Removed) != 0 {
+		t.Fatalf("walk error retracted %d datasets: %v", len(res.Removed), res.Removed)
+	}
+	if c.Len() != len(m.Datasets) {
+		t.Fatalf("catalog shrank to %d, want %d", c.Len(), len(m.Datasets))
+	}
+
+	// The blip clears; a real deletion inside the restored directory is
+	// detected again.
+	if err := os.Rename(hidden, filepath.Join(root, "stations")); err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for _, d := range m.Datasets {
+		if d.Source == "stations" {
+			victim = d.Path
+			break
+		}
+	}
+	if err := os.Remove(filepath.Join(root, victim)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != catalog.IDForPath(victim) {
+		t.Fatalf("post-recovery removal not detected: %v (stats %+v)", res.Removed, res.Stats)
+	}
+}
+
+// TestRootWalkErrorSuppressesAllRemovals covers total transient loss:
+// every configured scan directory fails at the root of its walk (an
+// unmounted archive), so nothing at all is observed — and nothing may
+// be retracted.
+func TestRootWalkErrorSuppressesAllRemovals(t *testing.T) {
+	root, m := genArchive(t, 6, 37)
+	c := catalog.New()
+	sc2 := New(Config{Root: root, Dirs: []string{"stations", "cruises", "auv"}})
+	if _, err := sc2.ScanInto(c); err != nil {
+		t.Fatal(err)
+	}
+	// Swap every scan dir away: all three walks error at their roots,
+	// nothing is seen, and not a single dataset may be retracted.
+	hidden := t.TempDir()
+	for _, d := range []string{"stations", "cruises", "auv"} {
+		if err := os.Rename(filepath.Join(root, d), filepath.Join(hidden, d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sc2.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 {
+		t.Fatalf("transient dir loss retracted %d datasets: %v", len(res.Removed), res.Removed)
+	}
+	if c.Len() != len(m.Datasets) {
+		t.Fatalf("catalog shrank to %d, want %d", c.Len(), len(m.Datasets))
+	}
+	if res.Stats.Failed == 0 {
+		t.Fatal("walk errors not recorded")
+	}
+}
+
+func TestRejectedUpsertLeavesDelta(t *testing.T) {
+	root, m := genArchive(t, 4, 13)
+	// Parses fine but fails Feature.Validate (duplicate raw name), so
+	// Upsert rejects it: the scan must surface the error without
+	// keeping the delta permanently non-empty.
+	bad := filepath.Join(root, "stations", "dupes.csv")
+	if err := os.WriteFile(bad,
+		[]byte("time,latitude,longitude,temp [degC],temp [degC]\n2010-05-01T00:00:00Z,45.1,-124.2,10.0,11.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := catalog.New()
+	sc := New(Config{Root: root})
+	res, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failed == 0 {
+		t.Skip("fixture unexpectedly validated; scan rejected nothing")
+	}
+	badID := catalog.IDForPath(filepath.Join("stations", "dupes.csv"))
+	for _, id := range res.Added {
+		if id == badID {
+			t.Error("rejected feature still classified as added")
+		}
+	}
+	if c.Len() != len(m.Datasets) {
+		t.Errorf("catalog = %d datasets, want %d", c.Len(), len(m.Datasets))
+	}
+	// The rest of the archive being unchanged, the next scan's delta is
+	// empty even though the bad file re-parses and re-fails.
+	res2, err := sc.ScanInto(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Added)+len(res2.Changed)+len(res2.Removed) != 0 {
+		t.Errorf("rejected file keeps the delta non-empty: added=%v changed=%v removed=%v",
+			res2.Added, res2.Changed, res2.Removed)
+	}
+	if res2.Stats.Failed == 0 {
+		t.Error("persistent failure not re-surfaced")
+	}
+}

@@ -30,17 +30,37 @@ type rewrangler struct {
 	lastDuration time.Duration
 	lastFinished time.Time
 	running      bool
+	lastDelta    metamess.DeltaSummary
+	noopRuns     int
+}
+
+// DeltaStats is the last completed run's churn, plus how many runs in a
+// row published nothing — the operational signal that re-wrangling is
+// keeping up with (or outpacing) archive change.
+type DeltaStats struct {
+	Added            int  `json:"added"`
+	Changed          int  `json:"changed"`
+	Removed          int  `json:"removed"`
+	Unchanged        int  `json:"unchanged"`
+	Published        int  `json:"published"`
+	Retracted        int  `json:"retracted"`
+	FullReprocess    bool `json:"fullReprocess,omitempty"`
+	GenerationStable bool `json:"generationStable"`
+	// NoopRuns counts consecutive completed runs with an empty publish
+	// delta (reset by any run that changed the catalog).
+	NoopRuns int `json:"noopRuns"`
 }
 
 // RewrangleStats is the scheduler's row in the /stats response.
 type RewrangleStats struct {
-	Runs         int     `json:"runs"`
-	Failures     int     `json:"failures"`
-	Running      bool    `json:"running"`
-	LastError    string  `json:"lastError,omitempty"`
-	LastMs       float64 `json:"lastMs,omitempty"`
-	LastFinished string  `json:"lastFinished,omitempty"`
-	IntervalSec  float64 `json:"intervalSec,omitempty"`
+	Runs         int        `json:"runs"`
+	Failures     int        `json:"failures"`
+	Running      bool       `json:"running"`
+	LastError    string     `json:"lastError,omitempty"`
+	LastMs       float64    `json:"lastMs,omitempty"`
+	LastFinished string     `json:"lastFinished,omitempty"`
+	IntervalSec  float64    `json:"intervalSec,omitempty"`
+	LastDelta    DeltaStats `json:"lastDelta"`
 }
 
 func newRewrangler(sys *metamess.System, interval time.Duration, logger *log.Logger) *rewrangler {
@@ -110,14 +130,21 @@ func (r *rewrangler) run() {
 		r.lastErr = err.Error()
 	} else {
 		r.lastErr = ""
+		r.lastDelta = rep.Delta
+		if rep.Delta.GenerationStable {
+			r.noopRuns++
+		} else {
+			r.noopRuns = 0
+		}
 	}
 	r.mu.Unlock()
 
 	if err != nil {
 		r.logger.Printf("rewrangle: failed after %v: %v", d, err)
 	} else {
-		r.logger.Printf("rewrangle: %d datasets, coverage %.3f, generation %d, %v",
-			rep.Datasets, rep.CoverageAfter, r.sys.SnapshotGeneration(), d)
+		r.logger.Printf("rewrangle: %d datasets, coverage %.3f, generation %d, delta +%d ~%d -%d (published %d), %v",
+			rep.Datasets, rep.CoverageAfter, r.sys.SnapshotGeneration(),
+			rep.Delta.Added, rep.Delta.Changed, rep.Delta.Removed, rep.Delta.Published, d)
 	}
 }
 
@@ -129,6 +156,17 @@ func (r *rewrangler) stats() RewrangleStats {
 		Failures:  r.failures,
 		Running:   r.running,
 		LastError: r.lastErr,
+		LastDelta: DeltaStats{
+			Added:            r.lastDelta.Added,
+			Changed:          r.lastDelta.Changed,
+			Removed:          r.lastDelta.Removed,
+			Unchanged:        r.lastDelta.Unchanged,
+			Published:        r.lastDelta.Published,
+			Retracted:        r.lastDelta.Retracted,
+			FullReprocess:    r.lastDelta.FullReprocess,
+			GenerationStable: r.lastDelta.GenerationStable,
+			NoopRuns:         r.noopRuns,
+		},
 	}
 	if r.lastDuration > 0 {
 		s.LastMs = float64(r.lastDuration) / float64(time.Millisecond)

@@ -241,4 +241,16 @@ func (r *Registry) Symbols() []string {
 // AliasCount returns the number of registered aliases (diagnostics).
 func (r *Registry) AliasCount() int { return len(r.aliases) }
 
+// Aliases returns every registered alias as sorted "alias=symbol"
+// pairs — a deterministic enumeration for fingerprinting the registry's
+// curated state.
+func (r *Registry) Aliases() []string {
+	out := make([]string, 0, len(r.aliases))
+	for a, sym := range r.aliases {
+		out = append(out, a+"="+sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func normalize(s string) string { return fingerprint.Normalize(s) }

@@ -71,6 +71,14 @@ type Config struct {
 	// immutable snapshot published by Wrangle, so workers never contend
 	// with wrangling.
 	SearchWorkers int
+	// ScanWorkers is the number of goroutines parsing archive files in
+	// parallel during Wrangle (0 = GOMAXPROCS).
+	ScanWorkers int
+	// FullReprocess disables delta-scoped re-wrangling: every Wrangle
+	// walks the whole catalog (the pre-delta behavior). An escape hatch
+	// for operators who suspect drift, and the ablation the equivalence
+	// property test runs against.
+	FullReprocess bool
 }
 
 // System is a wired-up metadata wrangling pipeline plus search engine.
@@ -92,8 +100,9 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
 	}
-	ctx := core.NewContext(k, scan.Config{Root: cfg.ArchiveRoot, Dirs: cfg.Dirs})
+	ctx := core.NewContext(k, scan.Config{Root: cfg.ArchiveRoot, Dirs: cfg.Dirs, Workers: cfg.ScanWorkers})
 	ctx.ExpectedPaths = cfg.ExpectedDatasets
+	ctx.ForceFullReprocess = cfg.FullReprocess
 	s := &System{cfg: cfg, ctx: ctx}
 
 	chain := []core.Component{
@@ -125,6 +134,24 @@ type StepSummary struct {
 	Coverage float64
 }
 
+// DeltaSummary reports one Wrangle run's churn: what the scan saw
+// change in the archive, and what the publish step actually pushed into
+// the served catalog. On a steady-state re-wrangle everything is zero
+// and GenerationStable is true — the serving cache survives.
+type DeltaSummary struct {
+	// Added, Changed, Removed, and Unchanged classify the archive scan.
+	Added, Changed, Removed, Unchanged int
+	// Published and Retracted count features the publish delta upserted
+	// into / deleted from the served catalog.
+	Published, Retracted int
+	// FullReprocess marks a run that ignored the delta (first run, or
+	// curated knowledge changed since the last completed run).
+	FullReprocess bool
+	// GenerationStable is true when the publish was an empty delta and
+	// the served snapshot generation did not move.
+	GenerationStable bool
+}
+
 // Report summarizes a Wrangle run.
 type Report struct {
 	Datasets int
@@ -136,13 +163,19 @@ type Report struct {
 	ValidationErrors              int
 	ValidationWarnings            int
 	Duration                      time.Duration
+	// Delta is the run's churn and publish summary.
+	Delta DeltaSummary
 }
 
-// Wrangle runs the full chain: scan (incrementally), transform, discover,
-// generate hierarchies, validate, publish. Safe to call repeatedly; the
-// published catalog — and the immutable snapshot searches read — is
-// replaced atomically each time, so concurrent searches see either the
-// old or the new catalog, never a mix.
+// Wrangle runs the full chain: scan (in parallel, incrementally),
+// transform, discover, generate hierarchies, validate, publish. Safe to
+// call repeatedly; re-runs cost in proportion to archive churn — the
+// scan classifies added/changed/removed files into a delta, downstream
+// components process only the dirty features while curated knowledge is
+// unchanged, and publish patches the served snapshot with the real
+// differences. Concurrent searches see either the old or the new
+// catalog, never a mix, and a re-wrangle that changes nothing leaves
+// the served snapshot (and its generation) untouched.
 func (s *System) Wrangle() (*Report, error) {
 	run, err := s.process.Run(s.ctx)
 	if err != nil {
@@ -163,6 +196,18 @@ func (s *System) Wrangle() (*Report, error) {
 			Counters:  st.Counters,
 			Coverage:  st.MessAfter.OccurrenceCoverage,
 		})
+		if st.Component == "publish" {
+			rep.Delta.Published = st.Counters["changed"]
+			rep.Delta.Retracted = st.Counters["retracted"]
+			rep.Delta.GenerationStable = st.Counters["generationStable"] == 1
+		}
+	}
+	if d := s.ctx.Delta; d != nil {
+		rep.Delta.Added = len(d.Added)
+		rep.Delta.Changed = len(d.Changed)
+		rep.Delta.Removed = len(d.Removed)
+		rep.Delta.Unchanged = d.Unchanged
+		rep.Delta.FullReprocess = d.Full
 	}
 	if v := s.ctx.LastValidation; v != nil {
 		rep.ValidationErrors = v.Errors()
@@ -304,10 +349,12 @@ func (s *System) DatasetSummary(path string) (string, error) {
 }
 
 // SnapshotGeneration returns the generation of the published snapshot
-// searches currently read. Every publish (and any direct mutation of
-// the published catalog) bumps it, so the value keys caches: a response
-// computed at generation G is valid exactly as long as
-// SnapshotGeneration() == G.
+// searches currently read. Every publish that actually changes the
+// catalog (and any direct mutation of the published catalog) bumps it,
+// so the value keys caches: a response computed at generation G is
+// valid exactly as long as SnapshotGeneration() == G. A no-op
+// re-wrangle publishes an empty delta and leaves the generation — and
+// therefore every cached response — intact.
 func (s *System) SnapshotGeneration() uint64 {
 	return s.ctx.Published.Snapshot().Generation()
 }

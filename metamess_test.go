@@ -3,6 +3,7 @@ package metamess
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -135,7 +136,14 @@ func TestDatasetSummaryLookup(t *testing.T) {
 }
 
 func TestSnapshotGenerationBumpsOnWrangle(t *testing.T) {
-	sys, _ := newSystem(t, 12, 8)
+	root := t.TempDir()
+	if _, err := archive.Generate(root, archive.DefaultGenConfig(12, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{ArchiveRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sys.Wrangle(); err != nil {
 		t.Fatal(err)
 	}
@@ -147,12 +155,31 @@ func TestSnapshotGenerationBumpsOnWrangle(t *testing.T) {
 	if got := sys.SnapshotGeneration(); got != gen1 {
 		t.Errorf("generation moved on read: %d -> %d", gen1, got)
 	}
-	// Every publish bumps it, even with no catalog change.
-	if _, err := sys.Wrangle(); err != nil {
+	// A no-op re-wrangle publishes an empty delta: the generation holds,
+	// so generation-keyed caches stay warm across it.
+	rep, err := sys.Wrangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.SnapshotGeneration(); got != gen1 {
+		t.Errorf("no-op re-wrangle moved the generation: %d -> %d", gen1, got)
+	}
+	if !rep.Delta.GenerationStable || rep.Delta.Published != 0 {
+		t.Errorf("no-op delta summary = %+v", rep.Delta)
+	}
+	// Real churn moves it: grow the archive and re-wrangle.
+	if _, err := archive.Generate(filepath.Join(root, "extra"), archive.DefaultGenConfig(3, 77)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sys.Wrangle()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := sys.SnapshotGeneration(); got <= gen1 {
-		t.Errorf("generation not bumped by publish: %d -> %d", gen1, got)
+		t.Errorf("generation not bumped by a changing publish: %d -> %d", gen1, got)
+	}
+	if rep.Delta.Added != 3 || rep.Delta.GenerationStable {
+		t.Errorf("churn delta summary = %+v", rep.Delta)
 	}
 }
 

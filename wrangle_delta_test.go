@@ -1,0 +1,283 @@
+package metamess
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"metamess/internal/archive"
+)
+
+// publishedFingerprint renders a system's published catalog as
+// comparable bytes: every feature JSON-marshaled in ID order with the
+// ScannedAt bookkeeping zeroed (two systems never scan at the same
+// instant; everything else must match to the byte).
+func publishedFingerprint(t *testing.T, sys *System) string {
+	t.Helper()
+	var b strings.Builder
+	for _, f := range sys.ctx.Published.Snapshot().All() {
+		c := f.Clone()
+		c.ScannedAt = time.Time{}
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// rankingsFingerprint runs a battery of queries spanning every planner
+// dimension and renders the full ranked responses as comparable bytes.
+func rankingsFingerprint(t *testing.T, sys *System) string {
+	t.Helper()
+	queries := []Query{
+		{Variables: []VariableTerm{{Name: "temperature"}}, K: 25},
+		{Variables: []VariableTerm{{Name: "salinity", Min: f64p(5), Max: f64p(30)}}, K: 25},
+		{Near: &LatLon{Lat: 45.5, Lon: -124.4}, K: 25},
+		{
+			Near: &LatLon{Lat: 46.2, Lon: -123.8},
+			From: time.Date(2010, 4, 1, 0, 0, 0, 0, time.UTC),
+			To:   time.Date(2010, 9, 1, 0, 0, 0, 0, time.UTC),
+			Variables: []VariableTerm{
+				{Name: "temperature", Min: f64p(5), Max: f64p(15)},
+			},
+			K: 25,
+		},
+	}
+	texts := []string{
+		"near 45.8,-124.0 in mid-2010 with temperature between 5 and 15",
+		"with turbidity top 30",
+	}
+	var b strings.Builder
+	for i, q := range queries {
+		hits, err := sys.Search(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		data, err := json.Marshal(hits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "q%d %s\n", i, data)
+	}
+	for i, q := range texts {
+		hits, err := sys.SearchText(q)
+		if err != nil {
+			t.Fatalf("text query %d: %v", i, err)
+		}
+		data, err := json.Marshal(hits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "t%d %s\n", i, data)
+	}
+	return b.String()
+}
+
+func f64p(v float64) *float64 { return &v }
+
+// obsContent fabricates a clean OBS dataset body: canonical variable
+// names, plausible values, deterministic per (tag, version).
+func obsContent(tag string, version int) string {
+	lat := 44.0 + float64(tag[len(tag)-1]%8)*0.3
+	lon := -125.0 + float64(version%5)*0.2
+	start := 1274000000 + int64(version)*86400
+	var b strings.Builder
+	fmt.Fprintf(&b, "#station: %s\n#lat: %.4f\n#lon: %.4f\n", tag, lat, lon)
+	b.WriteString("#fields:\ttime\twater_temperature [degC]\tsalinity [psu]\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "%d\t%.2f\t%.2f\n", start+int64(i)*3600,
+			10.0+float64((version+i)%7), 28.0+float64(i%4))
+	}
+	return b.String()
+}
+
+// appendDuplicateLastLine grows a generated OBS file by one repeated
+// observation: the summary genuinely changes (row count) while every
+// variable name stays put.
+func appendDuplicateLastLine(t testing.TB, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if strings.HasPrefix(last, "#") || last == "" {
+		return // header-only file; leave it alone
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(last + "\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaWrangleEquivalentToFromScratch is the write path's
+// correctness anchor: interleave randomized archive mutations (adds,
+// in-place edits, mtime-preserving edits, deletions) with delta
+// re-wrangles, and require the published catalog and the search
+// rankings to stay byte-identical to two oracles after every round —
+//
+//   - a persistent system running the same history with delta-scoped
+//     processing disabled (Config.FullReprocess), which isolates the
+//     delta machinery itself: same accumulated curation, every feature
+//     reprocessed every run;
+//   - a cold system wrangling the final archive state from scratch,
+//     the poster's "re-run the whole process" baseline.
+//
+// CI runs this under -race, so the parallel scanner and the publish
+// patching are exercised for data races at the same time.
+func TestDeltaWrangleEquivalentToFromScratch(t *testing.T) {
+	for _, seed := range []int64{3, 19} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			root := t.TempDir()
+			m, err := archive.Generate(root, archive.DefaultGenConfig(24, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			deltaSys, err := New(Config{ArchiveRoot: root})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullSys, err := New(Config{ArchiveRoot: root, FullReprocess: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := deltaSys.Wrangle(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fullSys.Wrangle(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Mutable working set: handcrafted files this test added.
+			var added []string
+			obsOriginals := []string{}
+			for _, d := range m.Datasets {
+				if string(d.Format) == "obs" {
+					obsOriginals = append(obsOriginals, d.Path)
+				}
+			}
+			nextTag := 0
+
+			// The trap file: created with a pinned mtime, then edited
+			// each round with same-size content and the mtime
+			// restored. Size and mtime never move, so only the
+			// content-hash tie-break in scanOne can see these edits —
+			// if it ever stops arbitrating, the delta system diverges
+			// from the oracles and this test fails.
+			trapRel := filepath.Join("stations", "trap.obs")
+			trapAbs := filepath.Join(root, trapRel)
+			trapMtime := time.Now().Add(time.Hour).Truncate(time.Second)
+			writeTrap := func(version int) {
+				body := obsContent("trap", version)
+				if err := os.WriteFile(trapAbs, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Chtimes(trapAbs, trapMtime, trapMtime); err != nil {
+					t.Fatal(err)
+				}
+			}
+			writeTrap(0)
+
+			for round := 0; round < 5; round++ {
+				// Adds: clean handcrafted datasets.
+				for k := 0; k < 1+rng.Intn(2); k++ {
+					rel := filepath.Join("stations", fmt.Sprintf("prop%02d.obs", nextTag))
+					nextTag++
+					if err := os.WriteFile(filepath.Join(root, rel),
+						[]byte(obsContent(fmt.Sprintf("p%d", nextTag), 0)), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					added = append(added, rel)
+				}
+				// In-place edits of generated files (name-preserving).
+				for k := 0; k < rng.Intn(3); k++ {
+					rel := obsOriginals[rng.Intn(len(obsOriginals))]
+					appendDuplicateLastLine(t, filepath.Join(root, rel))
+				}
+				// The stat-invisible edit: same size, same mtime, new
+				// content.
+				if round > 0 {
+					writeTrap(round)
+				}
+				// Deletions of handcrafted files.
+				if len(added) > 1 && rng.Intn(2) == 0 {
+					i := rng.Intn(len(added))
+					if err := os.Remove(filepath.Join(root, added[i])); err != nil {
+						t.Fatal(err)
+					}
+					added = append(added[:i], added[i+1:]...)
+				}
+
+				repDelta, err := deltaSys.Wrangle()
+				if err != nil {
+					t.Fatalf("round %d: delta wrangle: %v", round, err)
+				}
+				if _, err := fullSys.Wrangle(); err != nil {
+					t.Fatalf("round %d: full wrangle: %v", round, err)
+				}
+				coldSys, err := New(Config{ArchiveRoot: root})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := coldSys.Wrangle(); err != nil {
+					t.Fatalf("round %d: cold wrangle: %v", round, err)
+				}
+
+				wantCat, wantRank := publishedFingerprint(t, coldSys), rankingsFingerprint(t, coldSys)
+				for name, sys := range map[string]*System{"delta": deltaSys, "full-ablation": fullSys} {
+					if got := publishedFingerprint(t, sys); got != wantCat {
+						t.Fatalf("round %d: %s published catalog diverged from cold wrangle\ndelta report: %+v\n%s",
+							round, name, repDelta.Delta, firstDiff(got, wantCat))
+					}
+					if got := rankingsFingerprint(t, sys); got != wantRank {
+						t.Fatalf("round %d: %s rankings diverged from cold wrangle\n%s",
+							round, name, firstDiff(got, wantRank))
+					}
+				}
+				// The delta run must actually have been incremental (the
+				// archive churned, so some delta is expected, but never a
+				// full reprocess after round 0).
+				if repDelta.Delta.FullReprocess {
+					t.Fatalf("round %d: delta system fell back to full reprocess: %+v", round, repDelta.Delta)
+				}
+			}
+
+			// Coda: a no-op round — nothing mutated — must publish nothing
+			// and keep the generation, while staying equivalent.
+			gen := deltaSys.SnapshotGeneration()
+			rep, err := deltaSys.Wrangle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Delta.GenerationStable || deltaSys.SnapshotGeneration() != gen {
+				t.Fatalf("no-op round moved the generation: %+v", rep.Delta)
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of two multiline strings.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n got: %.400s\nwant: %.400s", i, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(g), len(w))
+}
