@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -284,35 +285,11 @@ func BenchmarkWrangleWarm(b *testing.B) {
 // snapshotBenchCatalog builds a deterministic synthetic catalog large
 // enough that the read-path shapes (indexed vs. linear, worker
 // scaling) are stable.
-func snapshotBenchCatalog(b *testing.B, n int) *catalog.Catalog {
+func snapshotBenchCatalog(b *testing.B, n, shards int) *catalog.Catalog {
 	b.Helper()
-	names := []string{"water_temperature", "salinity", "turbidity", "dissolved_oxygen", "nitrate", "ph"}
-	base := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
-	c := catalog.New()
+	c := catalog.NewSharded(shards)
 	for i := 0; i < n; i++ {
-		lat := 42 + float64(i%500)*0.02
-		lon := -127 + float64((i*7)%600)*0.02
-		path := fmt.Sprintf("bench/%04d.obs", i)
-		f := &catalog.Feature{
-			ID:     catalog.IDForPath(path),
-			Path:   path,
-			Source: "stations",
-			Format: "obs",
-			BBox: geo.BBox{
-				MinLat: lat - 0.01, MinLon: lon - 0.01,
-				MaxLat: lat + 0.01, MaxLon: lon + 0.01,
-			},
-			Time: geo.NewTimeRange(
-				base.AddDate(0, 0, i%1500),
-				base.AddDate(0, 0, i%1500+14)),
-			Variables: []catalog.VarFeature{
-				{RawName: names[i%len(names)], Name: names[i%len(names)],
-					Range: geo.NewValueRange(0, 30), Count: 100},
-				{RawName: names[(i+1)%len(names)], Name: names[(i+1)%len(names)],
-					Range: geo.NewValueRange(0, 30), Count: 100},
-			},
-		}
-		if err := c.Upsert(f); err != nil {
+		if err := c.Upsert(benchFeature(i, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,13 +299,44 @@ func snapshotBenchCatalog(b *testing.B, n int) *catalog.Catalog {
 	return c
 }
 
+// benchFeature fabricates the i-th deterministic bench feature; version
+// perturbs its content (value ranges, temporal extent) without changing
+// the identity, modelling an edited file for the publish benchmarks.
+func benchFeature(i, version int) *catalog.Feature {
+	names := []string{"water_temperature", "salinity", "turbidity", "dissolved_oxygen", "nitrate", "ph"}
+	base := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	lat := 42 + float64(i%500)*0.02
+	lon := -127 + float64((i*7)%600)*0.02
+	path := fmt.Sprintf("bench/%04d.obs", i)
+	return &catalog.Feature{
+		ID:     catalog.IDForPath(path),
+		Path:   path,
+		Source: "stations",
+		Format: "obs",
+		BBox: geo.BBox{
+			MinLat: lat - 0.01, MinLon: lon - 0.01,
+			MaxLat: lat + 0.01, MaxLon: lon + 0.01,
+		},
+		Time: geo.NewTimeRange(
+			base.AddDate(0, 0, (i+version)%1500),
+			base.AddDate(0, 0, (i+version)%1500+14)),
+		RowCount: 100 + version,
+		Variables: []catalog.VarFeature{
+			{RawName: names[i%len(names)], Name: names[i%len(names)],
+				Range: geo.NewValueRange(float64(version), 30), Count: 100},
+			{RawName: names[(i+1)%len(names)], Name: names[(i+1)%len(names)],
+				Range: geo.NewValueRange(0, 30), Count: 100},
+		},
+	}
+}
+
 // BenchmarkSnapshotSearch measures the snapshot read path: the indexed
 // planner vs. the linear-scan ablation at 1/4/8 workers, plus the
 // seed's copy-per-search behavior (deep-copying the catalog before
 // every scan) for reference. Results are recorded in BENCH_search.json.
 func BenchmarkSnapshotSearch(b *testing.B) {
 	const n = 5000
-	c := snapshotBenchCatalog(b, n)
+	c := snapshotBenchCatalog(b, n, 1)
 	loc := geo.Point{Lat: 45.5, Lon: -124.4}
 	tr := geo.NewTimeRange(
 		time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
@@ -377,5 +385,192 @@ func BenchmarkSnapshotSearch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// mergeBenchJSON read-modify-writes one top-level key into a bench
+// exhibit file, preserving whatever earlier benchmarks recorded there
+// (BenchmarkWrangleWarm owns the rest of BENCH_wrangle.json, the PR 1
+// snapshot-search results the rest of BENCH_search.json).
+func mergeBenchJSON(b *testing.B, path, key string, value any) {
+	b.Helper()
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			b.Logf("could not parse %s (rewriting): %v", path, err)
+			doc = map[string]any{}
+		}
+	}
+	doc[key] = value
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
+}
+
+// BenchmarkShardedSearch measures the scatter-gather read path at 1, 4,
+// and 8 snapshot shards over the 5000-feature synthetic catalog, with
+// one search worker per shard. Before timing, each shard count's
+// ranking is checked byte-identical to the 1-shard baseline (the
+// property TestShardedSearchMatchesSingleShard fuzzes at scale).
+// Results extend BENCH_search.json under "sharded".
+func BenchmarkShardedSearch(b *testing.B) {
+	const n = 5000
+	loc := geo.Point{Lat: 45.5, Lon: -124.4}
+	tr := geo.NewTimeRange(
+		time.Date(2010, 5, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC))
+	vr := geo.NewValueRange(5, 10)
+	q := search.Query{
+		Location: &loc,
+		Time:     &tr,
+		Terms:    []search.Term{{Name: "salinity", Range: &vr}},
+	}
+
+	baseOpts := search.DefaultOptions()
+	baseOpts.Workers = 1
+	baseline, err := search.New(snapshotBenchCatalog(b, n, 1), baseOpts).Search(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	entryBy := map[int]map[string]any{} // keyed by shard count: reruns overwrite their calibration pass
+	var order []int
+	for _, sc := range []int{1, 4, 8} {
+		order = append(order, sc)
+		c := snapshotBenchCatalog(b, n, sc)
+		opts := search.DefaultOptions()
+		opts.Workers = sc
+		s := search.New(c, opts)
+		got, err := s.Search(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(baseline) {
+			b.Fatalf("shards=%d returned %d results, baseline %d", sc, len(got), len(baseline))
+		}
+		for i := range got {
+			if got[i].Feature.ID != baseline[i].Feature.ID || got[i].Score != baseline[i].Score {
+				b.Fatalf("shards=%d rank %d diverges from 1-shard baseline", sc, i)
+			}
+		}
+		b.Run(fmt.Sprintf("shards-%d", sc), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			entryBy[sc] = map[string]any{
+				"shards":  sc,
+				"workers": sc,
+				"nsPerOp": b.Elapsed().Nanoseconds() / int64(b.N),
+			}
+		})
+	}
+	var entries []map[string]any
+	for _, sc := range order {
+		if entryBy[sc] != nil { // a -bench filter may skip sub-benchmarks
+			entries = append(entries, entryBy[sc])
+		}
+	}
+	mergeBenchJSON(b, "BENCH_search.json", "sharded", map[string]any{
+		"benchmark": "BenchmarkShardedSearch",
+		"description": fmt.Sprintf(
+			"Scatter-gather search over a %d-feature catalog partitioned into N snapshot shards (one worker per shard, each running the full candidate-tier planner over its shard before a single merge heap gathers per-shard top-Ks). Rankings are byte-identical across shard counts — asserted here against the 1-shard baseline and fuzzed by TestShardedSearchMatchesSingleShard. On a single-CPU host the multi-shard numbers measure scatter overhead, not scaling.", n),
+		"generatedAt": time.Now().UTC().Format(time.RFC3339),
+		"environment": map[string]any{
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH, "cpus": runtime.NumCPU(),
+		},
+		"results": entries,
+	})
+}
+
+// BenchmarkShardedPublish measures what the sharded snapshot exists
+// for on the write path: a ~1% churn publish (20 changed features out
+// of 2000) through ApplyDelta, at 1, 8, and 32 shards. Per iteration
+// the benchmark counts, by pointer identity, how many shards of the
+// successor snapshot were patched vs shared with the predecessor; with
+// 32 shards and 20 changed features at least 12 shards are provably
+// clean every round, and the run fails if any clean count comes back
+// zero. Results extend BENCH_wrangle.json under "shardedPublish".
+func BenchmarkShardedPublish(b *testing.B) {
+	const (
+		n     = 2000
+		churn = 20 // ~1%
+	)
+	entryBy := map[int]map[string]any{}
+	var order []int
+	for _, sc := range []int{1, 8, 32} {
+		order = append(order, sc)
+		c := snapshotBenchCatalog(b, n, sc)
+		b.Run(fmt.Sprintf("shards-%d", sc), func(b *testing.B) {
+			prev := c.Snapshot()
+			patched, shared := 0, 0
+			version := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				version++
+				changed := make([]*catalog.Feature, churn)
+				for k := range changed {
+					changed[k] = benchFeature((i*churn+k)%n, version)
+				}
+				sort.Slice(changed, func(a, z int) bool { return changed[a].ID < changed[z].ID })
+				b.StartTimer()
+				if _, err := c.ApplyDelta(changed, nil); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				next := c.Snapshot()
+				for si, sh := range next.Shards() {
+					if sh == prev.Shards()[si] {
+						shared++
+					} else {
+						patched++
+					}
+				}
+				prev = next
+				b.StartTimer()
+			}
+			b.StopTimer()
+			// Pigeonhole floor: churn features can dirty at most churn
+			// shards, so every publish must share at least sc-churn clean
+			// shards; anything less means clean shards are being patched.
+			if sc > churn && shared < (sc-churn)*b.N {
+				b.Fatalf("shards=%d churn=%d: only %d clean shards shared over %d publishes, want ≥ %d",
+					sc, churn, shared, b.N, (sc-churn)*b.N)
+			}
+			dirtyPerOp := float64(patched) / float64(b.N)
+			b.ReportMetric(dirtyPerOp, "dirtyShards/op")
+			entryBy[sc] = map[string]any{
+				"shards":           sc,
+				"churnFeatures":    churn,
+				"nsPerOp":          b.Elapsed().Nanoseconds() / int64(b.N),
+				"dirtyShardsPerOp": dirtyPerOp,
+				"cleanShardsPerOp": float64(shared) / float64(b.N),
+			}
+		})
+	}
+	var entries []map[string]any
+	for _, sc := range order {
+		if entryBy[sc] != nil { // a -bench filter may skip sub-benchmarks
+			entries = append(entries, entryBy[sc])
+		}
+	}
+	mergeBenchJSON(b, "BENCH_wrangle.json", "shardedPublish", map[string]any{
+		"benchmark": "BenchmarkShardedPublish",
+		"description": fmt.Sprintf(
+			"Incremental publish of a ~1%%%% churn delta (%d of %d features) into an N-shard snapshot via ApplyDelta. The delta routes to shards by feature-ID hash; clean shards are shared with the predecessor snapshot by pointer (counted per iteration, asserted non-zero whenever shards > churn), so patch cost tracks the dirty shards' index size, not the catalog's.", churn, n),
+		"generatedAt": time.Now().UTC().Format(time.RFC3339),
+		"environment": map[string]any{
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH, "cpus": runtime.NumCPU(),
+		},
+		"results": entries,
 	})
 }

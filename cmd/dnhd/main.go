@@ -37,6 +37,7 @@ func main() {
 	rewrangle := flag.Duration("rewrangle", 0, "background re-wrangle interval (0 = SIGHUP only)")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "query cache entries (negative disables)")
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores)")
+	shards := flag.Int("shards", 0, "snapshot shards for publish patching and scatter-gather search (0 = all cores)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		// supplies the catalog.
 		root = os.TempDir()
 	}
-	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers})
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers, SnapshotShards: *shards})
 	if err != nil {
 		logger.Fatal(err)
 	}

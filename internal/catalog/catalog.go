@@ -30,16 +30,33 @@ type Catalog struct {
 	// lazily otherwise. Readers load it with a single atomic pointer
 	// load — the lock-free search fast path.
 	snap atomic.Pointer[Snapshot]
+	// shards is the snapshot partition count, fixed at construction so
+	// every snapshot of this catalog shards identically (ApplyDelta can
+	// then share clean shards between successive snapshots).
+	shards int
 }
 
-// New returns an empty catalog.
-func New() *Catalog {
+// New returns an empty catalog with the default snapshot shard count
+// (one per schedulable CPU).
+func New() *Catalog { return NewSharded(0) }
+
+// NewSharded returns an empty catalog whose snapshots are partitioned
+// into the given number of shards (0 or negative = DefaultShardCount).
+// The count is fixed for the catalog's lifetime.
+func NewSharded(shards int) *Catalog {
+	if shards <= 0 {
+		shards = DefaultShardCount()
+	}
 	return &Catalog{
 		features: make(map[string]*Feature),
 		byName:   make(map[string]map[string]bool),
 		byParent: make(map[string]map[string]bool),
+		shards:   shards,
 	}
 }
+
+// ShardCount returns the snapshot partition count.
+func (c *Catalog) ShardCount() int { return c.shards }
 
 // Len returns the number of features.
 func (c *Catalog) Len() int {
@@ -88,7 +105,7 @@ func (c *Catalog) Snapshot() *Snapshot {
 	if s := c.snap.Load(); s != nil {
 		return s
 	}
-	s := newSnapshot(c.features, c.generation)
+	s := newSnapshot(c.features, c.generation, c.shards)
 	c.snap.Store(s)
 	return s
 }
@@ -409,7 +426,7 @@ func (c *Catalog) ApplyDelta(changed []*Feature, removed []string) (bool, error)
 	if prev != nil && len(changed)+len(removedSet) <= len(c.features)/2+1 {
 		c.snap.Store(prev.applyDelta(changed, removedSet, c.generation))
 	} else {
-		c.snap.Store(newSnapshot(c.features, c.generation))
+		c.snap.Store(newSnapshot(c.features, c.generation, c.shards))
 	}
 	return true, nil
 }
@@ -428,7 +445,7 @@ func (c *Catalog) ReplaceAll(other *Catalog) {
 	c.byName = clone.byName
 	c.byParent = clone.byParent
 	c.generation++
-	c.snap.Store(newSnapshot(c.features, c.generation))
+	c.snap.Store(newSnapshot(c.features, c.generation, c.shards))
 }
 
 // ForEach calls fn for every feature in ID order under the read lock,

@@ -57,41 +57,55 @@ func deltaFeature(i, version int) *Feature {
 }
 
 // requireSnapshotsEquivalent compares a patched snapshot against a
-// from-scratch rebuild: identical feature bytes, positions, posting
-// lists, and candidate sets from both auxiliary indexes.
+// from-scratch rebuild, shard by shard: identical feature bytes,
+// positions, posting lists, and candidate sets from both auxiliary
+// indexes.
 func requireSnapshotsEquivalent(t *testing.T, got, want *Snapshot) {
 	t.Helper()
 	if got.Len() != want.Len() {
 		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
 	}
+	if got.NumShards() != want.NumShards() {
+		t.Fatalf("shard count = %d, want %d", got.NumShards(), want.NumShards())
+	}
+	for si := range want.shards {
+		requireShardsEquivalent(t, si, got.shards[si], want.shards[si])
+	}
+}
+
+func requireShardsEquivalent(t *testing.T, si int, got, want *Shard) {
+	t.Helper()
+	if len(got.features) != len(want.features) {
+		t.Fatalf("shard %d: len = %d, want %d", si, len(got.features), len(want.features))
+	}
 	for i := range want.features {
 		g, _ := json.Marshal(got.features[i])
 		w, _ := json.Marshal(want.features[i])
 		if string(g) != string(w) {
-			t.Fatalf("feature at position %d differs:\n got %s\nwant %s", i, g, w)
+			t.Fatalf("shard %d: feature at position %d differs:\n got %s\nwant %s", si, i, g, w)
 		}
 	}
 	if !reflect.DeepEqual(got.pos, want.pos) {
-		t.Fatalf("pos maps differ: got %v, want %v", got.pos, want.pos)
+		t.Fatalf("shard %d: pos maps differ: got %v, want %v", si, got.pos, want.pos)
 	}
 	if !reflect.DeepEqual(got.byName, want.byName) {
-		t.Fatalf("byName differs:\n got %v\nwant %v", got.byName, want.byName)
+		t.Fatalf("shard %d: byName differs:\n got %v\nwant %v", si, got.byName, want.byName)
 	}
 	if !reflect.DeepEqual(got.byParent, want.byParent) {
-		t.Fatalf("byParent differs:\n got %v\nwant %v", got.byParent, want.byParent)
+		t.Fatalf("shard %d: byParent differs:\n got %v\nwant %v", si, got.byParent, want.byParent)
 	}
 	if !reflect.DeepEqual(got.spatial.cells, want.spatial.cells) {
-		t.Fatalf("spatial cells differ")
+		t.Fatalf("shard %d: spatial cells differ", si)
 	}
 	if !reflect.DeepEqual(got.temporal.byStart, want.temporal.byStart) ||
 		!reflect.DeepEqual(got.temporal.byEnd, want.temporal.byEnd) {
-		t.Fatalf("temporal orders differ:\n got %v / %v\nwant %v / %v",
-			got.temporal.byStart, got.temporal.byEnd, want.temporal.byStart, want.temporal.byEnd)
+		t.Fatalf("shard %d: temporal orders differ:\n got %v / %v\nwant %v / %v",
+			si, got.temporal.byStart, got.temporal.byEnd, want.temporal.byStart, want.temporal.byEnd)
 	}
 	for i := range want.temporal.starts {
 		if !got.temporal.starts[i].Equal(want.temporal.starts[i]) ||
 			!got.temporal.ends[i].Equal(want.temporal.ends[i]) {
-			t.Fatalf("temporal key arrays differ at %d", i)
+			t.Fatalf("shard %d: temporal key arrays differ at %d", si, i)
 		}
 	}
 }
@@ -101,74 +115,76 @@ func requireSnapshotsEquivalent(t *testing.T, got, want *Snapshot) {
 // incrementally patched snapshot is indistinguishable from a snapshot
 // rebuilt from scratch over the same features.
 func TestSnapshotApplyDeltaEquivalence(t *testing.T) {
-	for _, seed := range []int64{1, 7, 42} {
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			c := New()
-			version := make(map[int]int) // live index → content version
-			next := 0
-			for i := 0; i < 40; i++ {
-				version[next] = 0
-				if err := c.Upsert(deltaFeature(next, 0)); err != nil {
-					t.Fatal(err)
-				}
-				next++
-			}
-			c.Snapshot() // materialize so later deltas patch, not rebuild
-
-			for round := 0; round < 12; round++ {
-				var changed []*Feature
-				var removed []string
-				// Adds.
-				for k := 0; k < rng.Intn(4); k++ {
+	for _, shards := range []int{1, 3, 8} {
+		for _, seed := range []int64{1, 7, 42} {
+			t.Run(fmt.Sprintf("shards%d/seed%d", shards, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				c := NewSharded(shards)
+				version := make(map[int]int) // live index → content version
+				next := 0
+				for i := 0; i < 40; i++ {
 					version[next] = 0
-					changed = append(changed, deltaFeature(next, 0))
+					if err := c.Upsert(deltaFeature(next, 0)); err != nil {
+						t.Fatal(err)
+					}
 					next++
 				}
-				// Modifies and deletes over the live set (each feature at
-				// most once per round).
-				live := make([]int, 0, len(version))
-				for i := range version {
-					live = append(live, i)
-				}
-				sort.Ints(live)
-				touched := make(map[int]bool)
-				for k := 0; k < rng.Intn(5); k++ {
-					if len(live) == 0 {
-						break
+				c.Snapshot() // materialize so later deltas patch, not rebuild
+
+				for round := 0; round < 12; round++ {
+					var changed []*Feature
+					var removed []string
+					// Adds.
+					for k := 0; k < rng.Intn(4); k++ {
+						version[next] = 0
+						changed = append(changed, deltaFeature(next, 0))
+						next++
 					}
-					i := live[rng.Intn(len(live))]
-					if touched[i] {
-						continue
+					// Modifies and deletes over the live set (each feature at
+					// most once per round).
+					live := make([]int, 0, len(version))
+					for i := range version {
+						live = append(live, i)
 					}
-					touched[i] = true
-					if rng.Intn(3) == 0 {
-						removed = append(removed, deltaFeature(i, 0).ID)
-						delete(version, i)
-					} else {
-						version[i]++
-						changed = append(changed, deltaFeature(i, version[i]))
+					sort.Ints(live)
+					touched := make(map[int]bool)
+					for k := 0; k < rng.Intn(5); k++ {
+						if len(live) == 0 {
+							break
+						}
+						i := live[rng.Intn(len(live))]
+						if touched[i] {
+							continue
+						}
+						touched[i] = true
+						if rng.Intn(3) == 0 {
+							removed = append(removed, deltaFeature(i, 0).ID)
+							delete(version, i)
+						} else {
+							version[i]++
+							changed = append(changed, deltaFeature(i, version[i]))
+						}
+					}
+					sortFeaturesByID(changed)
+					bumped, err := c.ApplyDelta(changed, removed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := len(changed)+len(removed) > 0; bumped != want {
+						t.Fatalf("round %d: bumped = %v with %d changed, %d removed",
+							round, bumped, len(changed), len(removed))
+					}
+					got := c.Snapshot()
+					c.mu.RLock()
+					want := newSnapshot(c.features, c.generation, c.shards)
+					c.mu.RUnlock()
+					requireSnapshotsEquivalent(t, got, want)
+					if got.Generation() != want.Generation() {
+						t.Fatalf("round %d: generation %d, want %d", round, got.Generation(), want.Generation())
 					}
 				}
-				sortFeaturesByID(changed)
-				bumped, err := c.ApplyDelta(changed, removed)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if want := len(changed)+len(removed) > 0; bumped != want {
-					t.Fatalf("round %d: bumped = %v with %d changed, %d removed",
-						round, bumped, len(changed), len(removed))
-				}
-				got := c.Snapshot()
-				c.mu.RLock()
-				want := newSnapshot(c.features, c.generation)
-				c.mu.RUnlock()
-				requireSnapshotsEquivalent(t, got, want)
-				if got.Generation() != want.Generation() {
-					t.Fatalf("round %d: generation %d, want %d", round, got.Generation(), want.Generation())
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -222,7 +238,7 @@ func TestApplyDeltaLargeFallsBackToRebuild(t *testing.T) {
 	}
 	got := c.Snapshot()
 	c.mu.RLock()
-	want := newSnapshot(c.features, c.generation)
+	want := newSnapshot(c.features, c.generation, c.shards)
 	c.mu.RUnlock()
 	requireSnapshotsEquivalent(t, got, want)
 }
@@ -303,5 +319,132 @@ func TestContentEqualsCoversEveryField(t *testing.T) {
 	f.ScannedAt = f.ScannedAt.Add(48 * time.Hour)
 	if !base().ContentEquals(f) {
 		t.Error("ScannedAt change treated as content churn")
+	}
+}
+
+// TestApplyDeltaSharesCleanShards pins the dirty-shard-only publish
+// cost the sharded snapshot exists for: after ApplyDelta, every shard
+// the delta's IDs do not hash into IS the predecessor's shard — pointer
+// identity, not merely equal content — while every dirty shard was
+// freshly patched. Inside a dirty shard, features outside the delta
+// still share their Feature pointers with the predecessor.
+func TestApplyDeltaSharesCleanShards(t *testing.T) {
+	const shards = 8
+	c := NewSharded(shards)
+	for i := 0; i < 64; i++ {
+		if err := c.Upsert(deltaFeature(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Snapshot()
+
+	changed := []*Feature{deltaFeature(3, 1), deltaFeature(17, 1)}
+	sortFeaturesByID(changed)
+	removed := []string{deltaFeature(9, 0).ID}
+	dirty := make(map[int]bool)
+	for _, f := range changed {
+		dirty[shardIndex(f.ID, shards)] = true
+	}
+	for _, id := range removed {
+		dirty[shardIndex(id, shards)] = true
+	}
+
+	if bumped, err := c.ApplyDelta(changed, removed); err != nil || !bumped {
+		t.Fatalf("ApplyDelta: bumped=%v err=%v", bumped, err)
+	}
+	after := c.Snapshot()
+	if after == before {
+		t.Fatal("snapshot did not advance")
+	}
+	sharedN, patchedN := 0, 0
+	for si := range after.shards {
+		if dirty[si] {
+			patchedN++
+			if after.shards[si] == before.shards[si] {
+				t.Errorf("dirty shard %d not patched", si)
+			}
+		} else {
+			sharedN++
+			if after.shards[si] != before.shards[si] {
+				t.Errorf("clean shard %d not pointer-shared with predecessor", si)
+			}
+		}
+	}
+	if patchedN == 0 || sharedN == 0 {
+		t.Fatalf("degenerate partition: %d patched, %d shared (want both > 0)", patchedN, sharedN)
+	}
+
+	// Unchanged features inside a dirty shard are shared, not re-cloned.
+	inDelta := map[string]bool{removed[0]: true}
+	for _, f := range changed {
+		inDelta[f.ID] = true
+	}
+	checked := 0
+	for si := range after.shards {
+		if !dirty[si] {
+			continue
+		}
+		for _, f := range after.shards[si].features {
+			if inDelta[f.ID] {
+				continue
+			}
+			was, ok := before.ByID(f.ID)
+			if !ok {
+				t.Fatalf("feature %s missing from predecessor", f.ID)
+			}
+			if was != f {
+				t.Errorf("untouched feature %s re-cloned inside dirty shard %d", f.ID, si)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no untouched features found in dirty shards; weaken the partition assumptions")
+	}
+}
+
+// TestSnapshotShardingInvariants checks the partition itself: shard
+// routing is by the fixed ID hash, sizes sum to Len, every feature is
+// findable through ByID, and All() is globally ID-sorted regardless of
+// the shard count.
+func TestSnapshotShardingInvariants(t *testing.T) {
+	for _, shards := range []int{1, 2, 5, 16} {
+		c := NewSharded(shards)
+		for i := 0; i < 50; i++ {
+			if err := c.Upsert(deltaFeature(i, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := c.Snapshot()
+		if s.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", s.NumShards(), shards)
+		}
+		total := 0
+		for si, size := range s.ShardSizes() {
+			total += size
+			for _, f := range s.Shards()[si].All() {
+				if want := shardIndex(f.ID, shards); want != si {
+					t.Fatalf("feature %s in shard %d, hash says %d", f.ID, si, want)
+				}
+			}
+		}
+		if total != s.Len() || s.Len() != 50 {
+			t.Fatalf("shard sizes sum to %d, Len = %d", total, s.Len())
+		}
+		all := s.All()
+		if len(all) != 50 {
+			t.Fatalf("All() has %d features", len(all))
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i-1].ID >= all[i].ID {
+				t.Fatalf("All() not ID-sorted at %d", i)
+			}
+		}
+		for _, f := range all {
+			got, ok := s.ByID(f.ID)
+			if !ok || got != f {
+				t.Fatalf("ByID(%s) = %v, %v", f.ID, got, ok)
+			}
+		}
 	}
 }

@@ -271,3 +271,123 @@ func BenchmarkReplay1000(b *testing.B) {
 		}
 	}
 }
+
+// TestSaveLoadShardedCatalog drives the full persistence round trip
+// over a many-shard catalog with content-rich features: Save walks the
+// sharded snapshot's merged All() (so the log is ID-ordered regardless
+// of the partition), and Load must reconstruct every feature with
+// content equality — into a catalog with a *different* shard count,
+// since the log format is partition-independent.
+func TestSaveLoadShardedCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sharded.log")
+	c := NewSharded(5)
+	for i := 0; i < 40; i++ {
+		if err := c.Upsert(deltaFeature(i, i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), c.Len())
+	}
+	// Saving the loaded catalog again must produce identical bytes: the
+	// round trip is lossless and the log order is partition-independent.
+	path2 := filepath.Join(dir, "resaved.log")
+	if err := Save(path2, back); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatal("re-saved log differs from original")
+	}
+	for _, id := range c.IDs() {
+		orig, _ := c.Get(id)
+		got, ok := back.Get(id)
+		if !ok {
+			t.Fatalf("feature %s missing after round trip", id)
+		}
+		if !orig.ContentEquals(got) {
+			t.Errorf("feature %s content differs after round trip", id)
+		}
+		if !orig.ScannedAt.Equal(got.ScannedAt) {
+			t.Errorf("feature %s ScannedAt differs after round trip", id)
+		}
+	}
+}
+
+// TestReplayNeverHalfLoads pins the all-or-nothing contract: a log with
+// a flipped checksum or a truncated record anywhere before the final
+// line must be rejected with a nil catalog — corruption can surface no
+// partially applied state for a caller to serve by accident.
+func TestReplayNeverHalfLoads(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, lines []string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(strings.Join(lines, "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mk := func() []string {
+		p := filepath.Join(dir, "base.log")
+		log, err := OpenLog(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := log.Put(feat(fmt.Sprintf("d%d.csv", i), "salinity")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.SplitAfter(string(data), "\n")
+	}
+
+	lines := mk()
+	// Flip one checksum hex digit on the middle record.
+	flipped := append([]string(nil), lines...)
+	if flipped[1][0] == '0' {
+		flipped[1] = "1" + flipped[1][1:]
+	} else {
+		flipped[1] = "0" + flipped[1][1:]
+	}
+	c, err := Replay(write("flipped.log", flipped))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("flipped checksum: err = %v", err)
+	}
+	if c != nil {
+		t.Error("flipped checksum returned a half-loaded catalog")
+	}
+
+	// Truncate the middle record but keep its newline, so a full record
+	// still follows — mid-log truncation, not a tolerated torn tail.
+	truncated := append([]string(nil), lines...)
+	truncated[1] = truncated[1][:len(truncated[1])/2] + "\n"
+	c, err = Replay(write("truncated.log", truncated))
+	if err == nil {
+		t.Error("mid-log truncated record accepted")
+	}
+	if c != nil {
+		t.Error("truncated record returned a half-loaded catalog")
+	}
+
+	// Control: the intact lines replay to all three features.
+	c, err = Replay(write("intact.log", lines))
+	if err != nil || c.Len() != 3 {
+		t.Fatalf("intact log: len=%v err=%v", c, err)
+	}
+}

@@ -2,7 +2,9 @@ package catalog
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"metamess/internal/geo"
@@ -14,15 +16,39 @@ import (
 // the next mutation swaps in a successor, so queries touch no locks and
 // copy no features.
 //
+// The snapshot is partitioned into shards by a hash of the feature ID:
+// each shard owns its own ID-sorted feature slice, posting lists,
+// spatial grid, and temporal index, built and patched independently of
+// the others. Partitioning buys two things. Publish cost tracks the
+// dirty shards only — applyDelta shares every clean shard with the
+// predecessor snapshot by pointer and patches the rest in parallel —
+// and search scatters across shards, each worker running the full
+// planner/widening machinery over its shard before a single merge heap
+// gathers the per-shard top-Ks.
+//
 // The features a snapshot exposes are private clones made at build
 // time: later catalog mutations cannot reach them. In exchange, callers
 // must treat everything a Snapshot returns as read-only.
-//
-// Positions: the feature slice is sorted by ID, and the secondary
-// indexes speak in positions (indices into All()) rather than IDs, so
-// candidate sets intersect and union as sorted integer slices without
-// hashing.
 type Snapshot struct {
+	shards     []*Shard
+	total      int
+	generation uint64
+
+	// all is the lazily merged, globally ID-sorted feature slice for
+	// whole-catalog readers (persistence, validation, experiments);
+	// search never needs it.
+	allOnce sync.Once
+	all     []*Feature
+}
+
+// Shard is one hash partition of a snapshot: an ID-sorted feature slice
+// plus the secondary indexes over exactly those features. Positions —
+// the integers the posting lists and candidate sets speak — index into
+// the shard's own All(), so candidate sets intersect and union as
+// sorted integer slices without hashing, exactly as the monolithic
+// snapshot's did. A Shard is immutable and read-only, like everything
+// else a Snapshot hands out.
+type Shard struct {
 	features []*Feature
 	pos      map[string]int32
 	// byName indexes positions by current searchable variable name;
@@ -31,63 +57,166 @@ type Snapshot struct {
 	byParent map[string][]int32
 	spatial  spatialGrid
 	temporal temporalIndex
-
-	generation uint64
 }
 
-// newSnapshot clones the feature map and builds every index. Callers
-// synchronize access to the map (the catalog holds its lock).
-func newSnapshot(features map[string]*Feature, generation uint64) *Snapshot {
-	ids := make([]string, 0, len(features))
-	for id := range features {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+// DefaultShardCount is the shard count used when a catalog is built
+// with no explicit count: one shard per schedulable CPU, so a parallel
+// publish and a scatter-gather search both saturate the machine.
+func DefaultShardCount() int { return runtime.GOMAXPROCS(0) }
 
+// shardIndex assigns a feature ID to a shard: FNV-1a over the ID bytes,
+// reduced mod n. The hash is fixed (not seeded per process) so a given
+// catalog partitions identically across runs, keeping publish benchmarks
+// and shard-equivalence tests deterministic.
+func shardIndex(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// newSnapshot clones the feature map and builds every shard, in
+// parallel when there is more than one. Callers synchronize access to
+// the map (the catalog holds its lock).
+func newSnapshot(features map[string]*Feature, generation uint64, nShards int) *Snapshot {
+	if nShards <= 0 {
+		nShards = DefaultShardCount()
+	}
+	ids := make([][]string, nShards)
+	for id := range features {
+		si := shardIndex(id, nShards)
+		ids[si] = append(ids[si], id)
+	}
 	s := &Snapshot{
-		features:   make([]*Feature, len(ids)),
-		pos:        make(map[string]int32, len(ids)),
-		byName:     make(map[string][]int32),
-		byParent:   make(map[string][]int32),
+		shards:     make([]*Shard, nShards),
+		total:      len(features),
 		generation: generation,
 	}
-	for i, id := range ids {
-		f := features[id].Clone()
-		s.features[i] = f
-		s.pos[id] = int32(i)
-		for _, name := range f.SearchableNames() {
-			s.byName[name] = append(s.byName[name], int32(i))
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		sort.Strings(ids[si])
+		if nShards == 1 {
+			s.shards[si] = buildShard(features, ids[si])
+			continue
 		}
-		seenParent := make(map[string]bool)
-		for _, v := range f.Variables {
-			if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
-				continue
-			}
-			seenParent[v.Parent] = true
-			s.byParent[v.Parent] = append(s.byParent[v.Parent], int32(i))
-		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			s.shards[si] = buildShard(features, ids[si])
+		}(si)
 	}
-	s.spatial = buildSpatialGrid(s.features)
-	s.temporal = buildTemporalIndex(s.features)
+	wg.Wait()
 	return s
 }
 
-// applyDelta builds the successor snapshot incrementally: unchanged
-// features are shared with s (no re-clone), the ID-sorted slice is
-// spliced, and each index is patched — posting lists are remapped and
-// re-sorted only where the delta touched them, and the temporal orders
-// take sorted inserts instead of a full re-sort. The result is
+// buildShard clones the listed features (ids pre-sorted) and builds the
+// shard's indexes.
+func buildShard(features map[string]*Feature, ids []string) *Shard {
+	sh := &Shard{
+		features: make([]*Feature, len(ids)),
+		pos:      make(map[string]int32, len(ids)),
+		byName:   make(map[string][]int32),
+		byParent: make(map[string][]int32),
+	}
+	for i, id := range ids {
+		f := features[id].Clone()
+		sh.features[i] = f
+		sh.pos[id] = int32(i)
+		sh.indexFeature(f, int32(i))
+	}
+	sh.spatial = buildSpatialGrid(sh.features)
+	sh.temporal = buildTemporalIndex(sh.features)
+	return sh
+}
+
+// indexFeature appends f's posting-list entries at position p.
+func (sh *Shard) indexFeature(f *Feature, p int32) {
+	for _, name := range f.SearchableNames() {
+		sh.byName[name] = append(sh.byName[name], p)
+	}
+	seenParent := make(map[string]bool)
+	for _, v := range f.Variables {
+		if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
+			continue
+		}
+		seenParent[v.Parent] = true
+		sh.byParent[v.Parent] = append(sh.byParent[v.Parent], p)
+	}
+}
+
+// applyDelta builds the successor snapshot incrementally. The delta is
+// routed to shards by the same ID hash that partitioned the snapshot:
+// a shard the delta does not touch is shared with s outright — pointer
+// equality, no copies, no index work — and each dirty shard is patched
+// independently (in parallel when there are several). The result is
 // indistinguishable from newSnapshot over the same feature set
-// (TestSnapshotApplyDeltaEquivalence), it just costs O(churn + index
-// size) instead of O(catalog · variables).
+// (TestSnapshotApplyDeltaEquivalence); it just costs O(churn + dirty
+// shards' index size) instead of O(catalog · variables).
 //
 // changed must be sorted by ID and ownership passes to the snapshot;
 // removed must only name IDs present in s and disjoint from changed.
 func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, generation uint64) *Snapshot {
+	n := len(s.shards)
+	changedBy := make([][]*Feature, n)
+	for _, f := range changed {
+		si := shardIndex(f.ID, n)
+		changedBy[si] = append(changedBy[si], f) // keeps global ID order per shard
+	}
+	removedBy := make([]map[string]bool, n)
+	for id := range removed {
+		si := shardIndex(id, n)
+		if removedBy[si] == nil {
+			removedBy[si] = make(map[string]bool)
+		}
+		removedBy[si][id] = true
+	}
+
+	next := &Snapshot{
+		shards:     make([]*Shard, n),
+		generation: generation,
+	}
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		if len(changedBy[si]) == 0 && len(removedBy[si]) == 0 {
+			next.shards[si] = s.shards[si] // clean: shared with the predecessor
+			continue
+		}
+		if n == 1 {
+			next.shards[si] = s.shards[si].applyDelta(changedBy[si], removedBy[si])
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			next.shards[si] = s.shards[si].applyDelta(changedBy[si], removedBy[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, sh := range next.shards {
+		next.total += len(sh.features)
+	}
+	return next
+}
+
+// applyDelta patches one shard: unchanged features are shared with sh
+// (no re-clone), the ID-sorted slice is spliced, and each index is
+// patched — posting lists are remapped and re-sorted only where the
+// delta touched them, and the temporal orders take sorted inserts
+// instead of a full re-sort.
+func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard {
 	replace := make(map[string]*Feature)
 	var inserts []*Feature // sorted by ID (changed is)
 	for _, f := range changed {
-		if _, ok := s.pos[f.ID]; ok {
+		if _, ok := sh.pos[f.ID]; ok {
 			replace[f.ID] = f
 		} else {
 			inserts = append(inserts, f)
@@ -96,14 +225,13 @@ func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, gener
 
 	// Splice the ID-sorted feature slice, tracking the old→new position
 	// map and which positions carry new content ("dirty").
-	old := s.features
+	old := sh.features
 	newLen := len(old) - len(removed) + len(inserts)
-	n := &Snapshot{
-		features:   make([]*Feature, 0, newLen),
-		pos:        make(map[string]int32, newLen),
-		byName:     make(map[string][]int32, len(s.byName)),
-		byParent:   make(map[string][]int32, len(s.byParent)),
-		generation: generation,
+	n := &Shard{
+		features: make([]*Feature, 0, newLen),
+		pos:      make(map[string]int32, newLen),
+		byName:   make(map[string][]int32, len(sh.byName)),
+		byParent: make(map[string][]int32, len(sh.byParent)),
 	}
 	posMap := make([]int32, len(old)) // old position → new, -1 when removed
 	dirtyOld := make([]bool, len(old))
@@ -139,7 +267,7 @@ func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, gener
 		}
 	}
 	// When nothing was inserted or removed, positions are unchanged and
-	// untouched posting lists can be shared with s outright.
+	// untouched posting lists can be shared with sh outright.
 	shifted := len(inserts) > 0 || len(removed) > 0
 
 	// Names, parents, and grid cells whose posting lists the delta
@@ -170,27 +298,16 @@ func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, gener
 		collect(n.features[p])
 	}
 
-	n.byName = patchPostings(s.byName, touchedNames, shifted, posMap, dirtyOld)
-	n.byParent = patchPostings(s.byParent, touchedParents, shifted, posMap, dirtyOld)
+	n.byName = patchPostings(sh.byName, touchedNames, shifted, posMap, dirtyOld)
+	n.byParent = patchPostings(sh.byParent, touchedParents, shifted, posMap, dirtyOld)
 	for _, p := range dirtyNew {
-		f := n.features[p]
-		for _, name := range f.SearchableNames() {
-			n.byName[name] = append(n.byName[name], p)
-		}
-		seenParent := make(map[string]bool)
-		for _, v := range f.Variables {
-			if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
-				continue
-			}
-			seenParent[v.Parent] = true
-			n.byParent[v.Parent] = append(n.byParent[v.Parent], p)
-		}
+		n.indexFeature(n.features[p], p)
 	}
 	fixPostings(n.byName, touchedNames)
 	fixPostings(n.byParent, touchedParents)
 
 	// Spatial grid: the same remap/patch discipline, keyed by cell.
-	n.spatial = spatialGrid{cells: patchPostings(s.spatial.cells, touchedCells, shifted, posMap, dirtyOld)}
+	n.spatial = spatialGrid{cells: patchPostings(sh.spatial.cells, touchedCells, shifted, posMap, dirtyOld)}
 	for _, p := range dirtyNew {
 		for _, cell := range bboxCells(n.features[p].BBox) {
 			n.spatial.cells[cell] = append(n.spatial.cells[cell], p)
@@ -198,11 +315,11 @@ func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, gener
 	}
 	fixPostings(n.spatial.cells, touchedCells)
 
-	n.temporal = s.temporal.applyDelta(n.features, posMap, dirtyOld, dirtyNew)
+	n.temporal = sh.temporal.applyDelta(n.features, posMap, dirtyOld, dirtyNew)
 	return n
 }
 
-// patchPostings rebuilds a posting-list map for a successor snapshot:
+// patchPostings rebuilds a posting-list map for a successor shard:
 // untouched lists are shared outright when no position shifted,
 // otherwise survivors are filtered (dropping removed and dirty old
 // positions) and remapped — the monotone posMap keeps every list
@@ -226,7 +343,7 @@ func patchPostings[K comparable](oldMap map[K][]int32, touched map[K]bool, shift
 }
 
 // fixPostings re-sorts every touched list after dirty-feature appends
-// and drops lists the delta emptied (newSnapshot never stores empties).
+// and drops lists the delta emptied (buildShard never stores empties).
 func fixPostings[K comparable](m map[K][]int32, touched map[K]bool) {
 	for key := range touched {
 		list, ok := m[key]
@@ -241,39 +358,87 @@ func fixPostings[K comparable](m map[K][]int32, touched map[K]bool) {
 	}
 }
 
-// Len returns the number of features in the snapshot.
-func (s *Snapshot) Len() int { return len(s.features) }
+// Len returns the number of features in the snapshot, across all shards.
+func (s *Snapshot) Len() int { return s.total }
 
 // Generation returns the catalog generation the snapshot was built at.
 func (s *Snapshot) Generation() uint64 { return s.generation }
 
-// All returns the shared feature slice, sorted by ID. Callers must not
-// mutate the slice or the features; use Catalog.All for private copies.
-func (s *Snapshot) All() []*Feature { return s.features }
+// Shards returns the snapshot's shards. The slice and the shards are
+// read-only; shard order is stable for the lifetime of the catalog, and
+// a feature's shard depends only on its ID and the shard count.
+func (s *Snapshot) Shards() []*Shard { return s.shards }
 
-// At returns the feature at a position. Read-only.
-func (s *Snapshot) At(i int32) *Feature { return s.features[i] }
+// NumShards returns the shard count.
+func (s *Snapshot) NumShards() int { return len(s.shards) }
+
+// ShardSizes returns the per-shard feature counts, in shard order — the
+// balance view /stats serves.
+func (s *Snapshot) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sizes[i] = len(sh.features)
+	}
+	return sizes
+}
+
+// All returns the snapshot's features sorted by ID, merged across
+// shards. The merge is computed once, on first use, and cached: search
+// never calls this — only whole-catalog readers (persistence,
+// validation, experiment sweeps) do. Callers must not mutate the slice
+// or the features; use Catalog.All for private copies.
+func (s *Snapshot) All() []*Feature {
+	s.allOnce.Do(func() {
+		if len(s.shards) == 1 {
+			s.all = s.shards[0].features
+			return
+		}
+		merged := make([]*Feature, 0, s.total)
+		for _, sh := range s.shards {
+			merged = append(merged, sh.features...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+		s.all = merged
+	})
+	return s.all
+}
 
 // ByID returns the feature with the given ID without taking a lock or
-// cloning: the serving-path alternative to Catalog.Get, whose per-call
-// deep clone is wasted on read-only consumers. Read-only.
+// cloning: one hash to pick the shard, one map probe inside it — the
+// serving-path alternative to Catalog.Get, whose per-call deep clone is
+// wasted on read-only consumers. Read-only.
 func (s *Snapshot) ByID(id string) (*Feature, bool) {
-	i, ok := s.pos[id]
+	return s.shards[shardIndex(id, len(s.shards))].ByID(id)
+}
+
+// Len returns the number of features in the shard.
+func (sh *Shard) Len() int { return len(sh.features) }
+
+// All returns the shard's shared feature slice, sorted by ID. Read-only.
+func (sh *Shard) All() []*Feature { return sh.features }
+
+// At returns the feature at a shard position. Read-only.
+func (sh *Shard) At(i int32) *Feature { return sh.features[i] }
+
+// ByID returns the shard's feature with the given ID. Read-only.
+func (sh *Shard) ByID(id string) (*Feature, bool) {
+	i, ok := sh.pos[id]
 	if !ok {
 		return nil, false
 	}
-	return s.features[i], true
+	return sh.features[i], true
 }
 
-// WithVariable returns the positions of features whose searchable
+// WithVariable returns the shard positions of features whose searchable
 // variables include name, sorted ascending. Read-only.
-func (s *Snapshot) WithVariable(name string) []int32 { return s.byName[name] }
+func (sh *Shard) WithVariable(name string) []int32 { return sh.byName[name] }
 
-// WithParent returns the positions of features having a searchable
-// variable whose hierarchy parent is name, sorted ascending. Read-only.
-func (s *Snapshot) WithParent(name string) []int32 { return s.byParent[name] }
+// WithParent returns the shard positions of features having a
+// searchable variable whose hierarchy parent is name, sorted ascending.
+// Read-only.
+func (sh *Shard) WithParent(name string) []int32 { return sh.byParent[name] }
 
-// SpatialCandidates returns the positions of every feature whose
+// SpatialCandidates returns the shard positions of every feature whose
 // scoring distance from the query box (BBox.DistanceKm for point-sized
 // boxes, BBox.DistanceToBoxKm otherwise) can be at most maxKm. The set
 // is a superset of the truth — grid cells are included conservatively —
@@ -281,16 +446,16 @@ func (s *Snapshot) WithParent(name string) []int32 { return s.byParent[name] }
 // back in unspecified order and may repeat (a feature spanning several
 // visited cells); callers deduplicate. ok is false when the radius is
 // too large to prune (callers must treat every feature as a candidate).
-func (s *Snapshot) SpatialCandidates(query geo.BBox, maxKm float64) (pos []int32, ok bool) {
-	return s.spatial.candidates(query, maxKm)
+func (sh *Shard) SpatialCandidates(query geo.BBox, maxKm float64) (pos []int32, ok bool) {
+	return sh.spatial.candidates(query, maxKm)
 }
 
-// TimeCandidates returns the positions of every feature whose temporal
-// gap from the query range (TimeRange.Distance) can be at most maxGap,
-// again conservatively and in unspecified order. ok is false when the
-// gap is too large to prune.
-func (s *Snapshot) TimeCandidates(query geo.TimeRange, maxGap time.Duration) (pos []int32, ok bool) {
-	return s.temporal.candidates(query, maxGap)
+// TimeCandidates returns the shard positions of every feature whose
+// temporal gap from the query range (TimeRange.Distance) can be at most
+// maxGap, again conservatively and in unspecified order. ok is false
+// when the gap is too large to prune.
+func (sh *Shard) TimeCandidates(query geo.TimeRange, maxGap time.Duration) (pos []int32, ok bool) {
+	return sh.temporal.candidates(query, maxGap)
 }
 
 // --- spatial grid ---------------------------------------------------

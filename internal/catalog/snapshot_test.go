@@ -67,7 +67,7 @@ func TestSnapshotByID(t *testing.T) {
 		t.Error("ByID found a missing ID")
 	}
 	// ByID shares the snapshot's feature (no per-call clone).
-	if s.At(0) != f {
+	if s.All()[0] != f {
 		t.Error("ByID does not share the snapshot feature")
 	}
 }
@@ -105,8 +105,8 @@ func TestSnapshotReplaceAllBuildsEagerly(t *testing.T) {
 	} else if s.Len() != 1 {
 		t.Fatalf("published snapshot has %d features", s.Len())
 	}
-	if pos := published.Snapshot().WithVariable("salinity"); len(pos) != 1 {
-		t.Errorf("WithVariable = %v", pos)
+	if n := countWithVariable(published.Snapshot(), "salinity"); n != 1 {
+		t.Errorf("WithVariable count = %d", n)
 	}
 }
 
@@ -120,14 +120,14 @@ func TestSnapshotNameAndParentIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := c.Snapshot()
-	if pos := snap.WithVariable("fluores375"); len(pos) != 1 {
-		t.Errorf("WithVariable(fluores375) = %v", pos)
+	if n := countWithVariable(snap, "fluores375"); n != 1 {
+		t.Errorf("WithVariable(fluores375) count = %d", n)
 	}
-	if pos := snap.WithVariable("qa"); len(pos) != 0 {
-		t.Errorf("excluded variable indexed: %v", pos)
+	if n := countWithVariable(snap, "qa"); n != 0 {
+		t.Errorf("excluded variable indexed %d times", n)
 	}
-	if pos := snap.WithParent("fluorescence"); len(pos) != 1 {
-		t.Errorf("WithParent(fluorescence) = %v", pos)
+	if n := countWithParent(snap, "fluorescence"); n != 1 {
+		t.Errorf("WithParent(fluorescence) count = %d", n)
 	}
 	if got, ok := snap.ByID(f.ID); !ok || got.Path != "a.obs" {
 		t.Errorf("ByID = %v, %v", got, ok)
@@ -141,7 +141,7 @@ func TestSnapshotNameAndParentIndexes(t *testing.T) {
 func TestSpatialCandidatesSuperset(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	base := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
-	c := New()
+	c := NewSharded(3)
 	for i := 0; i < 300; i++ {
 		lat := -84 + rng.Float64()*168
 		lon := -179 + rng.Float64()*358
@@ -154,18 +154,20 @@ func TestSpatialCandidatesSuperset(t *testing.T) {
 		p := geo.Point{Lat: -84 + rng.Float64()*168, Lon: -179 + rng.Float64()*358}
 		maxKm := []float64{10, 100, 500, 2000}[rng.Intn(4)]
 		qb := geo.BBox{MinLat: p.Lat, MinLon: p.Lon, MaxLat: p.Lat, MaxLon: p.Lon}
-		pos, ok := snap.SpatialCandidates(qb, maxKm)
-		if !ok {
-			continue
-		}
-		inSet := make(map[int32]bool, len(pos))
-		for _, i := range pos {
-			inSet[i] = true
-		}
-		for i, f := range snap.All() {
-			if f.BBox.DistanceKm(p) <= maxKm && !inSet[int32(i)] {
-				t.Fatalf("query %v r=%.0fkm: feature %s at %.1fkm missing from candidates",
-					p, maxKm, f.Path, f.BBox.DistanceKm(p))
+		for si, sh := range snap.Shards() {
+			pos, ok := sh.SpatialCandidates(qb, maxKm)
+			if !ok {
+				continue
+			}
+			inSet := make(map[int32]bool, len(pos))
+			for _, i := range pos {
+				inSet[i] = true
+			}
+			for i, f := range sh.All() {
+				if f.BBox.DistanceKm(p) <= maxKm && !inSet[int32(i)] {
+					t.Fatalf("query %v r=%.0fkm shard %d: feature %s at %.1fkm missing from candidates",
+						p, maxKm, si, f.Path, f.BBox.DistanceKm(p))
+				}
 			}
 		}
 	}
@@ -175,7 +177,7 @@ func TestSpatialCandidatesSuperset(t *testing.T) {
 // feature within maxGap of the query range is a candidate.
 func TestTimeCandidatesSuperset(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	c := New()
+	c := NewSharded(3)
 	for i := 0; i < 300; i++ {
 		start := time.Date(2000+rng.Intn(15), time.Month(1+rng.Intn(12)), 1+rng.Intn(28),
 			0, 0, 0, 0, time.UTC)
@@ -189,18 +191,20 @@ func TestTimeCandidatesSuperset(t *testing.T) {
 			0, 0, 0, 0, time.UTC)
 		q := geo.NewTimeRange(start, start.AddDate(0, 0, rng.Intn(90)))
 		maxGap := time.Duration(rng.Intn(1000)) * 24 * time.Hour
-		pos, ok := snap.TimeCandidates(q, maxGap)
-		if !ok {
-			t.Fatalf("TimeCandidates declined maxGap %v", maxGap)
-		}
-		inSet := make(map[int32]bool, len(pos))
-		for _, i := range pos {
-			inSet[i] = true
-		}
-		for i, f := range snap.All() {
-			if f.Time.Distance(q) <= maxGap && !inSet[int32(i)] {
-				t.Fatalf("query %v gap=%v: feature %s at gap %v missing",
-					q, maxGap, f.Path, f.Time.Distance(q))
+		for si, sh := range snap.Shards() {
+			pos, ok := sh.TimeCandidates(q, maxGap)
+			if !ok {
+				t.Fatalf("TimeCandidates declined maxGap %v", maxGap)
+			}
+			inSet := make(map[int32]bool, len(pos))
+			for _, i := range pos {
+				inSet[i] = true
+			}
+			for i, f := range sh.All() {
+				if f.Time.Distance(q) <= maxGap && !inSet[int32(i)] {
+					t.Fatalf("query %v gap=%v shard %d: feature %s at gap %v missing",
+						q, maxGap, si, f.Path, f.Time.Distance(q))
+				}
 			}
 		}
 	}
@@ -239,10 +243,12 @@ func TestConcurrentSnapshotAndPublish(t *testing.T) {
 				default:
 				}
 				snap := published.Snapshot()
-				for _, p := range snap.WithVariable("salinity") {
-					if f := snap.At(p); len(f.Variables) == 0 {
-						t.Error("corrupted snapshot feature")
-						return
+				for _, sh := range snap.Shards() {
+					for _, p := range sh.WithVariable("salinity") {
+						if f := sh.At(p); len(f.Variables) == 0 {
+							t.Error("corrupted snapshot feature")
+							return
+						}
 					}
 				}
 				if snap.Len() == 0 {
@@ -253,4 +259,22 @@ func TestConcurrentSnapshotAndPublish(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// countWithVariable sums WithVariable hits across every shard.
+func countWithVariable(s *Snapshot, name string) int {
+	n := 0
+	for _, sh := range s.Shards() {
+		n += len(sh.WithVariable(name))
+	}
+	return n
+}
+
+// countWithParent sums WithParent hits across every shard.
+func countWithParent(s *Snapshot, name string) int {
+	n := 0
+	for _, sh := range s.Shards() {
+		n += len(sh.WithParent(name))
+	}
+	return n
 }

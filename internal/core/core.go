@@ -230,11 +230,20 @@ func namesHash(names []string) uint64 {
 	return h.Sum64()
 }
 
-// NewContext builds a context with empty catalogs.
+// NewContext builds a context with empty catalogs at the default
+// snapshot shard count (one shard per schedulable CPU).
 func NewContext(k *semdiv.Knowledge, scanCfg scan.Config) *Context {
+	return NewContextSharded(k, scanCfg, 0)
+}
+
+// NewContextSharded is NewContext with an explicit snapshot shard count
+// for both catalogs (0 or negative = default). The published catalog's
+// count decides how publish patching and search scatter; the working
+// catalog matches it so a wholesale ReplaceAll keeps the partition.
+func NewContextSharded(k *semdiv.Knowledge, scanCfg scan.Config, shards int) *Context {
 	return &Context{
-		Working:    catalog.New(),
-		Published:  catalog.New(),
+		Working:    catalog.NewSharded(shards),
+		Published:  catalog.NewSharded(shards),
 		Knowledge:  k,
 		Units:      units.NewRegistry(),
 		ScanConfig: scanCfg,

@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"testing"
+)
+
+// FuzzExprParse throws hostile input at the lexer and Pratt parser.
+// The properties:
+//
+//   - Compile never panics, whatever the bytes (errors are fine);
+//   - a successfully compiled expression prints to a canonical form
+//     that re-parses (parse → print → parse never dies on its own
+//     output);
+//   - the canonical form is a fixed point (printing the re-parsed AST
+//     yields identical bytes), so printer and parser agree on every
+//     construct;
+//   - the original and re-parsed ASTs evaluate identically under a
+//     fixed environment — same error-ness, same rendered value — so
+//     the round trip preserved semantics, not just syntax.
+func FuzzExprParse(f *testing.F) {
+	seeds := []string{
+		`value.toLowercase().replace("_", " ")`,
+		`value + 1`,
+		`-3.25 * (row % 7) >= 10 || !flag`,
+		`if(value == "temp", "temperature", value)`,
+		`splitted[0].trim()`,
+		`value[0] + value[-1]`,
+		`"escaped \" quote and \\ backslash and \n newline"`,
+		`1 && 2 || 3 == 4 != 5 < 6`,
+		`substring(value, 1, 4).toUppercase()`,
+		`0.5.`,
+		`((((`,
+		`a.b`,
+		`"unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		c1 := e.Canonical()
+		e2, err := Compile(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse:\n src %q\ncanon %q\n err %v", src, c1, err)
+		}
+		c2 := e2.Canonical()
+		if c1 != c2 {
+			t.Fatalf("canonical form is not a fixed point:\n src %q\n  c1 %q\n  c2 %q", src, c1, c2)
+		}
+
+		env := Env{
+			"value":    "Chlorophyll_ug_L",
+			"row":      float64(3),
+			"flag":     true,
+			"splitted": []Value{"a", "b"},
+		}
+		v1, err1 := e.Eval(env)
+		v2, err2 := e2.Eval(env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round trip changed eval error-ness:\n src %q\ncanon %q\nerr1 %v\nerr2 %v", src, c1, err1, err2)
+		}
+		if err1 == nil && ToString(v1) != ToString(v2) {
+			t.Fatalf("round trip changed eval result:\n src %q\ncanon %q\n  v1 %q\n  v2 %q",
+				src, c1, ToString(v1), ToString(v2))
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the compiled AST back to source in a normal form:
+// every composite expression fully parenthesized, method chains
+// desugared to plain calls (a.f(x) → f(a, x)), string literals
+// re-quoted and re-escaped, and numbers printed in plain decimal (the
+// only number syntax the lexer accepts). The output re-parses to an
+// identical AST, and Canonical is a fixed point: compiling the
+// canonical form and printing it again yields the same bytes. That
+// closure is the round-trip property FuzzExprParse drives with hostile
+// inputs — any printer/parser disagreement surfaces as a diff there.
+func (e *Expr) Canonical() string {
+	var b strings.Builder
+	printNode(&b, e.root)
+	return b.String()
+}
+
+func printNode(b *strings.Builder, n node) {
+	switch t := n.(type) {
+	case literalNode:
+		switch v := t.val.(type) {
+		case float64:
+			b.WriteString(canonicalNumber(v))
+		case string:
+			b.WriteString(canonicalString(v))
+		default:
+			// The parser only builds number and string literals; anything
+			// else would be a new node kind this printer must learn.
+			panic("expr: unprintable literal")
+		}
+	case identNode:
+		b.WriteString(t.name)
+	case unaryNode:
+		b.WriteByte('(')
+		b.WriteString(t.op)
+		printNode(b, t.child)
+		b.WriteByte(')')
+	case binaryNode:
+		b.WriteByte('(')
+		printNode(b, t.left)
+		b.WriteByte(' ')
+		b.WriteString(t.op)
+		b.WriteByte(' ')
+		printNode(b, t.right)
+		b.WriteByte(')')
+	case callNode:
+		b.WriteString(t.name)
+		b.WriteByte('(')
+		for i, a := range t.args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printNode(b, a)
+		}
+		b.WriteByte(')')
+	case indexNode:
+		printNode(b, t.target)
+		b.WriteByte('[')
+		printNode(b, t.index)
+		b.WriteByte(']')
+	default:
+		panic("expr: unprintable node")
+	}
+}
+
+// canonicalNumber prints a float the lexer can read back to the same
+// value: plain decimal only — the lexer has no exponent or sign syntax
+// (negative values appear as unary minus, so literals are always
+// non-negative). Integral values print without a fraction; everything
+// else uses the shortest no-exponent decimal that round-trips.
+func canonicalNumber(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// canonicalString re-quotes a string literal with double quotes,
+// escaping exactly what the lexer's escape table understands.
+func canonicalString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

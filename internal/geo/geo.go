@@ -9,6 +9,7 @@
 package geo
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -63,6 +64,33 @@ type BBox struct {
 
 // ErrEmptyBBox is returned when an operation needs a non-empty box.
 var ErrEmptyBBox = errors.New("geo: empty bounding box")
+
+// MarshalJSON renders an empty box as null: the empty sentinel's ±Inf
+// bounds are unrepresentable in JSON, and without this every feature
+// lacking a spatial extent would poison catalog persistence (the
+// sharded Save→Load round-trip test caught exactly that).
+func (b BBox) MarshalJSON() ([]byte, error) {
+	if b.IsEmpty() {
+		return []byte("null"), nil
+	}
+	type plain BBox
+	return json.Marshal(plain(b))
+}
+
+// UnmarshalJSON restores null to the canonical empty box.
+func (b *BBox) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*b = EmptyBBox()
+		return nil
+	}
+	type plain BBox
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*b = BBox(p)
+	return nil
+}
 
 // NewBBox returns the minimal box covering the two corner points.
 func NewBBox(a, b Point) BBox {

@@ -1,6 +1,7 @@
 package geo
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -265,5 +266,37 @@ func BenchmarkHaversine(b *testing.B) {
 	p2 := Point{46.2, -123.8}
 	for i := 0; i < b.N; i++ {
 		HaversineKm(p1, p2)
+	}
+}
+
+func TestBBoxJSONRoundTrip(t *testing.T) {
+	// The empty box's ±Inf sentinels must serialize (as null) and come
+	// back canonical — features without a spatial extent are persisted.
+	data, err := json.Marshal(EmptyBBox())
+	if err != nil {
+		t.Fatalf("marshal empty bbox: %v", err)
+	}
+	if string(data) != "null" {
+		t.Fatalf("empty bbox marshals to %s, want null", data)
+	}
+	var back BBox
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsEmpty() || back != EmptyBBox() {
+		t.Fatalf("empty bbox round-tripped to %+v", back)
+	}
+
+	b := BBox{MinLat: 45.1, MinLon: -124.5, MaxLat: 46.2, MaxLon: -123.8}
+	data, err = json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BBox
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("bbox round-tripped to %+v, want %+v", got, b)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +40,20 @@ func newAccumulator(names, units []string) *accumulator {
 	}
 	return a
 }
+
+// finite reports whether v is a usable observation value. strconv
+// accepts spellings like "inf" and "nan", but the scorer's value ranges
+// and JSON persistence cannot carry non-finite numbers, so parsers
+// treat them as missing cells and reject them as coordinates.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// obsTimeBounds keep parsed timestamps within JSON-representable years
+// [1, 9999]; a unix-seconds field outside them is file corruption, not
+// a dataset from the far future.
+const (
+	minUnixSec = -62135596800 // 0001-01-01T00:00:00Z
+	maxUnixSec = 253402300799 // 9999-12-31T23:59:59Z
+)
 
 func (a *accumulator) observe(at time.Time, p geo.Point, values []float64, present []bool) {
 	a.rows++
@@ -114,7 +129,7 @@ func parseCSV(rel string, data []byte) (*catalog.Feature, error) {
 		}
 		lat, err1 := strconv.ParseFloat(rec[1], 64)
 		lon, err2 := strconv.ParseFloat(rec[2], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil || !finite(lat) || !finite(lon) {
 			return nil, fmt.Errorf("scan: %s line %d: bad coordinates", rel, line)
 		}
 		values := make([]float64, len(names))
@@ -127,6 +142,9 @@ func parseCSV(rel string, data []byte) (*catalog.Feature, error) {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
 				return nil, fmt.Errorf("scan: %s line %d: bad value %q", rel, line, cell)
+			}
+			if !finite(v) {
+				continue // "inf"/"nan" spellings: missing, like the NaN text
 			}
 			values[i] = v
 			present[i] = true
@@ -181,13 +199,13 @@ func parseOBS(rel string, data []byte) (*catalog.Feature, error) {
 				// Station id retained in the path; nothing to record.
 			case strings.HasPrefix(body, "lat:"):
 				v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(body, "lat:")), 64)
-				if err != nil {
+				if err != nil || !finite(v) {
 					return nil, fmt.Errorf("scan: %s line %d: bad lat", rel, lineNo)
 				}
 				lat, haveLat = v, true
 			case strings.HasPrefix(body, "lon:"):
 				v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(body, "lon:")), 64)
-				if err != nil {
+				if err != nil || !finite(v) {
 					return nil, fmt.Errorf("scan: %s line %d: bad lon", rel, lineNo)
 				}
 				lon, haveLon = v, true
@@ -209,7 +227,7 @@ func parseOBS(rel string, data []byte) (*catalog.Feature, error) {
 		}
 		cells := strings.Split(line, "\t")
 		secs, err := strconv.ParseInt(cells[0], 10, 64)
-		if err != nil {
+		if err != nil || secs < minUnixSec || secs > maxUnixSec {
 			return nil, fmt.Errorf("scan: %s line %d: bad timestamp %q", rel, lineNo, cells[0])
 		}
 		values := make([]float64, len(names))
@@ -222,6 +240,9 @@ func parseOBS(rel string, data []byte) (*catalog.Feature, error) {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
 				return nil, fmt.Errorf("scan: %s line %d: bad value %q", rel, lineNo, cell)
+			}
+			if !finite(v) {
+				continue // non-finite spellings count as missing
 			}
 			values[i] = v
 			present[i] = true

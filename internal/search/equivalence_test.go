@@ -161,29 +161,37 @@ func TestSnapshotParallelMatchesLinearScan(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d query %d: linear: %v", trial, qi, err)
 			}
-			if len(a) != len(b) {
-				t.Fatalf("trial %d query %d (%+v): indexed %d results, linear %d",
-					trial, qi, q, len(a), len(b))
-			}
-			for i := range a {
-				if a[i].Feature.ID != b[i].Feature.ID {
-					t.Fatalf("trial %d query %d rank %d: indexed %s, linear %s",
-						trial, qi, i, a[i].Feature.Path, b[i].Feature.Path)
-				}
-				if a[i].Score != b[i].Score || a[i].Space != b[i].Space ||
-					a[i].Time != b[i].Time || a[i].Vars != b[i].Vars {
-					t.Fatalf("trial %d query %d rank %d (%s): scores differ: %+v vs %+v",
-						trial, qi, i, a[i].Feature.Path, a[i], b[i])
-				}
-				if len(a[i].TermScores) != len(b[i].TermScores) {
-					t.Fatalf("trial %d query %d rank %d: term scores differ", trial, qi, i)
-				}
-				for j := range a[i].TermScores {
-					if a[i].TermScores[j] != b[i].TermScores[j] {
-						t.Fatalf("trial %d query %d rank %d term %d: %+v vs %+v",
-							trial, qi, i, j, a[i].TermScores[j], b[i].TermScores[j])
-					}
-				}
+			requireSameResults(t, fmt.Sprintf("trial %d query %d (%+v): indexed vs linear", trial, qi, q), a, b)
+		}
+	}
+}
+
+// requireSameResults fails unless the two rankings are identical in
+// every observable way: order, IDs, all four score components, and
+// per-term explanations — exact float equality, no tolerance. Both the
+// indexed-vs-linear ablation and the shard-count equivalence property
+// compare through it.
+func requireSameResults(t *testing.T, label string, a, b []Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d results vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Feature.ID != b[i].Feature.ID {
+			t.Fatalf("%s: rank %d: %s vs %s", label, i, a[i].Feature.Path, b[i].Feature.Path)
+		}
+		if a[i].Score != b[i].Score || a[i].Space != b[i].Space ||
+			a[i].Time != b[i].Time || a[i].Vars != b[i].Vars {
+			t.Fatalf("%s: rank %d (%s): scores differ: %+v vs %+v",
+				label, i, a[i].Feature.Path, a[i], b[i])
+		}
+		if len(a[i].TermScores) != len(b[i].TermScores) {
+			t.Fatalf("%s: rank %d: term score counts differ", label, i)
+		}
+		for j := range a[i].TermScores {
+			if a[i].TermScores[j] != b[i].TermScores[j] {
+				t.Fatalf("%s: rank %d term %d: %+v vs %+v",
+					label, i, j, a[i].TermScores[j], b[i].TermScores[j])
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"metamess/internal/catalog"
 )
@@ -27,13 +28,189 @@ func canceled(ctx context.Context) bool {
 	}
 }
 
-// executePlan runs the tiers of a plan over the snapshot: score each
-// tier's not-yet-scored candidates (in parallel), merge into the
-// accumulated top-K, and stop as soon as the K-th score strictly
-// exceeds the tier's outside bound — anything unscored is then provably
-// below every returned result.
-func (s *Searcher) executePlan(ctx context.Context, snap *catalog.Snapshot, pln plan, q Query, expanded []expandedTerm, k int) []Result {
-	n := snap.Len()
+// searchSnapshot runs the query over every shard of the snapshot and
+// returns the exact global top-K, ranked.
+//
+// Single-shard snapshots keep the monolithic path: one plan, with the
+// worker pool splitting candidate batches inside the shard. Multi-shard
+// snapshots scatter-gather in tier-synchronized rounds. Every shard
+// carries the full index set over its own features, so each builds its
+// own plan — and because the tier structure and outside-score bounds
+// are derived from the query and the options alone (never from shard
+// content), all plans share the same tiers. Round ti scatters tier ti
+// of every shard across the workers (one shard per worker at a time,
+// scored serially into a bounded local top-K), gathers each shard's
+// results into a single merge heap, and then — at the barrier — applies
+// the monolithic widening argument globally: if the heap holds K
+// results and the K-th score strictly exceeds the tier's outside bound,
+// everything unscored in every shard is provably outranked, and the
+// search stops without touching the wider tiers.
+//
+// Exactness composes: the merge heap keeps the best K under the total
+// ranking order (score desc, ID asc — IDs are unique), and the stopping
+// rule is the same proof the single-shard executor uses. The result is
+// byte-identical for every shard count — the property
+// TestShardedSearchMatchesSingleShard pins.
+func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q Query, expanded []expandedTerm, k int) []Result {
+	shards := snap.Shards()
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if len(shards) == 1 {
+		results := s.searchShard(ctx, shards[0], q, expanded, k, workers)
+		rank(results)
+		if len(results) > k {
+			results = results[:k]
+		}
+		return results
+	}
+
+	merge := newTopK(k)
+	var mu sync.Mutex
+	gather := func(local []Result) {
+		mu.Lock()
+		for _, r := range local {
+			merge.consider(r)
+		}
+		mu.Unlock()
+	}
+
+	if !s.opts.UseIndex {
+		// Linear ablation: one full-scan round over every shard.
+		parallelDo(workers, len(shards), func(si int) {
+			if canceled(ctx) {
+				return
+			}
+			gather(s.searchShard(ctx, shards[si], q, expanded, k, 1))
+		})
+		out := append([]Result(nil), merge.items...)
+		rank(out)
+		return out
+	}
+
+	plans := make([]plan, len(shards))
+	scored := make([][]bool, len(shards))
+	parallelDo(workers, len(shards), func(si int) {
+		plans[si] = s.buildPlan(shards[si], q, expanded)
+		scored[si] = make([]bool, shards[si].Len())
+	})
+	maxTiers := 0
+	for _, p := range plans {
+		if len(p.tiers) > maxTiers {
+			maxTiers = len(p.tiers)
+		}
+	}
+
+	for ti := 0; ti < maxTiers; ti++ {
+		if canceled(ctx) {
+			break
+		}
+		parallelDo(workers, len(shards), func(si int) {
+			if ti >= len(plans[si].tiers) || canceled(ctx) {
+				return
+			}
+			t := plans[si].tiers[ti]
+			sh := shards[si]
+			was := scored[si]
+			var batch []int32
+			if t.all {
+				for i := 0; i < sh.Len(); i++ {
+					if !was[i] {
+						batch = append(batch, int32(i))
+					}
+				}
+			} else {
+				for _, p := range t.pos {
+					if !was[p] {
+						batch = append(batch, p)
+					}
+				}
+			}
+			for _, p := range batch {
+				was[p] = true
+			}
+			if len(batch) > 0 {
+				gather(s.scorePositions(ctx, sh, batch, q, expanded, k, 1))
+			}
+		})
+		// Barrier: all workers joined, so the heap is quiescent. Stop
+		// when K gathered results strictly clear every shard's outside
+		// bound for this tier (bounds are query-derived and identical
+		// across shards; the max is taken defensively).
+		if k <= 0 || len(merge.items) < k {
+			continue
+		}
+		bound := -1.0
+		for _, p := range plans {
+			if ti < len(p.tiers) && p.tiers[ti].bound > bound {
+				bound = p.tiers[ti].bound
+			}
+		}
+		if merge.items[0].Score > bound {
+			break
+		}
+	}
+	out := append([]Result(nil), merge.items...)
+	rank(out)
+	return out
+}
+
+// parallelDo runs fn(0..n-1) across up to workers goroutines, claiming
+// indices off a shared counter; with one worker it stays on the calling
+// goroutine. It returns when every call has finished.
+func parallelDo(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// searchShard computes one shard's exact top-K — via the tiered plan
+// when the index is enabled, or a full scan for the linear ablation.
+// The returned slice is unsorted and has at most k elements.
+func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, expanded []expandedTerm, k, workers int) []Result {
+	if !s.opts.UseIndex {
+		all := make([]int32, sh.Len())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return s.scorePositions(ctx, sh, all, q, expanded, k, workers)
+	}
+	return s.executePlan(ctx, sh, s.buildPlan(sh, q, expanded), q, expanded, k, workers)
+}
+
+// executePlan runs the tiers of a plan over one shard: score each
+// tier's not-yet-scored candidates, merge into the accumulated top-K,
+// and stop as soon as the K-th score strictly exceeds the tier's
+// outside bound — anything unscored in this shard is then provably
+// below every returned result. (The multi-shard scatter path runs the
+// same tier loop inline, with the bound check against the global merge
+// heap at each tier barrier.)
+func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan, q Query, expanded []expandedTerm, k, workers int) []Result {
+	n := sh.Len()
 	scored := make([]bool, n)
 	var acc []Result
 	for _, t := range pln.tiers {
@@ -58,7 +235,7 @@ func (s *Searcher) executePlan(ctx context.Context, snap *catalog.Snapshot, pln 
 			scored[p] = true
 		}
 		if len(batch) > 0 {
-			acc = append(acc, s.scorePositions(ctx, snap, batch, q, expanded, k)...)
+			acc = append(acc, s.scorePositions(ctx, sh, batch, q, expanded, k, workers)...)
 			rank(acc)
 			if len(acc) > k {
 				acc = acc[:k]
@@ -71,23 +248,19 @@ func (s *Searcher) executePlan(ctx context.Context, snap *catalog.Snapshot, pln 
 	return acc
 }
 
-// scorePositions scores a candidate batch and returns its top-K (by the
-// ranking order), unsorted. Large batches fan out across a worker pool;
-// each worker keeps a bounded top-K min-heap so memory stays O(K·workers)
-// regardless of catalog size, and the merged heaps contain a superset
-// of the batch's true top-K.
-func (s *Searcher) scorePositions(ctx context.Context, snap *catalog.Snapshot, pos []int32, q Query, expanded []expandedTerm, k int) []Result {
-	workers := s.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// scorePositions scores a candidate batch from one shard and returns
+// its top-K (by the ranking order), unsorted. Large batches fan out
+// across the given worker count; each worker keeps a bounded top-K
+// min-heap so memory stays O(K·workers) regardless of catalog size, and
+// the merged heaps contain a superset of the batch's true top-K.
+func (s *Searcher) scorePositions(ctx context.Context, sh *catalog.Shard, pos []int32, q Query, expanded []expandedTerm, k, workers int) []Result {
 	if len(pos) < parallelMinWork || workers <= 1 {
 		h := newTopK(k)
 		for i, p := range pos {
 			if i%cancelCheckEvery == 0 && canceled(ctx) {
 				return h.items
 			}
-			if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
+			if r := s.score(sh.At(p), q, expanded); r.Score > 0 {
 				h.consider(r)
 			}
 		}
@@ -117,7 +290,7 @@ func (s *Searcher) scorePositions(ctx context.Context, snap *catalog.Snapshot, p
 				if i%cancelCheckEvery == 0 && canceled(ctx) {
 					break
 				}
-				if r := s.score(snap.At(p), q, expanded); r.Score > 0 {
+				if r := s.score(sh.At(p), q, expanded); r.Score > 0 {
 					h.consider(r)
 				}
 			}

@@ -8,9 +8,13 @@ import (
 	"metamess/internal/geo"
 )
 
-// The planner turns a query into tiers of candidate positions over a
-// snapshot, one per widening step. Each query dimension contributes a
-// candidate set from its index:
+// The planner turns a query into tiers of candidate positions over one
+// snapshot shard, one per widening step. Plans are per-shard: every
+// shard carries the full set of secondary indexes over its own
+// features, so the same tiering and the same outside-score bounds apply
+// within each shard independently, and the scatter-gather executor can
+// prove per-shard exactness before merging. Each query dimension
+// contributes a candidate set from the shard's index:
 //
 //   - variables: union of the name and hierarchy-parent indexes over
 //     all term expansions — a non-candidate's variable score is exactly 0;
@@ -52,14 +56,14 @@ type dimSet struct {
 	beta float64
 }
 
-func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expandedTerm) plan {
+func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm) plan {
 	var dims []dimSet
 	w := s.opts.Weights
 	eps := s.opts.PruneScore
 
 	if len(expanded) > 0 {
 		dims = append(dims, dimSet{
-			pos:    varCandidates(snap, expanded),
+			pos:    varCandidates(sh, expanded),
 			weight: w.Variables,
 			beta:   0,
 		})
@@ -77,7 +81,7 @@ func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expande
 		// decay(d, scale) ≥ ε  ⟺  d ≤ scale·(1/ε − 1); +1 km of slack
 		// keeps float rounding on the candidate side.
 		maxKm := s.opts.SpaceScaleKm*(1/eps-1) + 1
-		pos, ok := snap.SpatialCandidates(qb, maxKm)
+		pos, ok := sh.SpatialCandidates(qb, maxKm)
 		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Space, beta: eps})
 	}
 	if q.Time != nil {
@@ -86,7 +90,7 @@ func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expande
 		ok := false
 		if gapF < float64(math.MaxInt64)/4 {
 			maxGap := time.Duration(gapF) + time.Hour
-			pos, ok = snap.TimeCandidates(*q.Time, maxGap)
+			pos, ok = sh.TimeCandidates(*q.Time, maxGap)
 		}
 		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Time, beta: eps})
 	}
@@ -116,7 +120,7 @@ func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expande
 
 	var interPos, unionPos []int32
 	if !interAll {
-		marks := make([]uint8, snap.Len())
+		marks := make([]uint8, sh.Len())
 		for di, d := range dims {
 			if d.all {
 				continue
@@ -164,16 +168,16 @@ func (s *Searcher) buildPlan(snap *catalog.Snapshot, q Query, expanded []expande
 	return plan{tiers: tiers}
 }
 
-// varCandidates unions the variable-name and hierarchy-parent indexes
-// over all term expansions; positions may repeat across terms (the
-// mark sweep dedups).
-func varCandidates(snap *catalog.Snapshot, expanded []expandedTerm) []int32 {
+// varCandidates unions the shard's variable-name and hierarchy-parent
+// indexes over all term expansions; positions may repeat across terms
+// (the mark sweep dedups).
+func varCandidates(sh *catalog.Shard, expanded []expandedTerm) []int32 {
 	var out []int32
 	for _, et := range expanded {
 		for _, exp := range et.expansions {
-			out = append(out, snap.WithVariable(exp.Name)...)
+			out = append(out, sh.WithVariable(exp.Name)...)
 		}
-		out = append(out, snap.WithParent(et.term.Name)...)
+		out = append(out, sh.WithParent(et.term.Name)...)
 	}
 	return out
 }

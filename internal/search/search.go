@@ -95,8 +95,11 @@ type Options struct {
 	// feature; both paths return identical rankings.
 	UseIndex bool
 	// Workers is the number of goroutines scoring candidates in
-	// parallel, each with a bounded top-K heap. 0 means GOMAXPROCS;
-	// small batches stay on the calling goroutine either way.
+	// parallel, each with a bounded top-K heap. Over a multi-shard
+	// snapshot the workers scatter across shards (one shard per worker
+	// at a time); over a single-shard snapshot they split candidate
+	// batches within the shard. 0 means GOMAXPROCS; small batches stay
+	// on the calling goroutine either way.
 	Workers int
 	// PruneScore is the per-dimension score ε below which the spatial
 	// and temporal indexes may prune a candidate. Exactness is kept by
@@ -183,13 +186,16 @@ func New(cat *catalog.Catalog, opts Options) *Searcher {
 
 // Search returns the top-K datasets by similarity to the query.
 //
-// Results are exact: the planner scores index candidates tier by tier
-// (intersection of the per-dimension candidate sets, then their union,
-// then everything) and stops only when the K-th score strictly exceeds
-// the provable ceiling on everything unscored — a dataset outside a
-// dimension's candidate set scores 0 on the variable dimension and
-// below PruneScore on the spatial and temporal ones. The linear-scan
-// ablation (UseIndex=false) returns byte-identical rankings.
+// Results are exact: within each snapshot shard the planner scores
+// index candidates tier by tier (intersection of the per-dimension
+// candidate sets, then their union, then everything in the shard) and
+// stops only when the K-th score strictly exceeds the provable ceiling
+// on everything unscored — a dataset outside a dimension's candidate
+// set scores 0 on the variable dimension and below PruneScore on the
+// spatial and temporal ones. Per-shard top-Ks are gathered through a
+// single merge heap, so the ranking is identical for every shard count,
+// and the linear-scan ablation (UseIndex=false) returns byte-identical
+// rankings too.
 func (s *Searcher) Search(q Query) ([]Result, error) {
 	return s.SearchContext(context.Background(), q)
 }
@@ -212,20 +218,7 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error)
 	expanded := s.expandTerms(q.Terms)
 	snap := s.cat.Snapshot()
 
-	var results []Result
-	if !s.opts.UseIndex {
-		all := make([]int32, snap.Len())
-		for i := range all {
-			all[i] = int32(i)
-		}
-		results = s.scorePositions(ctx, snap, all, q, expanded, k)
-		rank(results)
-		if len(results) > k {
-			results = results[:k]
-		}
-	} else {
-		results = s.executePlan(ctx, snap, s.buildPlan(snap, q, expanded), q, expanded, k)
-	}
+	results := s.searchSnapshot(ctx, snap, q, expanded, k)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -327,9 +327,19 @@ type StatsResponse struct {
 	Datasets   int             `json:"datasets"`
 	Generation uint64          `json:"generation"`
 	InFlight   int64           `json:"inFlight"`
+	Shards     ShardStats      `json:"shards"`
 	Endpoints  []EndpointStats `json:"endpoints"`
 	Cache      CacheStats      `json:"cache"`
 	Rewrangle  RewrangleStats  `json:"rewrangle"`
+}
+
+// ShardStats reports the published snapshot's partitioning: how many
+// shards the catalog is hashed across and how many features each holds
+// (sizes sum to Datasets). A skewed Sizes histogram means one shard
+// dominates publish patching and scatter-gather tail latency.
+type ShardStats struct {
+	Count int   `json:"count"`
+	Sizes []int `json:"sizes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -338,11 +348,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		cache.HitRate = float64(hits) / float64(hits+misses)
 	}
+	sizes := s.sys.SnapshotShardSizes()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSec:  time.Since(s.metrics.start).Seconds(),
 		Datasets:   s.sys.DatasetCount(),
 		Generation: s.sys.SnapshotGeneration(),
 		InFlight:   s.metrics.inFlight.Load(),
+		Shards:     ShardStats{Count: len(sizes), Sizes: sizes},
 		Endpoints:  s.metrics.snapshotEndpoints(),
 		Cache:      cache,
 		Rewrangle:  s.rew.stats(),

@@ -95,6 +95,16 @@ func TestEndpointsSmoke(t *testing.T) {
 	if stats.Datasets != len(m.Datasets) {
 		t.Errorf("stats datasets = %d, want %d", stats.Datasets, len(m.Datasets))
 	}
+	if stats.Shards.Count < 1 || len(stats.Shards.Sizes) != stats.Shards.Count {
+		t.Errorf("stats shards = %+v, want count ≥ 1 with matching sizes", stats.Shards)
+	}
+	sum := 0
+	for _, n := range stats.Shards.Sizes {
+		sum += n
+	}
+	if sum != stats.Datasets {
+		t.Errorf("shard sizes sum to %d, want %d", sum, stats.Datasets)
+	}
 
 	status, _, body = get(t, ts.URL+"/curator/queue")
 	if status != http.StatusOK || !bytes.Contains(body, []byte(`"queue"`)) {

@@ -74,6 +74,12 @@ type Config struct {
 	// ScanWorkers is the number of goroutines parsing archive files in
 	// parallel during Wrangle (0 = GOMAXPROCS).
 	ScanWorkers int
+	// SnapshotShards partitions the published snapshot by feature-ID
+	// hash (0 = GOMAXPROCS). Each shard carries its own indexes, a
+	// publish patches only the shards the delta hashes into, and a
+	// search scatters across shards before one merge heap gathers the
+	// per-shard top-Ks. Rankings are byte-identical for every value.
+	SnapshotShards int
 	// FullReprocess disables delta-scoped re-wrangling: every Wrangle
 	// walks the whole catalog (the pre-delta behavior). An escape hatch
 	// for operators who suspect drift, and the ablation the equivalence
@@ -100,7 +106,9 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
 	}
-	ctx := core.NewContext(k, scan.Config{Root: cfg.ArchiveRoot, Dirs: cfg.Dirs, Workers: cfg.ScanWorkers})
+	ctx := core.NewContextSharded(k,
+		scan.Config{Root: cfg.ArchiveRoot, Dirs: cfg.Dirs, Workers: cfg.ScanWorkers},
+		cfg.SnapshotShards)
 	ctx.ExpectedPaths = cfg.ExpectedDatasets
 	ctx.ForceFullReprocess = cfg.FullReprocess
 	s := &System{cfg: cfg, ctx: ctx}
@@ -357,6 +365,14 @@ func (s *System) DatasetSummary(path string) (string, error) {
 // therefore every cached response — intact.
 func (s *System) SnapshotGeneration() uint64 {
 	return s.ctx.Published.Snapshot().Generation()
+}
+
+// SnapshotShardSizes returns the per-shard feature counts of the
+// published snapshot, in shard order. The slice length is the shard
+// count (Config.SnapshotShards or its GOMAXPROCS default); the sizes
+// sum to DatasetCount. Serving layers expose it for balance monitoring.
+func (s *System) SnapshotShardSizes() []int {
+	return s.ctx.Published.Snapshot().ShardSizes()
 }
 
 // AddSynonym records a curated synonym mapping (curatorial activity 3:
