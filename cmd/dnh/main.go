@@ -7,7 +7,11 @@
 //	    -from 2010-05-01 -to 2010-08-01 -var "temperature:5:10" -k 5
 //
 // Variables take the form name[:min[:max]]. Pass -catalog to search a
-// previously saved snapshot without re-wrangling the archive.
+// previously saved snapshot without re-wrangling the archive, or -data
+// to search a dnhd data directory (checkpoint + publish journal): the
+// catalog is recovered by replay, and if -archive is also given the
+// CLI reconciles it against the archive with a delta-scoped wrangle
+// before searching — the warm-restart path, priced at churn.
 package main
 
 import (
@@ -52,6 +56,7 @@ func (v *varFlags) Set(s string) error {
 func main() {
 	archiveRoot := flag.String("archive", "", "archive root (wrangled before searching)")
 	catalogPath := flag.String("catalog", "", "published catalog snapshot (skips wrangling)")
+	dataDir := flag.String("data", "", "dnhd data directory (catalog recovered from checkpoint + journal)")
 	lat := flag.Float64("lat", 0, "query latitude")
 	lon := flag.Float64("lon", 0, "query longitude")
 	hasLoc := flag.Bool("near", false, "use -lat/-lon as the query location")
@@ -66,28 +71,39 @@ func main() {
 	flag.Var(&vars, "var", "variable term name[:min[:max]] (repeatable)")
 	flag.Parse()
 
-	if *archiveRoot == "" && *catalogPath == "" {
-		fmt.Fprintln(os.Stderr, "dnh: one of -archive or -catalog is required")
+	if *archiveRoot == "" && *catalogPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "dnh: one of -archive, -catalog, or -data is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	root := *archiveRoot
 	if root == "" {
-		// A throwaway root satisfies config validation; the snapshot
-		// supplies the catalog.
+		// A throwaway root satisfies config validation; the snapshot or
+		// data directory supplies the catalog.
 		root = os.TempDir()
 	}
-	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers, SnapshotShards: *shards})
+	sys, err := metamess.New(metamess.Config{
+		ArchiveRoot:    root,
+		SearchWorkers:  *workers,
+		SnapshotShards: *shards,
+		DataDir:        *dataDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnh:", err)
 		os.Exit(1)
 	}
-	if *catalogPath != "" {
+	defer sys.Close()
+	switch {
+	case *catalogPath != "":
 		if err := sys.LoadCatalog(*catalogPath); err != nil {
 			fmt.Fprintln(os.Stderr, "dnh:", err)
 			os.Exit(1)
 		}
-	} else {
+	case *archiveRoot == "":
+		// -data only: search the recovered catalog as-is.
+	default:
+		// Cold wrangle, or — with -data holding recovered state — a
+		// delta-scoped reconciliation against the archive.
 		if _, err := sys.Wrangle(); err != nil {
 			fmt.Fprintln(os.Stderr, "dnh:", err)
 			os.Exit(1)

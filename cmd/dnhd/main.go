@@ -5,7 +5,15 @@
 // Usage:
 //
 //	dnhd -archive /data/archive -addr :8080 -rewrangle 15m
+//	dnhd -archive /data/archive -data /var/dnh -addr :8080
 //	dnhd -catalog /var/dnh/catalog.json -addr :8080
+//
+// With -data the daemon is durable: every publish is journaled (fsync
+// policy per -fsync), a background compactor folds the journal into a
+// checkpoint, and a restart recovers the catalog and its generation
+// from the data directory — serving traffic immediately, then
+// reconciling against the archive with a delta-scoped wrangle that
+// costs O(churn while down) instead of a cold re-wrangle.
 //
 // Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
 // GET /curator/queue, GET /healthz, GET /stats.
@@ -39,44 +47,81 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores)")
 	shards := flag.Int("shards", 0, "snapshot shards for publish patching and scatter-gather search (0 = all cores)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	dataDir := flag.String("data", "", "data directory for the durable publish journal + checkpoint (enables warm restart)")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always, group, or none")
+	groupWindow := flag.Duration("fsync-window", 0, "group-commit fsync window under -fsync group (0 = 50ms)")
+	compactRatio := flag.Float64("compact-ratio", 0, "compact when journal exceeds ratio x checkpoint size (0 = 1.0)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dnhd: ", log.LstdFlags)
-	if *archiveRoot == "" && *catalogPath == "" {
-		fmt.Fprintln(os.Stderr, "dnhd: one of -archive or -catalog is required")
+	if *archiveRoot == "" && *catalogPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "dnhd: one of -archive, -catalog, or -data is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *catalogPath != "" && *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "dnhd: -catalog and -data are mutually exclusive (the data directory is the catalog)")
 		os.Exit(2)
 	}
 	root := *archiveRoot
 	if root == "" {
-		// A throwaway root satisfies config validation; the snapshot
-		// supplies the catalog.
+		// A throwaway root satisfies config validation; the snapshot or
+		// data directory supplies the catalog.
 		root = os.TempDir()
 	}
-	sys, err := metamess.New(metamess.Config{ArchiveRoot: root, SearchWorkers: *workers, SnapshotShards: *shards})
+	sys, err := metamess.New(metamess.Config{
+		ArchiveRoot:     root,
+		SearchWorkers:   *workers,
+		SnapshotShards:  *shards,
+		DataDir:         *dataDir,
+		SyncPolicy:      *fsync,
+		SyncGroupWindow: *groupWindow,
+		CompactRatio:    *compactRatio,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
+	defer sys.Close()
 	fromCatalog := *catalogPath != "" && *archiveRoot == ""
-	if fromCatalog && *rewrangle > 0 {
+	if *archiveRoot == "" && *rewrangle > 0 {
 		// There is no archive to wrangle — a scheduled run would scan the
 		// throwaway root and publish an empty catalog over the loaded one.
-		logger.Printf("-rewrangle ignored in -catalog mode (SIGHUP reloads the catalog instead)")
+		logger.Printf("-rewrangle ignored without -archive (SIGHUP reloads the catalog instead)")
 		*rewrangle = 0
 	}
-	if *catalogPath != "" {
+	switch {
+	case *catalogPath != "":
 		if err := sys.LoadCatalog(*catalogPath); err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("loaded catalog %s: %d datasets", *catalogPath, sys.DatasetCount())
-	} else {
+	case *archiveRoot == "":
+		// -data only: serve the recovered catalog as-is.
+		logger.Printf("recovered %s: %d datasets, generation %d",
+			*dataDir, sys.DatasetCount(), sys.SnapshotGeneration())
+	default:
+		if sys.Durable() && sys.DatasetCount() > 0 {
+			logger.Printf("recovered %s: %d datasets, generation %d; reconciling against %s",
+				*dataDir, sys.DatasetCount(), sys.SnapshotGeneration(), root)
+		}
+		// Cold start: a full wrangle. Warm restart: the recovered catalog
+		// seeds the scan, so this reconciliation run re-parses only the
+		// files that changed while the daemon was down.
 		start := time.Now()
 		rep, err := sys.Wrangle()
 		if err != nil {
 			logger.Fatal(err)
 		}
-		logger.Printf("wrangled %s: %d datasets, coverage %.3f, %v",
-			root, rep.Datasets, rep.CoverageAfter, time.Since(start))
+		mode := "wrangled"
+		if rep.Delta.Unchanged > 0 && !rep.Delta.FullReprocess {
+			mode = "reconciled"
+		}
+		logger.Printf("%s %s: %d datasets, coverage %.3f, delta +%d ~%d -%d, %v",
+			mode, root, rep.Datasets, rep.CoverageAfter,
+			rep.Delta.Added, rep.Delta.Changed, rep.Delta.Removed, time.Since(start))
+		if _, err := sys.CompactIfNeeded(); err != nil {
+			logger.Printf("compact: %v", err)
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -118,6 +163,11 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(ctx)
 		cancel()
+		// Shutdown has stopped the rewrangler, so no publish races this:
+		// flush and close the journal before the process exits.
+		if cerr := sys.Close(); cerr != nil {
+			logger.Printf("close journal: %v", cerr)
+		}
 		if err != nil {
 			logger.Printf("shutdown: %v", err)
 			os.Exit(1)

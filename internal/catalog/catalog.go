@@ -92,6 +92,26 @@ func (c *Catalog) Upsert(f *Feature) error {
 	return nil
 }
 
+// upsertOwned is Upsert for callers that hand over ownership of a
+// freshly built feature (checkpoint and journal recovery): the feature
+// is validated and indexed but not cloned, so a 2000-feature replay
+// does not pay a second copy of every feature it just decoded.
+func (c *Catalog) upsertOwned(f *Feature) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.features[f.ID]; ok {
+		c.unindexLocked(old)
+	}
+	c.features[f.ID] = f
+	c.indexLocked(f)
+	c.generation++
+	c.snap.Store(nil)
+	return nil
+}
+
 // Snapshot returns the catalog's current immutable snapshot, building
 // it (once) if a mutation invalidated the cached one. The fast path is
 // a single atomic load; concurrent callers after a mutation serialize
@@ -317,6 +337,17 @@ func (c *Catalog) SetScanStamp(id string, scannedAt time.Time) {
 	c.snap.Store(nil)
 }
 
+// restoreGeneration pins the catalog's mutation counter to a recovered
+// publish generation (store recovery), so generation-keyed caches and
+// logs stay continuous across a restart. Any cached snapshot is dropped
+// so the next Snapshot() carries the restored stamp.
+func (c *Catalog) restoreGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.generation = gen
+	c.snap.Store(nil)
+}
+
 // Clone returns a deep copy of the catalog (used by loading and tests).
 func (c *Catalog) Clone() *Catalog {
 	c.mu.RLock()
@@ -446,6 +477,21 @@ func (c *Catalog) ReplaceAll(other *Catalog) {
 	c.byParent = clone.byParent
 	c.generation++
 	c.snap.Store(newSnapshot(c.features, c.generation, c.shards))
+}
+
+// SeedFrom is ReplaceAll without the eager snapshot build — the
+// warm-restart seed for the *working* catalog, which the wrangling
+// chain reads through ForEach and mutates in place, so a snapshot
+// built here would be thrown away by the first transform step.
+func (c *Catalog) SeedFrom(other *Catalog) {
+	clone := other.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.features = clone.features
+	c.byName = clone.byName
+	c.byParent = clone.byParent
+	c.generation++
+	c.snap.Store(nil)
 }
 
 // ForEach calls fn for every feature in ID order under the read lock,

@@ -16,34 +16,75 @@ import (
 //
 //	<crc32-hex8> <json-payload>\n
 //
-// where the payload is {"op":"put","feature":{...}} or
-// {"op":"delete","id":"..."}. Replay applies records in order; a torn
-// final line (crash during append) is tolerated and ignored, while
-// corruption anywhere earlier fails loudly. Compact rewrites the log as
-// a snapshot of put records and atomically renames it into place.
+// where the payload is {"op":"put","feature":{...}},
+// {"op":"delete","id":"..."}, or — in journal and checkpoint files (see
+// journal.go and store.go) — {"op":"delta",...} / {"op":"meta",...}.
+// Replay applies records in order; a torn final line (crash during
+// append) is tolerated and ignored, while corruption anywhere earlier
+// fails loudly. Compact rewrites the log as a snapshot of put records
+// and atomically renames it into place.
 
-// logRecord is the payload of one log line.
+// logRecord is the payload of one log line. Put/delete records carry
+// Feature/ID; delta records (the publish journal) carry a generation
+// stamp plus the published delta and the knowledge-epoch sidecar; meta
+// records (checkpoint headers) carry the generation stamp and sidecar
+// alone.
 type logRecord struct {
 	Op      string   `json:"op"`
 	ID      string   `json:"id,omitempty"`
 	Feature *Feature `json:"feature,omitempty"`
+	// Gen stamps delta and meta records with the publish generation the
+	// record produced (delta) or covers (meta).
+	Gen uint64 `json:"gen,omitempty"`
+	// Changed and Removed are a delta record's payload: the features the
+	// publish upserted and the IDs it retracted.
+	Changed []*Feature `json:"changed,omitempty"`
+	Removed []string   `json:"removed,omitempty"`
+	// Sidecar is the opaque knowledge-epoch state (discovered rules,
+	// curator decisions, curated synonyms) serialized by the wrangling
+	// layer; the catalog stores and returns it without interpreting it.
+	Sidecar json.RawMessage `json:"sidecar,omitempty"`
 }
 
-// Log is an open append-only catalog log.
+// encodeRecord renders a record as one checksummed log line.
+func encodeRecord(rec logRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: encode log record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// Log is an open append-only catalog log. Put and Delete are durable on
+// return under the default SyncAlways policy: each append is flushed
+// and fsynced before the call returns, so a crash immediately after an
+// acknowledged Put cannot lose the record. Callers bulk-loading many
+// records can trade that for throughput with SetSyncPolicy.
 type Log struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	sync SyncPolicy
 }
 
-// OpenLog opens (creating if needed) the log at path for appending.
+// OpenLog opens (creating if needed) the log at path for appending,
+// with the SyncAlways durability policy.
 func OpenLog(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: open log: %w", err)
 	}
-	return &Log{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &Log{path: path, f: f, w: bufio.NewWriter(f), sync: SyncAlways}, nil
 }
+
+// SetSyncPolicy changes when appends are fsynced. SyncAlways (the
+// default) fsyncs every append; SyncNone leaves durability to Sync and
+// Close calls (bulk loads).
+func (l *Log) SetSyncPolicy(p SyncPolicy) { l.sync = p }
 
 // Put appends a put record for the feature.
 func (l *Log) Put(f *Feature) error {
@@ -62,13 +103,19 @@ func (l *Log) Delete(id string) error {
 }
 
 func (l *Log) append(rec logRecord) error {
-	payload, err := json.Marshal(rec)
+	line, err := encodeRecord(rec)
 	if err != nil {
-		return fmt.Errorf("catalog: encode log record: %w", err)
+		return err
 	}
-	crc := crc32.ChecksumIEEE(payload)
-	if _, err := fmt.Fprintf(l.w, "%08x %s\n", crc, payload); err != nil {
+	if _, err := l.w.Write(line); err != nil {
 		return fmt.Errorf("catalog: append log record: %w", err)
+	}
+	// The durability point: under SyncAlways the record has reached the
+	// disk before the append is acknowledged. Buffering until an eventual
+	// Sync would silently lose acknowledged records on a crash — that is
+	// now an explicit opt-in (SetSyncPolicy(SyncNone)) for bulk loads.
+	if l.sync == SyncAlways {
+		return l.Sync()
 	}
 	return nil
 }
@@ -182,13 +229,12 @@ func Compact(path string, c *Catalog) error {
 	w := bufio.NewWriter(tmp)
 	// Read-only export: iterate the shared snapshot, no per-feature copies.
 	for _, f := range c.Snapshot().All() {
-		payload, err := json.Marshal(logRecord{Op: "put", Feature: f})
+		line, err := encodeRecord(logRecord{Op: "put", Feature: f})
 		if err != nil {
 			tmp.Close()
 			return fmt.Errorf("catalog: compact encode: %w", err)
 		}
-		crc := crc32.ChecksumIEEE(payload)
-		if _, err := fmt.Fprintf(w, "%08x %s\n", crc, payload); err != nil {
+		if _, err := w.Write(line); err != nil {
 			tmp.Close()
 			return fmt.Errorf("catalog: compact write: %w", err)
 		}

@@ -681,6 +681,22 @@ func (Publish) Run(ctx *Context) (StepReport, error) {
 	if err != nil {
 		return StepReport{}, fmt.Errorf("publish: %w", err)
 	}
+	journaled := 0
+	if ctx.Journal != nil {
+		// Journal the applied delta with its generation stamp and the
+		// knowledge-epoch sidecar. The journal itself skips the append
+		// when neither moved (no-op re-wrangles stay quiet); an append
+		// failure fails the run before the completion bookkeeping below,
+		// so an acknowledged run is always on disk.
+		sidecar, err := ctx.EpochSidecar()
+		if err != nil {
+			return StepReport{}, fmt.Errorf("publish: %w", err)
+		}
+		if err := ctx.Journal.AppendPublish(ctx.Published.Generation(), changed, removed, sidecar); err != nil {
+			return StepReport{}, fmt.Errorf("publish: %w", err)
+		}
+		journaled = 1
+	}
 	// The run is complete: record the state the incremental machinery
 	// compares future runs against, and clear the carried-dirty set —
 	// everything dirty has now been transformed and published.
@@ -694,6 +710,9 @@ func (Publish) Run(ctx *Context) (StepReport, error) {
 		"retracted":         len(removed),
 		"unchanged":         ctx.Published.Len() - len(changed),
 	}}
+	if journaled == 1 {
+		step.Counters["journaled"] = 1
+	}
 	if !bumped {
 		step.Counters["generationStable"] = 1
 	}

@@ -113,6 +113,11 @@ type Context struct {
 	// escape hatch for operators who suspect drift, and the ablation the
 	// equivalence property test compares the delta path against.
 	ForceFullReprocess bool
+	// Journal, when set, receives every publish delta (with its
+	// generation stamp and the knowledge-epoch sidecar) after it is
+	// applied — the durable write-ahead path. Publish fails if the
+	// append does, so an acknowledged run is on disk.
+	Journal PublishJournal
 	// KnowledgeEpoch counts curated-knowledge changes. It moves when a
 	// component or the facade calls NoteKnowledgeChange, and when
 	// ScanArchive detects that the knowledge fingerprint drifted from
@@ -292,12 +297,34 @@ func NewProcess(name string, components ...Component) *Process {
 }
 
 // Run executes the chain in order, stopping at the first component
-// error. The report records the mess metric before and after every step.
+// error. The report records the mess metric before and after every
+// step. The metric is memoized on (catalog generation, knowledge
+// epoch): a step that mutated neither — validate, publish, an
+// incremental no-op — reuses the previous computation instead of
+// re-classifying every variable name in the catalog, which matters on
+// the delta-scoped reruns whose whole point is to not walk everything.
 func (p *Process) Run(ctx *Context) (*RunReport, error) {
 	start := time.Now()
+	var memo struct {
+		valid bool
+		gen   uint64
+		epoch uint64
+		rep   MessReport
+	}
+	mess := func() MessReport {
+		gen := ctx.Working.Generation()
+		if memo.valid && memo.gen == gen && memo.epoch == ctx.KnowledgeEpoch {
+			return memo.rep
+		}
+		memo.valid = true
+		memo.gen = gen
+		memo.epoch = ctx.KnowledgeEpoch
+		memo.rep = Mess(ctx.Working, ctx.Knowledge)
+		return memo.rep
+	}
 	report := &RunReport{
 		Process:    p.Name,
-		MessBefore: Mess(ctx.Working, ctx.Knowledge),
+		MessBefore: mess(),
 	}
 	for _, comp := range p.Components {
 		stepStart := time.Now()
@@ -307,11 +334,11 @@ func (p *Process) Run(ctx *Context) (*RunReport, error) {
 		}
 		step.Component = comp.Name()
 		step.Duration = time.Since(stepStart)
-		step.MessAfter = Mess(ctx.Working, ctx.Knowledge)
+		step.MessAfter = mess()
 		report.Steps = append(report.Steps, step)
 	}
 	report.Duration = time.Since(start)
-	report.MessAfter = Mess(ctx.Working, ctx.Knowledge)
+	report.MessAfter = mess()
 	p.History = append(p.History, report)
 	return report, nil
 }

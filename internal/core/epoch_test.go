@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"metamess/internal/refine"
+	"metamess/internal/scan"
+	"metamess/internal/semdiv"
+	"metamess/internal/vocab"
+)
+
+// TestEpochSidecarRoundTrip pins the warm-restart contract for the
+// curated state: everything a crash would otherwise lose — synonym
+// additions, discovered rules, pending curator decisions, the epoch
+// counter and hierarchy names-hash — serializes into the sidecar and
+// restores into a fresh context such that the knowledge fingerprint
+// (what ScanArchive compares) is bit-identical, so the first
+// post-restart run stays delta-scoped.
+func TestEpochSidecarRoundTrip(t *testing.T) {
+	mkCtx := func() *Context {
+		k, err := semdiv.NewKnowledge(vocab.Standard())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewContext(k, scan.Config{Root: t.TempDir()})
+	}
+
+	ctx := mkCtx()
+	// Curate: a synonym a crash must not forget.
+	if err := ctx.Knowledge.Synonyms.Add("water_temperature", "wassertemperatur"); err != nil {
+		t.Fatal(err)
+	}
+	// A discovered rule (ExportRules-style state).
+	ctx.DiscoveredRules = append(ctx.DiscoveredRules, &refine.MassEdit{
+		Desc:       "Discovered by fingerprint over the residual mess",
+		ColumnName: "field",
+		Expression: "value",
+		Edits:      []refine.Edit{{From: []string{"temp.", "tmp"}, To: "water_temperature"}},
+	})
+	// A pending curator decision submitted mid-run.
+	ctx.PendingDecisions = append(ctx.PendingDecisions,
+		semdiv.Decision{RawName: "cond", Action: semdiv.ClarifyTo, Target: "conductivity"})
+	ctx.KnowledgeEpoch = 7
+	ctx.lastNamesHash = 991
+
+	sidecar, err := ctx.EpochSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ctx.EpochSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sidecar, again) {
+		t.Fatal("EpochSidecar is not deterministic; the journal cannot dedup no-op publishes")
+	}
+
+	restored := mkCtx()
+	if err := restored.RestoreEpochSidecar(sidecar); err != nil {
+		t.Fatal(err)
+	}
+	if restored.KnowledgeEpoch != 7 || restored.lastNamesHash != 991 {
+		t.Fatalf("epoch/namesHash = %d/%d", restored.KnowledgeEpoch, restored.lastNamesHash)
+	}
+	if !restored.hasRun || restored.lastRunEpoch != 7 {
+		t.Fatal("restored context not marked as having completed a run")
+	}
+	if len(restored.PendingDecisions) != 1 || restored.PendingDecisions[0].Target != "conductivity" {
+		t.Fatalf("pending decisions = %+v", restored.PendingDecisions)
+	}
+	wantRules, err := refine.ExportJSON(ctx.DiscoveredRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRules, err := refine.ExportJSON(restored.DiscoveredRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantRules, gotRules) {
+		t.Fatalf("rules did not survive: %s != %s", gotRules, wantRules)
+	}
+	// The decisive check: the restored fingerprint equals both the
+	// original's live fingerprint and the bookkeeping the restore
+	// recorded — so ScanArchive sees no phantom knowledge change.
+	origFP := knowledgeFingerprint(ctx.Knowledge, ctx.Units, len(ctx.PendingDecisions))
+	restFP := knowledgeFingerprint(restored.Knowledge, restored.Units, len(restored.PendingDecisions))
+	if origFP != restFP {
+		t.Fatal("knowledge fingerprint drifted across the sidecar round trip (restart would full-reprocess)")
+	}
+	if restored.lastKnowledgeFP != restFP {
+		t.Fatal("restore recorded a stale fingerprint")
+	}
+
+	// Version gate: a sidecar from the future refuses cleanly.
+	if err := mkCtx().RestoreEpochSidecar([]byte(`{"version":99}`)); err == nil {
+		t.Fatal("unsupported sidecar version accepted")
+	}
+	if err := mkCtx().RestoreEpochSidecar([]byte(`{broken`)); err == nil {
+		t.Fatal("malformed sidecar accepted")
+	}
+}

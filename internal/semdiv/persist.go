@@ -26,9 +26,11 @@ type knowledgeFile struct {
 	Ambiguous map[string][]string `json:"ambiguous"`
 }
 
-// SaveKnowledge persists the mutable, curator-owned parts of the
-// knowledge base (the vocabulary itself is code, not curation).
-func SaveKnowledge(k *Knowledge, path string) error {
+// EncodeKnowledge renders the mutable, curator-owned parts of the
+// knowledge base (the vocabulary itself is code, not curation) as JSON
+// — the payload SaveKnowledge writes to disk and the publish journal's
+// knowledge-epoch sidecar embeds.
+func EncodeKnowledge(k *Knowledge) ([]byte, error) {
 	kf := knowledgeFile{
 		Version:           1,
 		Synonyms:          make(map[string][]string),
@@ -45,10 +47,62 @@ func SaveKnowledge(k *Knowledge, path string) error {
 	}
 	data, err := json.MarshalIndent(kf, "", "  ")
 	if err != nil {
-		return fmt.Errorf("semdiv: encode knowledge: %w", err)
+		return nil, fmt.Errorf("semdiv: encode knowledge: %w", err)
+	}
+	return data, nil
+}
+
+// SaveKnowledge persists the mutable, curator-owned parts of the
+// knowledge base (the vocabulary itself is code, not curation).
+func SaveKnowledge(k *Knowledge, path string) error {
+	data, err := EncodeKnowledge(k)
+	if err != nil {
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("semdiv: write knowledge: %w", err)
+	}
+	return nil
+}
+
+// MergeEncodedKnowledge merges curation previously produced by
+// EncodeKnowledge into k. Merging a full dump over a fresh
+// vocabulary-derived knowledge base reproduces the original state
+// exactly (the restore path after a crash), and a curator's partial
+// file only needs their additions.
+func MergeEncodedKnowledge(k *Knowledge, data []byte) error {
+	var kf knowledgeFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return fmt.Errorf("semdiv: decode knowledge: %w", err)
+	}
+	if kf.Version != 1 {
+		return fmt.Errorf("semdiv: unsupported knowledge version %d", kf.Version)
+	}
+	saved := synonym.NewTable()
+	prefs := make([]string, 0, len(kf.Synonyms))
+	for p := range kf.Synonyms {
+		prefs = append(prefs, p)
+	}
+	sort.Strings(prefs)
+	for _, p := range prefs {
+		if err := saved.Add(p, kf.Synonyms[p]...); err != nil {
+			return fmt.Errorf("semdiv: saved synonym %q: %w", p, err)
+		}
+	}
+	if err := k.Synonyms.Merge(saved); err != nil {
+		return fmt.Errorf("semdiv: merge saved synonyms: %w", err)
+	}
+	for ab, canon := range kf.Abbrevs {
+		k.Abbrevs[normKey(ab)] = canon
+	}
+	if len(kf.ExcessivePrefixes) > 0 {
+		k.ExcessivePrefixes = kf.ExcessivePrefixes
+	}
+	if len(kf.ExcessiveSuffixes) > 0 {
+		k.ExcessiveSuffixes = kf.ExcessiveSuffixes
+	}
+	for short, cands := range kf.Ambiguous {
+		k.Ambiguous[short] = cands
 	}
 	return nil
 }
@@ -62,42 +116,12 @@ func LoadKnowledge(path string, vars []vocab.Variable) (*Knowledge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("semdiv: read knowledge: %w", err)
 	}
-	var kf knowledgeFile
-	if err := json.Unmarshal(data, &kf); err != nil {
-		return nil, fmt.Errorf("semdiv: decode knowledge: %w", err)
-	}
-	if kf.Version != 1 {
-		return nil, fmt.Errorf("semdiv: unsupported knowledge version %d", kf.Version)
-	}
 	k, err := NewKnowledge(vars)
 	if err != nil {
 		return nil, err
 	}
-	saved := synonym.NewTable()
-	prefs := make([]string, 0, len(kf.Synonyms))
-	for p := range kf.Synonyms {
-		prefs = append(prefs, p)
-	}
-	sort.Strings(prefs)
-	for _, p := range prefs {
-		if err := saved.Add(p, kf.Synonyms[p]...); err != nil {
-			return nil, fmt.Errorf("semdiv: saved synonym %q: %w", p, err)
-		}
-	}
-	if err := k.Synonyms.Merge(saved); err != nil {
-		return nil, fmt.Errorf("semdiv: merge saved synonyms: %w", err)
-	}
-	for ab, canon := range kf.Abbrevs {
-		k.Abbrevs[normKey(ab)] = canon
-	}
-	if len(kf.ExcessivePrefixes) > 0 {
-		k.ExcessivePrefixes = kf.ExcessivePrefixes
-	}
-	if len(kf.ExcessiveSuffixes) > 0 {
-		k.ExcessiveSuffixes = kf.ExcessiveSuffixes
-	}
-	for short, cands := range kf.Ambiguous {
-		k.Ambiguous[short] = cands
+	if err := MergeEncodedKnowledge(k, data); err != nil {
+		return nil, err
 	}
 	return k, nil
 }

@@ -32,6 +32,8 @@ type rewrangler struct {
 	running      bool
 	lastDelta    metamess.DeltaSummary
 	noopRuns     int
+	compactions  int
+	compactErr   string
 }
 
 // DeltaStats is the last completed run's churn, plus how many runs in a
@@ -61,6 +63,11 @@ type RewrangleStats struct {
 	LastFinished string     `json:"lastFinished,omitempty"`
 	IntervalSec  float64    `json:"intervalSec,omitempty"`
 	LastDelta    DeltaStats `json:"lastDelta"`
+	// Compactions counts journal-into-checkpoint folds this scheduler
+	// triggered (durable systems only); LastCompactError is the most
+	// recent compactor failure, cleared by a clean pass.
+	Compactions      int    `json:"compactions,omitempty"`
+	LastCompactError string `json:"lastCompactError,omitempty"`
 }
 
 func newRewrangler(sys *metamess.System, interval time.Duration, logger *log.Logger) *rewrangler {
@@ -146,6 +153,32 @@ func (r *rewrangler) run() {
 			rep.Datasets, rep.CoverageAfter, r.sys.SnapshotGeneration(),
 			rep.Delta.Added, rep.Delta.Changed, rep.Delta.Removed, rep.Delta.Published, d)
 	}
+
+	// The background compactor rides the rewrangle loop: after every run
+	// (including failed ones — a failed journal append degrades the
+	// store, and compaction is what repairs it) fold the journal into a
+	// fresh checkpoint if it has outgrown the configured ratio. Searches
+	// read the immutable snapshot throughout; publishes are serialized
+	// with this loop anyway.
+	compacted, cerr := r.sys.CompactIfNeeded()
+	r.mu.Lock()
+	if cerr != nil {
+		r.compactErr = cerr.Error()
+	} else {
+		r.compactErr = ""
+		if compacted {
+			r.compactions++
+		}
+	}
+	r.mu.Unlock()
+	if cerr != nil {
+		r.logger.Printf("compact: %v", cerr)
+	} else if compacted {
+		if ds, ok := r.sys.Durability(); ok {
+			r.logger.Printf("compact: journal folded into checkpoint (generation %d, checkpoint %d bytes, %.1fms)",
+				ds.Generation, ds.CheckpointBytes, ds.LastCompactMs)
+		}
+	}
 }
 
 func (r *rewrangler) stats() RewrangleStats {
@@ -167,6 +200,8 @@ func (r *rewrangler) stats() RewrangleStats {
 			GenerationStable: r.lastDelta.GenerationStable,
 			NoopRuns:         r.noopRuns,
 		},
+		Compactions:      r.compactions,
+		LastCompactError: r.compactErr,
 	}
 	if r.lastDuration > 0 {
 		s.LastMs = float64(r.lastDuration) / float64(time.Millisecond)

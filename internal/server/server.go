@@ -128,7 +128,9 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 
 // Shutdown drains in-flight requests (bounded by ctx), refuses new
 // ones, and stops the rewrangle scheduler, waiting for a run in
-// progress. Safe only after Start.
+// progress — so by the time it returns no publish can still be racing
+// the journal, and the owner may safely Close the system (dnhd does).
+// Safe only after Start.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.rew.stopAndWait()
@@ -331,6 +333,9 @@ type StatsResponse struct {
 	Endpoints  []EndpointStats `json:"endpoints"`
 	Cache      CacheStats      `json:"cache"`
 	Rewrangle  RewrangleStats  `json:"rewrangle"`
+	// Durability reports the publish journal + checkpoint store; absent
+	// when the system runs without a data directory.
+	Durability *metamess.DurabilityStats `json:"durability,omitempty"`
 }
 
 // ShardStats reports the published snapshot's partitioning: how many
@@ -349,7 +354,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cache.HitRate = float64(hits) / float64(hits+misses)
 	}
 	sizes := s.sys.SnapshotShardSizes()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSec:  time.Since(s.metrics.start).Seconds(),
 		Datasets:   s.sys.DatasetCount(),
 		Generation: s.sys.SnapshotGeneration(),
@@ -358,7 +363,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:  s.metrics.snapshotEndpoints(),
 		Cache:      cache,
 		Rewrangle:  s.rew.stats(),
-	})
+	}
+	if ds, ok := s.sys.Durability(); ok {
+		resp.Durability = &ds
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- instrumentation -------------------------------------------------

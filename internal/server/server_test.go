@@ -655,3 +655,99 @@ func TestEndpointLabel(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsDurabilityAndRewranglerCompaction drives a durable system
+// through the server: /stats must carry the durability section with
+// the journaled generation, a non-durable server must omit it, and the
+// rewrangler's post-run compaction hook must fold the journal into a
+// checkpoint (the store was configured with a tiny compaction floor).
+func TestStatsDurabilityAndRewranglerCompaction(t *testing.T) {
+	root := t.TempDir()
+	if _, err := archive.Generate(root, archive.DefaultGenConfig(15, 33)); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := metamess.OpenDurable(metamess.Config{
+		ArchiveRoot:     root,
+		DataDir:         t.TempDir(),
+		CompactMinBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Wrangle(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Sys: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	status, _, body := get(t, base+"/stats")
+	if status != 200 {
+		t.Fatalf("stats: %d", status)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Durability == nil {
+		t.Fatal("durable server reported no durability section")
+	}
+	if stats.Durability.Generation != sys.SnapshotGeneration() {
+		t.Errorf("durable generation %d, want %d", stats.Durability.Generation, sys.SnapshotGeneration())
+	}
+	if stats.Durability.Appends == 0 {
+		t.Error("no journal appends after a publish")
+	}
+
+	// A rewrangle (no archive change) completes and its compaction hook
+	// fires: the initial wrangle's journal exceeds the floor, so the
+	// post-run check must fold it into a checkpoint.
+	srv.Rewrangle()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _, body := get(t, base+"/stats")
+		if err := json.Unmarshal(body, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rewrangle.Runs >= 1 && stats.Durability != nil && stats.Durability.Compactions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rewrangler never compacted: %+v %+v", stats.Rewrangle, stats.Durability)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.Rewrangle.Failures != 0 {
+		t.Errorf("rewrangle failures: %+v", stats.Rewrangle)
+	}
+	if stats.Durability.JournalBytes != 0 {
+		t.Errorf("journal not emptied by compaction: %d bytes", stats.Durability.JournalBytes)
+	}
+	if stats.Durability.CheckpointBytes == 0 {
+		t.Error("no checkpoint after compaction")
+	}
+
+	// Control: a non-durable system has no durability section.
+	plain, _, _ := newTestSystem(t, 10, 34)
+	_, ts := newTestServer(t, plain, 0)
+	_, _, body = get(t, ts.URL+"/stats")
+	var plainStats StatsResponse
+	if err := json.Unmarshal(body, &plainStats); err != nil {
+		t.Fatal(err)
+	}
+	if plainStats.Durability != nil {
+		t.Error("non-durable server reported a durability section")
+	}
+}

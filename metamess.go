@@ -85,6 +85,29 @@ type Config struct {
 	// for operators who suspect drift, and the ablation the equivalence
 	// property test runs against.
 	FullReprocess bool
+	// DataDir, when set, makes the system durable: every publish appends
+	// its delta (with a generation stamp and the knowledge-epoch
+	// sidecar) to a write-ahead journal in this directory, a compactor
+	// periodically folds the journal into a checkpoint, and New/
+	// OpenDurable recovers the published catalog plus the curated state
+	// by checkpoint-replay + journal-replay — so a restarted process
+	// serves the pre-crash generation and its next Wrangle costs
+	// O(churn while down), not O(archive). Empty disables durability.
+	DataDir string
+	// SyncPolicy is the journal fsync policy: "always" (default — a
+	// publish that returned survives a crash), "group" (group commit:
+	// fsync at most once per SyncGroupWindow), or "none" (OS
+	// discretion).
+	SyncPolicy string
+	// SyncGroupWindow bounds group-commit latency under "group"
+	// (0 = 50ms).
+	SyncGroupWindow time.Duration
+	// CompactRatio triggers compaction when the journal outgrows
+	// CompactRatio × the checkpoint size (0 = 1.0); CompactMinBytes is
+	// the journal size below which compaction never triggers (0 = 256
+	// KiB).
+	CompactRatio    float64
+	CompactMinBytes int64
 }
 
 // System is a wired-up metadata wrangling pipeline plus search engine.
@@ -94,6 +117,9 @@ type System struct {
 	process  *core.Process
 	taxonomy *hierarchy.Taxonomy
 	searcher *search.Searcher
+	// store is the durable journal+checkpoint home (nil without
+	// Config.DataDir).
+	store *catalog.Store
 }
 
 // New builds a system over an archive with the standard canonical
@@ -130,7 +156,137 @@ func New(cfg Config) (*System, error) {
 	opts.Expander = search.NewKnowledgeExpander(k)
 	opts.Workers = cfg.SearchWorkers
 	s.searcher = search.New(ctx.Published, opts)
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, fmt.Errorf("metamess: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// OpenDurable is New for long-lived deployments: it requires
+// Config.DataDir and recovers the published catalog, its generation,
+// and the knowledge-epoch state (discovered rules, curated synonyms,
+// pending curator decisions) from the data directory's checkpoint and
+// journal before wiring the publish path through the write-ahead
+// journal. On a warm restart the recovered catalog serves searches
+// immediately at the pre-crash generation, and the next Wrangle is a
+// delta-scoped reconciliation against the live archive — it re-parses
+// only what changed while the process was down.
+func OpenDurable(cfg Config) (*System, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("metamess: OpenDurable requires Config.DataDir")
+	}
+	return New(cfg)
+}
+
+// openDurable recovers state from cfg.DataDir into the freshly built
+// system and attaches the journal to the publish path.
+func (s *System) openDurable() error {
+	policy, err := catalog.ParseSyncPolicy(s.cfg.SyncPolicy)
+	if err != nil {
+		return err
+	}
+	store, err := catalog.OpenStore(s.cfg.DataDir, s.ctx.Published, catalog.StoreOptions{
+		Sync:            policy,
+		GroupWindow:     s.cfg.SyncGroupWindow,
+		CompactRatio:    s.cfg.CompactRatio,
+		MinCompactBytes: s.cfg.CompactMinBytes,
+	})
+	if err != nil {
+		return err
+	}
+	if s.ctx.Published.Len() > 0 || store.Generation() > 0 {
+		// Seed the working catalog with the recovered (wrangled) features
+		// so the reconciliation scan stat-skips everything that did not
+		// change while the process was down.
+		s.ctx.Working.SeedFrom(s.ctx.Published)
+		if sc := store.Sidecar(); sc != nil {
+			// Restoring the epoch marks the context as having completed a
+			// run, so the next Wrangle is delta-scoped. Without a sidecar
+			// (legacy checkpoint) the first run falls back to a full
+			// reprocess — slower, never wrong.
+			if err := s.ctx.RestoreEpochSidecar(sc); err != nil {
+				store.Close()
+				return err
+			}
+		}
+	}
+	s.ctx.Journal = store
+	s.store = store
+	return nil
+}
+
+// Durable reports whether the system journals publishes to a data
+// directory.
+func (s *System) Durable() bool { return s.store != nil }
+
+// Close drains the publish journal (flush + fsync) and closes it.
+// Idempotent; a no-op for non-durable systems. After Close, Wrangle
+// fails on its publish step.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// CompactIfNeeded folds the publish journal into a fresh checkpoint
+// when it has outgrown the configured ratio — the background compactor
+// entry point the dnhd rewrangler calls after runs. It reports whether
+// a compaction ran; a no-op for non-durable systems.
+func (s *System) CompactIfNeeded() (bool, error) {
+	if s.store == nil {
+		return false, nil
+	}
+	return s.store.CompactIfNeeded(s.ctx.Published)
+}
+
+// DurabilityStats is a monitoring view of the journal+checkpoint store.
+type DurabilityStats struct {
+	// Generation is the last durable publish generation.
+	Generation uint64 `json:"generation"`
+	// JournalBytes and CheckpointBytes size the on-disk state; their
+	// ratio drives compaction.
+	JournalBytes    int64 `json:"journalBytes"`
+	CheckpointBytes int64 `json:"checkpointBytes"`
+	// Appends counts journaled publishes; SkippedAppends counts publish
+	// calls that changed nothing and appended nothing; RefusedAppends
+	// counts publishes refused while the store was degraded (real,
+	// undurable publishes — not harmless no-ops); Syncs counts fsyncs
+	// (group commit batches many appends per sync).
+	Appends        uint64 `json:"appends"`
+	SkippedAppends uint64 `json:"skippedAppends,omitempty"`
+	RefusedAppends uint64 `json:"refusedAppends,omitempty"`
+	Syncs          uint64 `json:"syncs"`
+	// Compactions counts journal-into-checkpoint folds.
+	Compactions   uint64  `json:"compactions"`
+	LastCompactMs float64 `json:"lastCompactMs,omitempty"`
+	// Degraded is set when a journal append failed: the live catalog is
+	// ahead of the journal and publishes are refused until a compaction
+	// rewrites the full state.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Durability returns journal/checkpoint statistics; ok is false for
+// non-durable systems.
+func (s *System) Durability() (stats DurabilityStats, ok bool) {
+	if s.store == nil {
+		return DurabilityStats{}, false
+	}
+	st := s.store.Stats()
+	return DurabilityStats{
+		Generation:      st.Generation,
+		JournalBytes:    st.JournalBytes,
+		CheckpointBytes: st.CheckpointBytes,
+		Appends:         st.Appends,
+		SkippedAppends:  st.SkippedAppends,
+		RefusedAppends:  st.RefusedAppends,
+		Syncs:           st.Syncs,
+		Compactions:     st.Compactions,
+		LastCompactMs:   st.LastCompactMs,
+		Degraded:        st.Degraded,
+	}, true
 }
 
 // StepSummary reports one chain component of a Wrangle run.
