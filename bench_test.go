@@ -254,32 +254,22 @@ func BenchmarkWrangleWarm(b *testing.B) {
 	speedup := float64(coldNs) / float64(warmNs)
 	b.ReportMetric(speedup, "cold/warm")
 
-	report := map[string]any{
+	env := benchEnvironment()
+	env["iters"] = b.N
+	mergeBenchJSONAt(b, "BENCH_wrangle.json", nil, map[string]any{
 		"benchmark": "BenchmarkWrangleWarm",
 		"description": fmt.Sprintf(
 			"Write-path comparison on a %d-dataset generated archive: 'cold' is the first Wrangle (parse everything, full transform chain, snapshot build); 'warm' is a steady-state re-wrangle after ~1%% of the archive (%d OBS files) changed — the parallel scanner stat-skips the rest, delta-aware components process only the dirty features, and Publish patches the served snapshot incrementally. An empty-delta re-wrangle must leave SnapshotGeneration() unchanged (generation-keyed caches survive no-op re-wrangles).",
 			datasets, churnFiles),
-		"generatedAt": time.Now().UTC().Format(time.RFC3339),
-		"environment": map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cpus":   runtime.NumCPU(),
-			"iters":  b.N,
-		},
+		"generatedAt":                benchStamp(),
+		"environment":                env,
 		"datasets":                   datasets,
 		"churnFilesPerIteration":     churnFiles,
 		"coldNsPerOp":                coldNs,
 		"warmNsPerOp":                warmNs,
 		"speedup":                    speedup,
 		"emptyDeltaGenerationStable": generationStable,
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_wrangle.json", append(data, '\n'), 0o644); err != nil {
-		b.Logf("could not write BENCH_wrangle.json: %v", err)
-	}
+	})
 }
 
 // BenchmarkWarmRestart measures what the durable store exists for: the
@@ -400,18 +390,15 @@ func BenchmarkWarmRestart(b *testing.B) {
 	speedup := float64(coldNs) / float64(warmNs)
 	b.ReportMetric(speedup, "cold/warm")
 
-	mergeBenchJSON(b, "BENCH_wrangle.json", "warmRestart", map[string]any{
+	wrEnv := benchEnvironment()
+	wrEnv["iters"] = b.N
+	mergeBenchJSONAt(b, "BENCH_wrangle.json", []string{"warmRestart"}, map[string]any{
 		"benchmark": "BenchmarkWarmRestart",
 		"description": fmt.Sprintf(
 			"Restart cost on a %d-dataset archive with ~1%%%% churn (%d OBS files) per restart: 'cold' is a fresh process wrangling the whole archive from scratch (the only restart path before the durable store); 'warm' is OpenDurable — checkpoint-replay + journal-replay restoring the published catalog, its generation, and the knowledge-epoch sidecar — followed by the delta-scoped reconciliation wrangle against the live archive. The acceptance gate requires warm ≥ 3x faster than cold.",
 			datasets, churnFiles),
-		"generatedAt": time.Now().UTC().Format(time.RFC3339),
-		"environment": map[string]any{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"cpus":   runtime.NumCPU(),
-			"iters":  b.N,
-		},
+		"generatedAt":          benchStamp(),
+		"environment":          wrEnv,
 		"datasets":             datasets,
 		"churnFilesPerRestart": churnFiles,
 		"coldRestartNsPerOp":   coldNs,
@@ -472,10 +459,64 @@ func benchFeature(i, version int) *catalog.Feature {
 	}
 }
 
+// searchAllocBudget is the steady-state allocation ceiling for the
+// indexed single-worker query path, enforced here and grepped by CI:
+// the interned term dictionary + compressed postings + pooled query
+// scratch must hold at least a 5x cut from the pre-interning baseline
+// (818 allocs / 230192 B per op on the same 5000-feature exhibit).
+const (
+	searchAllocBudget    = 160
+	searchBytesBudget    = 46038
+	searchBaselineAllocs = 818
+	searchBaselineBytes  = 230192
+	// multiWorkerTolerance bounds how much slower a multi-worker run may
+	// be than the 1-worker path before the exhibit flags it. The clamp
+	// (min of the request, work/parallelMinWork, and machine parallelism)
+	// means extra configured workers must never cost more than noise —
+	// on a 1-core host all worker counts degrade to the identical serial
+	// path, so this margin is pure timing jitter.
+	multiWorkerTolerance = 1.25
+	// multiShardTolerance bounds the multi-shard scatter paths the same
+	// way, but looser: an N-shard snapshot pays a structural per-shard
+	// constant (N plans, N spatial/temporal candidate collections, the
+	// gather heap) that a single-core recorder cannot amortize across
+	// cores, so the bound only asserts the overhead stays modest, not
+	// that sharding is free without parallel hardware.
+	multiShardTolerance = 1.6
+	// fanOutMinIters is the minimum per-variant iteration count before
+	// the timing-based flags (multiWorkerNoSlower, speedups) are emitted:
+	// a single-iteration smoke run (-benchtime 1x) is too noisy to judge
+	// a 20% margin, so it records the raw entries and leaves the verdict
+	// to a properly sized run. The allocation flags are exact at any N.
+	fanOutMinIters = 10
+)
+
+// searchMeasure is one sub-benchmark's steady-state cost. Allocations
+// are counted via MemStats deltas around the timed loop (after pool
+// warm-up) because testing keeps its own counters private.
+type searchMeasure struct {
+	nsPerOp     int64
+	allocsPerOp uint64
+	bytesPerOp  uint64
+	iters       int
+}
+
+func (m searchMeasure) entry(name string) map[string]any {
+	return map[string]any{
+		"name":          name,
+		"ns_per_op":     m.nsPerOp,
+		"allocs_per_op": m.allocsPerOp,
+		"bytes_per_op":  m.bytesPerOp,
+		"iters":         m.iters,
+	}
+}
+
 // BenchmarkSnapshotSearch measures the snapshot read path: the indexed
 // planner vs. the linear-scan ablation at 1/4/8 workers, plus the
 // seed's copy-per-search behavior (deep-copying the catalog before
-// every scan) for reference. Results are recorded in BENCH_search.json.
+// every scan) for reference. Results are recorded in BENCH_search.json
+// keyed by GOMAXPROCS (drive the matrix with -cpu 1,2,4,8), along with
+// the allocation-budget and fan-out acceptance flags CI greps.
 func BenchmarkSnapshotSearch(b *testing.B) {
 	const n = 5000
 	c := snapshotBenchCatalog(b, n, 1)
@@ -489,52 +530,190 @@ func BenchmarkSnapshotSearch(b *testing.B) {
 		Time:     &tr,
 		Terms:    []search.Term{{Name: "salinity", Range: &vr}},
 	}
-	run := func(name string, opts search.Options) {
+	// The -cpu sweep happens per sub-benchmark: each b.Run leaf executes
+	// once per -cpu value (plus calibration passes), while this parent
+	// body and its post-processing run exactly once. So measurements are
+	// captured inside the leaf, keyed by the GOMAXPROCS in effect for
+	// that pass; a later pass at the same procs count (the measured run
+	// after calibration) overwrites the earlier one.
+	measured := map[int]map[string]searchMeasure{} // procs -> variant -> cost
+	order := map[int][]string{}                    // procs -> variants in run order
+	run := func(name string, opts search.Options, perIter func()) {
 		b.Run(name, func(b *testing.B) {
 			s := search.New(c, opts)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			// Warm the scratch pool and lazy snapshot state so the timed
+			// region measures steady state, not first-query buildup.
+			for i := 0; i < 3; i++ {
 				if _, err := s.Search(q); err != nil {
 					b.Fatal(err)
 				}
+			}
+			var before, after runtime.MemStats
+			b.ReportAllocs()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if perIter != nil {
+					perIter()
+				}
+				if _, err := s.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			procs := runtime.GOMAXPROCS(0)
+			if measured[procs] == nil {
+				measured[procs] = map[string]searchMeasure{}
+			}
+			if _, seen := measured[procs][name]; !seen {
+				order[procs] = append(order[procs], name)
+			}
+			measured[procs][name] = searchMeasure{
+				nsPerOp:     b.Elapsed().Nanoseconds() / int64(b.N),
+				allocsPerOp: (after.Mallocs - before.Mallocs) / uint64(b.N),
+				bytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(b.N),
+				iters:       b.N,
 			}
 		})
 	}
 	for _, w := range []int{1, 4, 8} {
 		opts := search.DefaultOptions()
 		opts.Workers = w
-		run(fmt.Sprintf("indexed-%dw", w), opts)
+		run(fmt.Sprintf("indexed-%dw", w), opts, nil)
 	}
 	for _, w := range []int{1, 4, 8} {
 		opts := search.DefaultOptions()
 		opts.UseIndex = false
 		opts.Workers = w
-		run(fmt.Sprintf("linear-%dw", w), opts)
+		run(fmt.Sprintf("linear-%dw", w), opts, nil)
 	}
-	b.Run("seed-copy-per-search", func(b *testing.B) {
-		opts := search.DefaultOptions()
-		opts.UseIndex = false
-		opts.Workers = 1
-		s := search.New(c, opts)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			// The seed cloned every feature on each search (All());
-			// reproduce that cost on top of the scan.
-			_ = c.All()
-			if _, err := s.Search(q); err != nil {
-				b.Fatal(err)
+	seedOpts := search.DefaultOptions()
+	seedOpts.UseIndex = false
+	seedOpts.Workers = 1
+	// The seed cloned every feature on each search (All()); reproduce
+	// that cost on top of the scan.
+	run("seed-copy-per-search", seedOpts, func() { _ = c.All() })
+
+	if len(measured) == 0 {
+		return // a -bench filter skipped every sub-benchmark
+	}
+	// One group per swept GOMAXPROCS value; the summary aggregates across
+	// the sweep (flags are the AND of every group's verdict, ratios come
+	// from the canonical serial measurement: the lowest qualifying procs).
+	groups := map[string]any{}
+	summary := map[string]any{"procsSwept": sortedProcs(measured)}
+	allocsOK, haveAllocs := true, false
+	noSlowerAll, haveTiming := true, false
+	for _, procs := range sortedProcs(measured) {
+		byName := measured[procs]
+		entries := make([]map[string]any, 0, len(order[procs]))
+		for _, name := range order[procs] {
+			entries = append(entries, byName[name].entry(name))
+		}
+		group := map[string]any{"procs": procs, "entries": entries}
+		if m1, ok := byName["indexed-1w"]; ok {
+			within := m1.allocsPerOp <= searchAllocBudget && m1.bytesPerOp <= searchBytesBudget
+			group["allocsWithinBudget"] = within
+			allocsOK = allocsOK && within
+			haveAllocs = true
+			if !within {
+				b.Errorf("procs=%d indexed-1w steady state: %d allocs / %d B per op, budget %d / %d",
+					procs, m1.allocsPerOp, m1.bytesPerOp, searchAllocBudget, searchBytesBudget)
+			}
+			if m1.iters >= fanOutMinIters {
+				noSlower := true
+				for _, name := range []string{"indexed-4w", "indexed-8w"} {
+					if m, ok := byName[name]; ok && float64(m.nsPerOp) > multiWorkerTolerance*float64(m1.nsPerOp) {
+						noSlower = false
+						b.Errorf("procs=%d %s is %.2fx the 1-worker latency, tolerance %.2fx",
+							procs, name, float64(m.nsPerOp)/float64(m1.nsPerOp), multiWorkerTolerance)
+					}
+				}
+				group["multiWorkerNoSlower"] = noSlower
+				noSlowerAll = noSlowerAll && noSlower
+				if !haveTiming {
+					haveTiming = true
+					summary["allocCutVsBaseline"] = round2(searchBaselineAllocs / float64(max(m1.allocsPerOp, 1)))
+					summary["bytesCutVsBaseline"] = round2(searchBaselineBytes / float64(max(m1.bytesPerOp, 1)))
+					if lin, ok := byName["linear-1w"]; ok {
+						summary["indexed_vs_linear_speedup"] = round2(float64(lin.nsPerOp) / float64(m1.nsPerOp))
+					}
+					if seed, ok := byName["seed-copy-per-search"]; ok {
+						summary["indexed_vs_seed_speedup"] = round2(float64(seed.nsPerOp) / float64(m1.nsPerOp))
+					}
+				}
 			}
 		}
+		groups[procsKey(procs)] = group
+	}
+	if haveAllocs {
+		summary["allocsWithinBudget"] = allocsOK
+	}
+	if haveTiming {
+		summary["multiWorkerNoSlower"] = noSlowerAll
+	}
+	// "results" is replaced wholesale (not merged) so one invocation
+	// defines the whole matrix and stale procs groups never linger.
+	mergeBenchJSONAt(b, "BENCH_search.json", nil, map[string]any{
+		"benchmark": "BenchmarkSnapshotSearch",
+		"description": fmt.Sprintf(
+			"Read-path comparison on a %d-feature synthetic catalog; query = location + time period + range-constrained variable term, K=10. 'indexed' is the snapshot planner — query terms resolve once through the per-shard interned term dictionary to compressed posting containers (sorted-array sparse / packed-bitmap dense), and all per-query scratch (candidate buffers, mark bitmaps, top-K heaps) comes from a sync.Pool, so steady state allocates only the response. 'linear' is the UseIndex=false full-scan ablation over the same snapshot; 'seed-copy-per-search' reproduces the seed's behavior of deep-copying every feature per query. All paths return byte-identical rankings (TestSnapshotParallelMatchesLinearScan). results holds one procs-N group per GOMAXPROCS value; run with -cpu 1,2,4,8 for the core-count matrix.", n),
+		"generatedAt": benchStamp(),
+		"environment": benchEnvironment(),
+		"allocBudget": map[string]any{
+			"allocsPerOp":         searchAllocBudget,
+			"bytesPerOp":          searchBytesBudget,
+			"baselineAllocsPerOp": searchBaselineAllocs,
+			"baselineBytesPerOp":  searchBaselineBytes,
+		},
+		"multiWorkerTolerance": multiWorkerTolerance,
+		"summary":              summary,
+		"results":              groups,
 	})
 }
 
-// mergeBenchJSON read-modify-writes one top-level key into a bench
-// exhibit file, preserving whatever earlier benchmarks recorded there
-// (BenchmarkWrangleWarm owns the rest of BENCH_wrangle.json, the PR 1
-// snapshot-search results the rest of BENCH_search.json).
-func mergeBenchJSON(b *testing.B, path, key string, value any) {
+// sortedProcs returns the GOMAXPROCS values a sweep captured, ascending.
+func sortedProcs[V any](m map[int]V) []int {
+	procs := make([]int, 0, len(m))
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// round2 trims an exhibit ratio to two decimals.
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+// benchStamp is the uniform generatedAt timestamp every exhibit writer
+// uses, so each file (and each nested section) carries the same format.
+func benchStamp() string { return time.Now().UTC().Format(time.RFC3339) }
+
+// benchEnvironment describes the recording machine once, uniformly.
+func benchEnvironment() map[string]any {
+	return map[string]any{
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"cpus":       runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+}
+
+// procsKey labels a GOMAXPROCS sweep entry ("procs-4"). Passing
+// -cpu 1,2,4,8 to go test re-runs every sub-benchmark once per value;
+// measurements captured inside the leaves land under one key per value,
+// so one invocation records the whole core-count matrix.
+func procsKey(procs int) string { return fmt.Sprintf("procs-%d", procs) }
+
+// mergeBenchJSONAt read-modify-writes a bench exhibit file: the keys of
+// fields are merged into the JSON object at the nested key path `at`
+// (nil = top level), creating intermediate objects as needed and
+// preserving unrelated siblings. This is how benchmarks share one file
+// (BenchmarkWrangleWarm, BenchmarkWarmRestart, and BenchmarkShardedPublish
+// all land in BENCH_wrangle.json) and how per-GOMAXPROCS sweep passes
+// accumulate side by side instead of overwriting each other.
+func mergeBenchJSONAt(b *testing.B, path string, at []string, fields map[string]any) {
 	b.Helper()
 	doc := map[string]any{}
 	if data, err := os.ReadFile(path); err == nil {
@@ -543,7 +722,18 @@ func mergeBenchJSON(b *testing.B, path, key string, value any) {
 			doc = map[string]any{}
 		}
 	}
-	doc[key] = value
+	node := doc
+	for _, k := range at {
+		child, ok := node[k].(map[string]any)
+		if !ok {
+			child = map[string]any{}
+			node[k] = child
+		}
+		node = child
+	}
+	for k, v := range fields {
+		node[k] = v
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -579,10 +769,9 @@ func BenchmarkShardedSearch(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	entryBy := map[int]map[string]any{} // keyed by shard count: reruns overwrite their calibration pass
-	var order []int
-	for _, sc := range []int{1, 4, 8} {
-		order = append(order, sc)
+	shardCounts := []int{1, 4, 8}
+	entryBy := map[int]map[int]map[string]any{} // procs -> shard count -> entry
+	for _, sc := range shardCounts {
 		c := snapshotBenchCatalog(b, n, sc)
 		opts := search.DefaultOptions()
 		opts.Workers = sc
@@ -599,6 +788,7 @@ func BenchmarkShardedSearch(b *testing.B) {
 				b.Fatalf("shards=%d rank %d diverges from 1-shard baseline", sc, i)
 			}
 		}
+		sc := sc
 		b.Run(fmt.Sprintf("shards-%d", sc), func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -608,28 +798,53 @@ func BenchmarkShardedSearch(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			entryBy[sc] = map[string]any{
+			procs := runtime.GOMAXPROCS(0) // per -cpu pass; calibration overwritten
+			if entryBy[procs] == nil {
+				entryBy[procs] = map[int]map[string]any{}
+			}
+			entryBy[procs][sc] = map[string]any{
 				"shards":  sc,
 				"workers": sc,
 				"nsPerOp": b.Elapsed().Nanoseconds() / int64(b.N),
+				"iters":   b.N,
 			}
 		})
 	}
-	var entries []map[string]any
-	for _, sc := range order {
-		if entryBy[sc] != nil { // a -bench filter may skip sub-benchmarks
-			entries = append(entries, entryBy[sc])
-		}
+	if len(entryBy) == 0 {
+		return // a -bench filter skipped every sub-benchmark
 	}
-	mergeBenchJSON(b, "BENCH_search.json", "sharded", map[string]any{
+	groups := map[string]any{}
+	for _, procs := range sortedProcs(entryBy) {
+		bySc := entryBy[procs]
+		var entries []map[string]any
+		for _, sc := range shardCounts {
+			if bySc[sc] != nil {
+				entries = append(entries, bySc[sc])
+			}
+		}
+		group := map[string]any{"procs": procs, "entries": entries}
+		if e1 := bySc[1]; e1 != nil && e1["iters"].(int) >= fanOutMinIters {
+			ns1 := e1["nsPerOp"].(int64)
+			noSlower := true
+			for _, sc := range shardCounts {
+				if e := bySc[sc]; e != nil && float64(e["nsPerOp"].(int64)) > multiShardTolerance*float64(ns1) {
+					noSlower = false
+					b.Errorf("procs=%d shards-%d is %.2fx the 1-shard latency, tolerance %.2fx",
+						procs, sc, float64(e["nsPerOp"].(int64))/float64(ns1), multiShardTolerance)
+				}
+			}
+			group["multiShardNoSlower"] = noSlower
+		}
+		groups[procsKey(procs)] = group
+	}
+	mergeBenchJSONAt(b, "BENCH_search.json", []string{"sharded"}, map[string]any{
 		"benchmark": "BenchmarkShardedSearch",
 		"description": fmt.Sprintf(
-			"Scatter-gather search over a %d-feature catalog partitioned into N snapshot shards (one worker per shard, each running the full candidate-tier planner over its shard before a single merge heap gathers per-shard top-Ks). Rankings are byte-identical across shard counts — asserted here against the 1-shard baseline and fuzzed by TestShardedSearchMatchesSingleShard. On a single-CPU host the multi-shard numbers measure scatter overhead, not scaling.", n),
-		"generatedAt": time.Now().UTC().Format(time.RFC3339),
-		"environment": map[string]any{
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH, "cpus": runtime.NumCPU(),
-		},
-		"results": entries,
+			"Scatter-gather search over a %d-feature catalog partitioned into N snapshot shards (one worker per shard, each running the full candidate-tier planner over its shard before a single merge heap gathers per-shard top-Ks). Rankings are byte-identical across shard counts — asserted here against the 1-shard baseline and fuzzed by TestShardedSearchMatchesSingleShard. results holds one procs-N group per GOMAXPROCS value (-cpu 1,2,4,8 for the matrix); on a single-CPU host the multi-shard numbers measure scatter overhead, not scaling, and multiShardNoSlower checks the adaptive fan-out clamp keeps that overhead bounded.", n),
+		"generatedAt":         benchStamp(),
+		"environment":         benchEnvironment(),
+		"multiShardTolerance": multiShardTolerance,
+		"results":             groups,
 	})
 }
 
@@ -646,10 +861,10 @@ func BenchmarkShardedPublish(b *testing.B) {
 		n     = 2000
 		churn = 20 // ~1%
 	)
-	entryBy := map[int]map[string]any{}
-	var order []int
-	for _, sc := range []int{1, 8, 32} {
-		order = append(order, sc)
+	shardCounts := []int{1, 8, 32}
+	entryBy := map[int]map[int]map[string]any{} // procs -> shard count -> entry
+	for _, sc := range shardCounts {
+		sc := sc
 		c := snapshotBenchCatalog(b, n, sc)
 		b.Run(fmt.Sprintf("shards-%d", sc), func(b *testing.B) {
 			prev := c.Snapshot()
@@ -690,29 +905,39 @@ func BenchmarkShardedPublish(b *testing.B) {
 			}
 			dirtyPerOp := float64(patched) / float64(b.N)
 			b.ReportMetric(dirtyPerOp, "dirtyShards/op")
-			entryBy[sc] = map[string]any{
+			procs := runtime.GOMAXPROCS(0) // per -cpu pass; calibration overwritten
+			if entryBy[procs] == nil {
+				entryBy[procs] = map[int]map[string]any{}
+			}
+			entryBy[procs][sc] = map[string]any{
 				"shards":           sc,
 				"churnFeatures":    churn,
 				"nsPerOp":          b.Elapsed().Nanoseconds() / int64(b.N),
+				"iters":            b.N,
 				"dirtyShardsPerOp": dirtyPerOp,
 				"cleanShardsPerOp": float64(shared) / float64(b.N),
 			}
 		})
 	}
-	var entries []map[string]any
-	for _, sc := range order {
-		if entryBy[sc] != nil { // a -bench filter may skip sub-benchmarks
-			entries = append(entries, entryBy[sc])
-		}
+	if len(entryBy) == 0 {
+		return // a -bench filter skipped every sub-benchmark
 	}
-	mergeBenchJSON(b, "BENCH_wrangle.json", "shardedPublish", map[string]any{
+	groups := map[string]any{}
+	for _, procs := range sortedProcs(entryBy) {
+		var entries []map[string]any
+		for _, sc := range shardCounts {
+			if entryBy[procs][sc] != nil {
+				entries = append(entries, entryBy[procs][sc])
+			}
+		}
+		groups[procsKey(procs)] = map[string]any{"procs": procs, "entries": entries}
+	}
+	mergeBenchJSONAt(b, "BENCH_wrangle.json", []string{"shardedPublish"}, map[string]any{
 		"benchmark": "BenchmarkShardedPublish",
 		"description": fmt.Sprintf(
-			"Incremental publish of a ~1%%%% churn delta (%d of %d features) into an N-shard snapshot via ApplyDelta. The delta routes to shards by feature-ID hash; clean shards are shared with the predecessor snapshot by pointer (counted per iteration, asserted non-zero whenever shards > churn), so patch cost tracks the dirty shards' index size, not the catalog's.", churn, n),
-		"generatedAt": time.Now().UTC().Format(time.RFC3339),
-		"environment": map[string]any{
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH, "cpus": runtime.NumCPU(),
-		},
-		"results": entries,
+			"Incremental publish of a ~1%%%% churn delta (%d of %d features) into an N-shard snapshot via ApplyDelta. The delta routes to shards by feature-ID hash; clean shards are shared with the predecessor snapshot by pointer (counted per iteration, asserted non-zero whenever shards > churn), and within a patched shard the interned posting containers of untouched terms are shared the same way, so patch cost tracks the dirty features' index footprint, not the catalog's. results holds one procs-N group per GOMAXPROCS value (-cpu 1,2,4,8 for the matrix).", churn, n),
+		"generatedAt": benchStamp(),
+		"environment": benchEnvironment(),
+		"results":     groups,
 	})
 }

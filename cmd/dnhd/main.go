@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // profiling handlers, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +53,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, group, or none")
 	groupWindow := flag.Duration("fsync-window", 0, "group-commit fsync window under -fsync group (0 = 50ms)")
 	compactRatio := flag.Float64("compact-ratio", 0, "compact when journal exceeds ratio x checkpoint size (0 = 1.0)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dnhd: ", log.LstdFlags)
@@ -138,6 +141,18 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("serving on %s (generation %d)", bound, sys.SnapshotGeneration())
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serving that mux on a separate listener keeps profiling off the
+		// public API address (bind it to localhost).
+		go func() {
+			logger.Printf("pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)

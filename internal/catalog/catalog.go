@@ -413,6 +413,11 @@ func (c *Catalog) ApplyDelta(changed []*Feature, removed []string) (bool, error)
 			return false, err
 		}
 	}
+	// The incremental snapshot patch splices ID-sorted feature slices
+	// and binary-searches them, so the delta must be in ID order;
+	// enforce it here rather than trusting every caller (journal replay
+	// hands in publish-order deltas).
+	sort.Slice(changed, func(i, j int) bool { return changed[i].ID < changed[j].ID })
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	prev := c.snap.Load()

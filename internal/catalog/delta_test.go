@@ -85,18 +85,32 @@ func requireShardsEquivalent(t *testing.T, si int, got, want *Shard) {
 			t.Fatalf("shard %d: feature at position %d differs:\n got %s\nwant %s", si, i, g, w)
 		}
 	}
-	if !reflect.DeepEqual(got.pos, want.pos) {
-		t.Fatalf("shard %d: pos maps differ: got %v, want %v", si, got.pos, want.pos)
+	for i, f := range want.features {
+		p, ok := got.posOf(f.ID)
+		if !ok || p != int32(i) {
+			t.Fatalf("shard %d: posOf(%s) = %d, %v (want %d)", si, f.ID, p, ok, i)
+		}
 	}
-	if !reflect.DeepEqual(got.byName, want.byName) {
-		t.Fatalf("shard %d: byName differs:\n got %v\nwant %v", si, got.byName, want.byName)
+	// Interned stores compare through materialize(): a patched store may
+	// carry extra dictionary entries for retracted terms (IDs are stable,
+	// never reclaimed until a rebuild) and may pick a different container
+	// representation than a from-scratch build at the same position count
+	// boundary — what must agree exactly is the term → sorted-positions
+	// mapping the planner reads.
+	if !reflect.DeepEqual(got.names.materialize(), want.names.materialize()) {
+		t.Fatalf("shard %d: name postings differ:\n got %v\nwant %v",
+			si, got.names.materialize(), want.names.materialize())
 	}
-	if !reflect.DeepEqual(got.byParent, want.byParent) {
-		t.Fatalf("shard %d: byParent differs:\n got %v\nwant %v", si, got.byParent, want.byParent)
+	if !reflect.DeepEqual(got.parents.materialize(), want.parents.materialize()) {
+		t.Fatalf("shard %d: parent postings differ:\n got %v\nwant %v",
+			si, got.parents.materialize(), want.parents.materialize())
 	}
-	if !reflect.DeepEqual(got.spatial.cells, want.spatial.cells) {
-		t.Fatalf("shard %d: spatial cells differ", si)
+	if !reflect.DeepEqual(got.spatial.store.materialize(), want.spatial.store.materialize()) {
+		t.Fatalf("shard %d: spatial cell postings differ", si)
 	}
+	checkStoreWellFormed(t, si, "names", got.names, len(got.features))
+	checkStoreWellFormed(t, si, "parents", got.parents, len(got.features))
+	checkStoreWellFormed(t, si, "cells", got.spatial.store, len(got.features))
 	if !reflect.DeepEqual(got.temporal.byStart, want.temporal.byStart) ||
 		!reflect.DeepEqual(got.temporal.byEnd, want.temporal.byEnd) {
 		t.Fatalf("shard %d: temporal orders differ:\n got %v / %v\nwant %v / %v",
@@ -106,6 +120,43 @@ func requireShardsEquivalent(t *testing.T, si int, got, want *Shard) {
 		if !got.temporal.starts[i].Equal(want.temporal.starts[i]) ||
 			!got.temporal.ends[i].Equal(want.temporal.ends[i]) {
 			t.Fatalf("shard %d: temporal key arrays differ at %d", si, i)
+		}
+	}
+}
+
+// checkStoreWellFormed asserts the structural invariants of an interned
+// store after patching: a consistent dictionary (keys[ids[k]] == k, no
+// dangling lists), every container sorted, duplicate-free, in-bounds,
+// with an accurate length, and a representation matching the size
+// heuristic.
+func checkStoreWellFormed[K comparable](t *testing.T, si int, label string, st postingStore[K], shardLen int) {
+	t.Helper()
+	if len(st.keys) != len(st.lists) {
+		t.Fatalf("shard %d: %s store: %d keys vs %d lists", si, label, len(st.keys), len(st.lists))
+	}
+	for key, id := range st.ids {
+		if int(id) >= len(st.keys) || st.keys[id] != key {
+			t.Fatalf("shard %d: %s store: dictionary entry %v -> %d dangles", si, label, key, id)
+		}
+	}
+	for id, list := range st.lists {
+		got := list.AppendTo(nil)
+		if len(got) != list.Len() {
+			t.Fatalf("shard %d: %s store: term %d Len()=%d but %d positions",
+				si, label, id, list.Len(), len(got))
+		}
+		for i, p := range got {
+			if p < 0 || int(p) >= shardLen {
+				t.Fatalf("shard %d: %s store: term %d position %d out of bounds", si, label, id, p)
+			}
+			if i > 0 && got[i-1] >= p {
+				t.Fatalf("shard %d: %s store: term %d not strictly ascending at %d", si, label, id, i)
+			}
+		}
+		words := (shardLen + 63) / 64
+		if wantDense := list.Len() > 0 && 8*words < 4*list.Len(); list.dense() != wantDense {
+			t.Fatalf("shard %d: %s store: term %d dense=%v, heuristic says %v (n=%d, shardLen=%d)",
+				si, label, id, list.dense(), wantDense, list.Len(), shardLen)
 		}
 	}
 }
@@ -401,6 +452,67 @@ func TestApplyDeltaSharesCleanShards(t *testing.T) {
 	if checked == 0 {
 		t.Fatal("no untouched features found in dirty shards; weaken the partition assumptions")
 	}
+
+	// Inside a dirty shard that only saw content modifications (no
+	// insert, no removal — positions unchanged), posting containers of
+	// terms the delta did not touch are shared with the predecessor's
+	// containers by storage, not rebuilt. The spatial cell store is the
+	// one with enough distinct keys to observe this: every feature sits
+	// in its own neighborhood, so the delta touches only the cells of
+	// the five features it names (old and new extents).
+	touchedCells := make(map[int32]bool)
+	for _, f := range []*Feature{
+		deltaFeature(3, 0), deltaFeature(3, 1),
+		deltaFeature(17, 0), deltaFeature(17, 1),
+		deltaFeature(9, 0),
+	} {
+		for _, cell := range bboxCells(f.BBox) {
+			touchedCells[cell] = true
+		}
+	}
+	shiftedShards := make(map[int]bool)
+	for _, id := range removed {
+		shiftedShards[shardIndex(id, shards)] = true
+	}
+	sharedLists := 0
+	for si := range after.shards {
+		if !dirty[si] || shiftedShards[si] {
+			continue
+		}
+		bs, as := before.shards[si].spatial.store, after.shards[si].spatial.store
+		for id, key := range bs.keys {
+			if touchedCells[key] || bs.lists[id].Len() == 0 {
+				continue
+			}
+			al, ok := as.lookup(key)
+			if !ok {
+				t.Fatalf("shard %d: untouched cell %d vanished from patched store", si, key)
+			}
+			if !sharesStorage(bs.lists[id], al) {
+				t.Errorf("shard %d: untouched cell %d rebuilt instead of shared", si, key)
+			}
+			sharedLists++
+		}
+	}
+	if sharedLists == 0 {
+		t.Fatal("no untouched posting lists found in modification-only dirty shards; weaken the partition assumptions")
+	}
+}
+
+// sharesStorage reports whether two posting containers share their
+// backing array — the pointer-identity form of "this list was not
+// rebuilt".
+func sharesStorage(a, b Postings) bool {
+	if a.n != b.n || a.n == 0 {
+		return false
+	}
+	if a.arr != nil && b.arr != nil {
+		return &a.arr[0] == &b.arr[0]
+	}
+	if a.bm != nil && b.bm != nil {
+		return &a.bm[0] == &b.bm[0]
+	}
+	return false
 }
 
 // TestSnapshotShardingInvariants checks the partition itself: shard

@@ -17,14 +17,14 @@ import (
 // copy no features.
 //
 // The snapshot is partitioned into shards by a hash of the feature ID:
-// each shard owns its own ID-sorted feature slice, posting lists,
-// spatial grid, and temporal index, built and patched independently of
-// the others. Partitioning buys two things. Publish cost tracks the
-// dirty shards only — applyDelta shares every clean shard with the
-// predecessor snapshot by pointer and patches the rest in parallel —
-// and search scatters across shards, each worker running the full
-// planner/widening machinery over its shard before a single merge heap
-// gathers the per-shard top-Ks.
+// each shard owns its own ID-sorted feature slice, interned posting
+// stores, spatial grid, and temporal index, built and patched
+// independently of the others. Partitioning buys two things. Publish
+// cost tracks the dirty shards only — applyDelta shares every clean
+// shard with the predecessor snapshot by pointer and patches the rest
+// in parallel — and search scatters across shards, each worker running
+// the full planner/widening machinery over its shard before a single
+// merge heap gathers the per-shard top-Ks.
 //
 // The features a snapshot exposes are private clones made at build
 // time: later catalog mutations cannot reach them. In exchange, callers
@@ -43,18 +43,20 @@ type Snapshot struct {
 
 // Shard is one hash partition of a snapshot: an ID-sorted feature slice
 // plus the secondary indexes over exactly those features. Positions —
-// the integers the posting lists and candidate sets speak — index into
-// the shard's own All(), so candidate sets intersect and union as
-// sorted integer slices without hashing, exactly as the monolithic
-// snapshot's did. A Shard is immutable and read-only, like everything
-// else a Snapshot hands out.
+// the integers the posting containers and candidate sets speak — index
+// into the shard's own All(). Each index is an interned postingStore:
+// terms (variable names, hierarchy parents, grid cells) map to dense
+// uint32 IDs, each ID owning a compressed posting container, so query
+// planning resolves strings once and then works in integers. A Shard is
+// immutable and read-only, like everything else a Snapshot hands out.
+// Feature-ID lookups binary-search the ID-sorted slice — no per-shard
+// string map retaining every ID twice.
 type Shard struct {
 	features []*Feature
-	pos      map[string]int32
-	// byName indexes positions by current searchable variable name;
-	// byParent by the hierarchy parent of searchable variables.
-	byName   map[string][]int32
-	byParent map[string][]int32
+	// names indexes positions by current searchable variable name;
+	// parents by the hierarchy parent of searchable variables.
+	names    postingStore[string]
+	parents  postingStore[string]
 	spatial  spatialGrid
 	temporal temporalIndex
 }
@@ -119,37 +121,43 @@ func newSnapshot(features map[string]*Feature, generation uint64, nShards int) *
 }
 
 // buildShard clones the listed features (ids pre-sorted) and builds the
-// shard's indexes.
+// shard's interned indexes. Positions are handed to the builders in
+// ascending order, so the frozen posting lists are born sorted.
 func buildShard(features map[string]*Feature, ids []string) *Shard {
-	sh := &Shard{
-		features: make([]*Feature, len(ids)),
-		pos:      make(map[string]int32, len(ids)),
-		byName:   make(map[string][]int32),
-		byParent: make(map[string][]int32),
-	}
+	sh := &Shard{features: make([]*Feature, len(ids))}
+	names := newStoreBuilder[string]()
+	parents := newStoreBuilder[string]()
+	cells := newStoreBuilder[int32]()
 	for i, id := range ids {
 		f := features[id].Clone()
 		sh.features[i] = f
-		sh.pos[id] = int32(i)
-		sh.indexFeature(f, int32(i))
+		p := int32(i)
+		for _, name := range f.SearchableNames() {
+			names.add(name, p)
+		}
+		eachSearchableParent(f, func(parent string) { parents.add(parent, p) })
+		for _, cell := range bboxCells(f.BBox) {
+			cells.add(cell, p)
+		}
 	}
-	sh.spatial = buildSpatialGrid(sh.features)
+	n := len(ids)
+	sh.names = names.build(n)
+	sh.parents = parents.build(n)
+	sh.spatial = spatialGrid{store: cells.build(n)}
 	sh.temporal = buildTemporalIndex(sh.features)
 	return sh
 }
 
-// indexFeature appends f's posting-list entries at position p.
-func (sh *Shard) indexFeature(f *Feature, p int32) {
-	for _, name := range f.SearchableNames() {
-		sh.byName[name] = append(sh.byName[name], p)
-	}
-	seenParent := make(map[string]bool)
+// eachSearchableParent visits the distinct hierarchy parents of f's
+// searchable variables, in first-appearance order.
+func eachSearchableParent(f *Feature, visit func(string)) {
+	seen := make(map[string]bool)
 	for _, v := range f.Variables {
-		if v.Excluded || v.Parent == "" || seenParent[v.Parent] {
+		if v.Excluded || v.Parent == "" || seen[v.Parent] {
 			continue
 		}
-		seenParent[v.Parent] = true
-		sh.byParent[v.Parent] = append(sh.byParent[v.Parent], p)
+		seen[v.Parent] = true
+		visit(v.Parent)
 	}
 }
 
@@ -208,15 +216,15 @@ func (s *Snapshot) applyDelta(changed []*Feature, removed map[string]bool, gener
 }
 
 // applyDelta patches one shard: unchanged features are shared with sh
-// (no re-clone), the ID-sorted slice is spliced, and each index is
-// patched — posting lists are remapped and re-sorted only where the
-// delta touched them, and the temporal orders take sorted inserts
-// instead of a full re-sort.
+// (no re-clone), the ID-sorted slice is spliced, and each interned
+// store is patched through its copy-on-write protocol — containers of
+// untouched terms are shared with the predecessor when no position
+// shifted, and only the touched terms' lists are rebuilt.
 func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard {
 	replace := make(map[string]*Feature)
 	var inserts []*Feature // sorted by ID (changed is)
 	for _, f := range changed {
-		if _, ok := sh.pos[f.ID]; ok {
+		if _, ok := sh.posOf(f.ID); ok {
 			replace[f.ID] = f
 		} else {
 			inserts = append(inserts, f)
@@ -227,12 +235,7 @@ func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard 
 	// map and which positions carry new content ("dirty").
 	old := sh.features
 	newLen := len(old) - len(removed) + len(inserts)
-	n := &Shard{
-		features: make([]*Feature, 0, newLen),
-		pos:      make(map[string]int32, newLen),
-		byName:   make(map[string][]int32, len(sh.byName)),
-		byParent: make(map[string][]int32, len(sh.byParent)),
-	}
+	n := &Shard{features: make([]*Feature, 0, newLen)}
 	posMap := make([]int32, len(old)) // old position → new, -1 when removed
 	dirtyOld := make([]bool, len(old))
 	var dirtyNew []int32
@@ -256,18 +259,16 @@ func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard 
 				n.features = append(n.features, old[i])
 			}
 			posMap[i] = p
-			n.pos[id] = p
 			i++
 		} else {
 			p := int32(len(n.features))
 			n.features = append(n.features, inserts[j])
-			n.pos[inserts[j].ID] = p
 			dirtyNew = append(dirtyNew, p)
 			j++
 		}
 	}
 	// When nothing was inserted or removed, positions are unchanged and
-	// untouched posting lists can be shared with sh outright.
+	// untouched posting containers can be shared with sh outright.
 	shifted := len(inserts) > 0 || len(removed) > 0
 
 	// Names, parents, and grid cells whose posting lists the delta
@@ -280,11 +281,7 @@ func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard 
 		for _, name := range f.SearchableNames() {
 			touchedNames[name] = true
 		}
-		for _, v := range f.Variables {
-			if !v.Excluded && v.Parent != "" {
-				touchedParents[v.Parent] = true
-			}
-		}
+		eachSearchableParent(f, func(parent string) { touchedParents[parent] = true })
 		for _, cell := range bboxCells(f.BBox) {
 			touchedCells[cell] = true
 		}
@@ -298,64 +295,25 @@ func (sh *Shard) applyDelta(changed []*Feature, removed map[string]bool) *Shard 
 		collect(n.features[p])
 	}
 
-	n.byName = patchPostings(sh.byName, touchedNames, shifted, posMap, dirtyOld)
-	n.byParent = patchPostings(sh.byParent, touchedParents, shifted, posMap, dirtyOld)
+	namePatch := sh.names.beginPatch(touchedNames, shifted, posMap, dirtyOld, newLen)
+	parentPatch := sh.parents.beginPatch(touchedParents, shifted, posMap, dirtyOld, newLen)
+	cellPatch := sh.spatial.store.beginPatch(touchedCells, shifted, posMap, dirtyOld, newLen)
 	for _, p := range dirtyNew {
-		n.indexFeature(n.features[p], p)
-	}
-	fixPostings(n.byName, touchedNames)
-	fixPostings(n.byParent, touchedParents)
-
-	// Spatial grid: the same remap/patch discipline, keyed by cell.
-	n.spatial = spatialGrid{cells: patchPostings(sh.spatial.cells, touchedCells, shifted, posMap, dirtyOld)}
-	for _, p := range dirtyNew {
-		for _, cell := range bboxCells(n.features[p].BBox) {
-			n.spatial.cells[cell] = append(n.spatial.cells[cell], p)
+		f := n.features[p]
+		for _, name := range f.SearchableNames() {
+			namePatch.add(name, p)
+		}
+		eachSearchableParent(f, func(parent string) { parentPatch.add(parent, p) })
+		for _, cell := range bboxCells(f.BBox) {
+			cellPatch.add(cell, p)
 		}
 	}
-	fixPostings(n.spatial.cells, touchedCells)
+	n.names = namePatch.finish(newLen)
+	n.parents = parentPatch.finish(newLen)
+	n.spatial = spatialGrid{store: cellPatch.finish(newLen)}
 
 	n.temporal = sh.temporal.applyDelta(n.features, posMap, dirtyOld, dirtyNew)
 	return n
-}
-
-// patchPostings rebuilds a posting-list map for a successor shard:
-// untouched lists are shared outright when no position shifted,
-// otherwise survivors are filtered (dropping removed and dirty old
-// positions) and remapped — the monotone posMap keeps every list
-// ascending. One discipline for all three position-keyed indexes.
-func patchPostings[K comparable](oldMap map[K][]int32, touched map[K]bool, shifted bool, posMap []int32, dirtyOld []bool) map[K][]int32 {
-	out := make(map[K][]int32, len(oldMap))
-	for key, list := range oldMap {
-		if !shifted && !touched[key] {
-			out[key] = list // shared: positions and membership unchanged
-			continue
-		}
-		kept := make([]int32, 0, len(list))
-		for _, p := range list {
-			if posMap[p] >= 0 && !dirtyOld[p] {
-				kept = append(kept, posMap[p])
-			}
-		}
-		out[key] = kept
-	}
-	return out
-}
-
-// fixPostings re-sorts every touched list after dirty-feature appends
-// and drops lists the delta emptied (buildShard never stores empties).
-func fixPostings[K comparable](m map[K][]int32, touched map[K]bool) {
-	for key := range touched {
-		list, ok := m[key]
-		if !ok {
-			continue
-		}
-		if len(list) == 0 {
-			delete(m, key)
-			continue
-		}
-		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
-	}
 }
 
 // Len returns the number of features in the snapshot, across all shards.
@@ -404,9 +362,9 @@ func (s *Snapshot) All() []*Feature {
 }
 
 // ByID returns the feature with the given ID without taking a lock or
-// cloning: one hash to pick the shard, one map probe inside it — the
-// serving-path alternative to Catalog.Get, whose per-call deep clone is
-// wasted on read-only consumers. Read-only.
+// cloning: one hash to pick the shard, one binary search inside it —
+// the serving-path alternative to Catalog.Get, whose per-call deep
+// clone is wasted on read-only consumers. Read-only.
 func (s *Snapshot) ByID(id string) (*Feature, bool) {
 	return s.shards[shardIndex(id, len(s.shards))].ByID(id)
 }
@@ -420,42 +378,89 @@ func (sh *Shard) All() []*Feature { return sh.features }
 // At returns the feature at a shard position. Read-only.
 func (sh *Shard) At(i int32) *Feature { return sh.features[i] }
 
+// posOf binary-searches the ID-sorted feature slice for id.
+func (sh *Shard) posOf(id string) (int32, bool) {
+	i := sort.Search(len(sh.features), func(i int) bool { return sh.features[i].ID >= id })
+	if i < len(sh.features) && sh.features[i].ID == id {
+		return int32(i), true
+	}
+	return 0, false
+}
+
 // ByID returns the shard's feature with the given ID. Read-only.
 func (sh *Shard) ByID(id string) (*Feature, bool) {
-	i, ok := sh.pos[id]
+	i, ok := sh.posOf(id)
 	if !ok {
 		return nil, false
 	}
 	return sh.features[i], true
 }
 
-// WithVariable returns the shard positions of features whose searchable
-// variables include name, sorted ascending. Read-only.
-func (sh *Shard) WithVariable(name string) []int32 { return sh.byName[name] }
+// VariableID resolves a searchable variable name to the shard's dense
+// term ID — one map probe, done once per (query, shard).
+func (sh *Shard) VariableID(name string) (uint32, bool) { return sh.names.id(name) }
 
-// WithParent returns the shard positions of features having a
-// searchable variable whose hierarchy parent is name, sorted ascending.
+// VariablePostings returns the compressed posting container for a term
+// ID obtained from VariableID. Read-only.
+func (sh *Shard) VariablePostings(id uint32) Postings { return sh.names.at(id) }
+
+// ParentID resolves a hierarchy parent name to the shard's dense term ID.
+func (sh *Shard) ParentID(name string) (uint32, bool) { return sh.parents.id(name) }
+
+// ParentPostings returns the posting container for a parent term ID.
 // Read-only.
-func (sh *Shard) WithParent(name string) []int32 { return sh.byParent[name] }
+func (sh *Shard) ParentPostings(id uint32) Postings { return sh.parents.at(id) }
 
-// SpatialCandidates returns the shard positions of every feature whose
-// scoring distance from the query box (BBox.DistanceKm for point-sized
-// boxes, BBox.DistanceToBoxKm otherwise) can be at most maxKm. The set
-// is a superset of the truth — grid cells are included conservatively —
-// so pruning against it never loses an exact result. Positions come
-// back in unspecified order and may repeat (a feature spanning several
-// visited cells); callers deduplicate. ok is false when the radius is
-// too large to prune (callers must treat every feature as a candidate).
-func (sh *Shard) SpatialCandidates(query geo.BBox, maxKm float64) (pos []int32, ok bool) {
-	return sh.spatial.candidates(query, maxKm)
+// WithVariable returns the shard positions of features whose searchable
+// variables include name, sorted ascending, in a freshly allocated
+// slice. Convenience wrapper over VariableID/VariablePostings for tests
+// and offline readers; the query path uses the containers directly.
+func (sh *Shard) WithVariable(name string) []int32 {
+	if l, ok := sh.names.lookup(name); ok && l.Len() > 0 {
+		return l.AppendTo(nil)
+	}
+	return nil
 }
 
-// TimeCandidates returns the shard positions of every feature whose
-// temporal gap from the query range (TimeRange.Distance) can be at most
-// maxGap, again conservatively and in unspecified order. ok is false
-// when the gap is too large to prune.
+// WithParent returns the shard positions of features having a
+// searchable variable whose hierarchy parent is name, sorted ascending,
+// in a freshly allocated slice. Wrapper, like WithVariable.
+func (sh *Shard) WithParent(name string) []int32 {
+	if l, ok := sh.parents.lookup(name); ok && l.Len() > 0 {
+		return l.AppendTo(nil)
+	}
+	return nil
+}
+
+// SpatialCandidatesAppend appends to dst the shard positions of every
+// feature whose scoring distance from the query box (BBox.DistanceKm
+// for point-sized boxes, BBox.DistanceToBoxKm otherwise) can be at most
+// maxKm, and returns the extended slice. The set is a superset of the
+// truth — grid cells are included conservatively — so pruning against
+// it never loses an exact result. Positions come back in unspecified
+// order and may repeat (a feature spanning several visited cells);
+// callers deduplicate. ok is false when the radius is too large to
+// prune (callers must treat every feature as a candidate).
+func (sh *Shard) SpatialCandidatesAppend(query geo.BBox, maxKm float64, dst []int32) (pos []int32, ok bool) {
+	return sh.spatial.candidates(query, maxKm, dst)
+}
+
+// SpatialCandidates is SpatialCandidatesAppend into a fresh slice.
+func (sh *Shard) SpatialCandidates(query geo.BBox, maxKm float64) (pos []int32, ok bool) {
+	return sh.spatial.candidates(query, maxKm, nil)
+}
+
+// TimeCandidatesAppend appends to dst the shard positions of every
+// feature whose temporal gap from the query range (TimeRange.Distance)
+// can be at most maxGap, again conservatively and in unspecified order.
+// ok is false when the gap is too large to prune.
+func (sh *Shard) TimeCandidatesAppend(query geo.TimeRange, maxGap time.Duration, dst []int32) (pos []int32, ok bool) {
+	return sh.temporal.candidates(query, maxGap, dst)
+}
+
+// TimeCandidates is TimeCandidatesAppend into a fresh slice.
 func (sh *Shard) TimeCandidates(query geo.TimeRange, maxGap time.Duration) (pos []int32, ok bool) {
-	return sh.temporal.candidates(query, maxGap)
+	return sh.temporal.candidates(query, maxGap, nil)
 }
 
 // --- spatial grid ---------------------------------------------------
@@ -478,8 +483,10 @@ const (
 	gridPadDeg = 0.01
 )
 
+// spatialGrid interns occupied cell keys (row*gridCols+col) into the
+// same compressed posting containers the term indexes use.
 type spatialGrid struct {
-	cells map[int32][]int32
+	store postingStore[int32]
 }
 
 func gridRow(lat float64) int32 {
@@ -521,17 +528,8 @@ func bboxCells(b geo.BBox) []int32 {
 	return cells
 }
 
-func buildSpatialGrid(features []*Feature) spatialGrid {
-	g := spatialGrid{cells: make(map[int32][]int32)}
-	for i, f := range features {
-		for _, key := range bboxCells(f.BBox) {
-			g.cells[key] = append(g.cells[key], int32(i))
-		}
-	}
-	return g
-}
-
-// candidates visits the cells of the query box padded by maxKm.
+// candidates visits the cells of the query box padded by maxKm,
+// appending the occupants to dst.
 //
 // Latitude pad: haversine distance is at least R·Δφ, so a feature
 // within maxKm clamps to a point within maxKm/kmPerDegLat degrees of
@@ -540,9 +538,9 @@ func buildSpatialGrid(features []*Feature) spatialGrid {
 // with cc lower-bounded over the padded latitude band; near the poles
 // (or when the bound degenerates) every column is visited. Columns wrap
 // across the antimeridian, matching haversine's wrapped Δλ.
-func (g spatialGrid) candidates(query geo.BBox, maxKm float64) ([]int32, bool) {
+func (g spatialGrid) candidates(query geo.BBox, maxKm float64, dst []int32) ([]int32, bool) {
 	if maxKm < 0 || math.IsInf(maxKm, 1) || maxKm >= maxPruneKm {
-		return nil, false
+		return dst, false
 	}
 	latPad := maxKm/kmPerDegLat + gridPadDeg
 	latLo := query.MinLat - latPad
@@ -567,7 +565,8 @@ func (g spatialGrid) candidates(query geo.BBox, maxKm float64) ([]int32, bool) {
 	}
 
 	r0, r1 := gridRow(latLo), gridRow(latHi)
-	var cols []int32
+	var colBuf [gridCols]int32
+	cols := colBuf[:0]
 	if allCols || (query.MaxLon+lonPad)-(query.MinLon-lonPad) >= 360 {
 		for c := int32(0); c < gridCols; c++ {
 			cols = append(cols, c)
@@ -581,13 +580,14 @@ func (g spatialGrid) candidates(query geo.BBox, maxKm float64) ([]int32, bool) {
 		}
 	}
 
-	var out []int32
 	for r := r0; r <= r1; r++ {
 		for _, c := range cols {
-			out = append(out, g.cells[r*gridCols+c]...)
+			if l, ok := g.store.lookup(r*gridCols + c); ok {
+				dst = l.AppendTo(dst)
+			}
 		}
 	}
-	return out, true
+	return dst, true
 }
 
 // --- temporal interval index ----------------------------------------
@@ -702,9 +702,9 @@ func (t temporalIndex) applyDelta(features []*Feature, posMap []int32, dirtyOld 
 	return out
 }
 
-func (t temporalIndex) candidates(query geo.TimeRange, maxGap time.Duration) ([]int32, bool) {
+func (t temporalIndex) candidates(query geo.TimeRange, maxGap time.Duration, dst []int32) ([]int32, bool) {
 	if maxGap < 0 {
-		return nil, false
+		return dst, false
 	}
 	latestStart := query.End.Add(maxGap)
 	earliestEnd := query.Start.Add(-maxGap)
@@ -714,21 +714,20 @@ func (t temporalIndex) candidates(query geo.TimeRange, maxGap time.Duration) ([]
 	// Prefix of byEnd with End ≥ earliestEnd.
 	n2 := sort.Search(len(t.ends), func(i int) bool { return t.ends[i].Before(earliestEnd) })
 
-	var out []int32
 	if n1 <= n2 {
 		for i := 0; i < n1; i++ {
 			p := t.byStart[i]
 			if !t.endAt[p].Before(earliestEnd) {
-				out = append(out, p)
+				dst = append(dst, p)
 			}
 		}
 	} else {
 		for i := 0; i < n2; i++ {
 			p := t.byEnd[i]
 			if !t.startAt[p].After(latestStart) {
-				out = append(out, p)
+				dst = append(dst, p)
 			}
 		}
 	}
-	return out, true
+	return dst, true
 }

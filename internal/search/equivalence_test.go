@@ -124,10 +124,11 @@ func randomQuery(rng *rand.Rand, names []string, n int) Query {
 }
 
 func TestSnapshotParallelMatchesLinearScan(t *testing.T) {
-	// Force the parallel executor even on tiny catalogs.
-	oldMin := parallelMinWork
-	parallelMinWork = 1
-	defer func() { parallelMinWork = oldMin }()
+	// Force the parallel executor even on tiny catalogs and single-CPU
+	// hosts.
+	oldMin, oldCap := parallelMinWork, maxFanOutProcs
+	parallelMinWork, maxFanOutProcs = 1, 64
+	defer func() { parallelMinWork, maxFanOutProcs = oldMin, oldCap }()
 
 	names := []string{
 		"water_temperature", "salinity", "turbidity", "dissolved_oxygen",

@@ -9,9 +9,11 @@ import (
 	"metamess/internal/catalog"
 )
 
-// parallelMinWork is the candidate count below which scoring stays on
-// the calling goroutine; a package variable so tests can force the
-// parallel path on tiny catalogs.
+// parallelMinWork is the candidate count each scoring worker must be
+// able to claim before fan-out engages: effectiveWorkers clamps the
+// worker count to work/parallelMinWork, so batches below the threshold
+// stay on the calling goroutine. A package variable so tests can force
+// the parallel path on tiny catalogs.
 var parallelMinWork = 256
 
 // cancelCheckEvery is how many candidates a scoring loop processes
@@ -29,7 +31,8 @@ func canceled(ctx context.Context) bool {
 }
 
 // searchSnapshot runs the query over every shard of the snapshot and
-// returns the exact global top-K, ranked.
+// returns the exact global top-K, ranked, in freshly allocated memory
+// (all scratch is pooled and released before returning).
 //
 // Single-shard snapshots keep the monolithic path: one plan, with the
 // worker pool splitting candidate batches inside the shard. Multi-shard
@@ -57,15 +60,32 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	workers = clampFanOut(workers)
 
 	if len(shards) == 1 {
-		results := s.searchShard(ctx, shards[0], q, expanded, k, workers)
+		sc := getScratch()
+		results := s.searchShard(ctx, shards[0], q, expanded, k, workers, sc)
 		rank(results)
 		if len(results) > k {
 			results = results[:k]
 		}
-		return results
+		out := append([]Result(nil), results...) // detach from pooled scratch
+		putScratch(sc)
+		return out
 	}
+
+	// One scratch per shard: each is owned by exactly one worker at a
+	// time (parallelDo hands every shard index to a single claimant per
+	// round, and rounds are separated by barriers).
+	scs := make([]*scratch, len(shards))
+	for si := range scs {
+		scs[si] = getScratch()
+	}
+	defer func() {
+		for _, sc := range scs {
+			putScratch(sc)
+		}
+	}()
 
 	merge := newTopK(k)
 	var mu sync.Mutex
@@ -83,7 +103,7 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 			if canceled(ctx) {
 				return
 			}
-			gather(s.searchShard(ctx, shards[si], q, expanded, k, 1))
+			gather(s.searchShard(ctx, shards[si], q, expanded, k, 1, scs[si]))
 		})
 		out := append([]Result(nil), merge.items...)
 		rank(out)
@@ -91,10 +111,9 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 	}
 
 	plans := make([]plan, len(shards))
-	scored := make([][]bool, len(shards))
 	parallelDo(workers, len(shards), func(si int) {
-		plans[si] = s.buildPlan(shards[si], q, expanded)
-		scored[si] = make([]bool, shards[si].Len())
+		plans[si] = s.buildPlan(shards[si], q, expanded, scs[si])
+		scs[si].scoredFor(shards[si].Len())
 	})
 	maxTiers := 0
 	for _, p := range plans {
@@ -111,10 +130,11 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 			if ti >= len(plans[si].tiers) || canceled(ctx) {
 				return
 			}
+			sc := scs[si]
 			t := plans[si].tiers[ti]
 			sh := shards[si]
-			was := scored[si]
-			var batch []int32
+			was := sc.scored
+			batch := sc.batch[:0]
 			if t.all {
 				for i := 0; i < sh.Len(); i++ {
 					if !was[i] {
@@ -131,8 +151,9 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 			for _, p := range batch {
 				was[p] = true
 			}
+			sc.batch = batch
 			if len(batch) > 0 {
-				gather(s.scorePositions(ctx, sh, batch, q, expanded, k, 1))
+				gather(s.scorePositions(ctx, sh, batch, q, expanded, k, 1, sc))
 			}
 		})
 		// Barrier: all workers joined, so the heap is quiescent. Stop
@@ -190,16 +211,18 @@ func parallelDo(workers, n int, fn func(i int)) {
 
 // searchShard computes one shard's exact top-K — via the tiered plan
 // when the index is enabled, or a full scan for the linear ablation.
-// The returned slice is unsorted and has at most k elements.
-func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, expanded []expandedTerm, k, workers int) []Result {
+// The returned slice is unsorted, has at most k elements, and aliases
+// the scratch: callers copy out before releasing sc.
+func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, expanded []expandedTerm, k, workers int, sc *scratch) []Result {
 	if !s.opts.UseIndex {
-		all := make([]int32, sh.Len())
-		for i := range all {
-			all[i] = int32(i)
+		all := sc.batch[:0]
+		for i := 0; i < sh.Len(); i++ {
+			all = append(all, int32(i))
 		}
-		return s.scorePositions(ctx, sh, all, q, expanded, k, workers)
+		sc.batch = all
+		return s.scorePositions(ctx, sh, all, q, expanded, k, workers, sc)
 	}
-	return s.executePlan(ctx, sh, s.buildPlan(sh, q, expanded), q, expanded, k, workers)
+	return s.executePlan(ctx, sh, s.buildPlan(sh, q, expanded, sc), q, expanded, k, workers, sc)
 }
 
 // executePlan runs the tiers of a plan over one shard: score each
@@ -209,15 +232,15 @@ func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, 
 // below every returned result. (The multi-shard scatter path runs the
 // same tier loop inline, with the bound check against the global merge
 // heap at each tier barrier.)
-func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan, q Query, expanded []expandedTerm, k, workers int) []Result {
+func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan, q Query, expanded []expandedTerm, k, workers int, sc *scratch) []Result {
 	n := sh.Len()
-	scored := make([]bool, n)
-	var acc []Result
+	scored := sc.scoredFor(n)
+	acc := sc.acc[:0]
 	for _, t := range pln.tiers {
 		if canceled(ctx) {
-			return acc
+			break
 		}
-		var batch []int32
+		batch := sc.batch[:0]
 		if t.all {
 			for i := 0; i < n; i++ {
 				if !scored[i] {
@@ -234,8 +257,9 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 		for _, p := range batch {
 			scored[p] = true
 		}
+		sc.batch = batch
 		if len(batch) > 0 {
-			acc = append(acc, s.scorePositions(ctx, sh, batch, q, expanded, k, workers)...)
+			acc = append(acc, s.scorePositions(ctx, sh, batch, q, expanded, k, workers, sc)...)
 			rank(acc)
 			if len(acc) > k {
 				acc = acc[:k]
@@ -245,17 +269,24 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 			break
 		}
 	}
+	sc.acc = acc
 	return acc
 }
 
 // scorePositions scores a candidate batch from one shard and returns
-// its top-K (by the ranking order), unsorted. Large batches fan out
-// across the given worker count; each worker keeps a bounded top-K
-// min-heap so memory stays O(K·workers) regardless of catalog size, and
-// the merged heaps contain a superset of the batch's true top-K.
-func (s *Searcher) scorePositions(ctx context.Context, sh *catalog.Shard, pos []int32, q Query, expanded []expandedTerm, k, workers int) []Result {
-	if len(pos) < parallelMinWork || workers <= 1 {
-		h := newTopK(k)
+// its top-K (by the ranking order), unsorted, aliasing scratch or
+// worker-local memory. The fan-out is adaptive: effectiveWorkers grants
+// one worker per parallelMinWork candidates (never more than asked), so
+// small batches are scored serially on the calling goroutine into the
+// scratch's pooled heap. Parallel batches give each worker a bounded
+// top-K min-heap so memory stays O(K·workers) regardless of catalog
+// size, and the merged heaps contain a superset of the batch's true
+// top-K.
+func (s *Searcher) scorePositions(ctx context.Context, sh *catalog.Shard, pos []int32, q Query, expanded []expandedTerm, k, workers int, sc *scratch) []Result {
+	workers = effectiveWorkers(workers, len(pos))
+	if workers <= 1 {
+		h := &sc.heap
+		h.reset(k)
 		for i, p := range pos {
 			if i%cancelCheckEvery == 0 && canceled(ctx) {
 				return h.items
@@ -265,9 +296,6 @@ func (s *Searcher) scorePositions(ctx context.Context, sh *catalog.Shard, pos []
 			}
 		}
 		return h.items
-	}
-	if workers > len(pos) {
-		workers = len(pos)
 	}
 	heaps := make([]*topK, workers)
 	var wg sync.WaitGroup
@@ -298,7 +326,10 @@ func (s *Searcher) scorePositions(ctx context.Context, sh *catalog.Shard, pos []
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var out []Result
+	// Fresh slice, not scratch: the caller may be accumulating into
+	// sc.acc across tiers, and a parallel batch is large enough that one
+	// merge allocation is noise.
+	out := make([]Result, 0, len(heaps)*k)
 	for _, h := range heaps {
 		out = append(out, h.items...)
 	}
@@ -314,6 +345,13 @@ type topK struct {
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
+
+// reset empties the heap for reuse at a (possibly different) bound,
+// keeping the item buffer's capacity.
+func (h *topK) reset(k int) {
+	h.k = k
+	h.items = h.items[:0]
+}
 
 // outranked reports whether a ranks strictly below b in the final
 // ordering (score descending, ID ascending on ties).

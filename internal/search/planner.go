@@ -30,6 +30,15 @@ import (
 // dimension set; beyond the union it misses all of them. The executor
 // stops widening as soon as the current K-th score strictly exceeds
 // the tier bound, so results are provably identical to a full scan.
+//
+// Query terms are resolved against the shard's interned dictionary
+// exactly once, here: each expansion costs one map probe, and from that
+// point the dimension is a list of compressed posting containers marked
+// directly into the sweep — no string touches the hot loop. All
+// intermediate buffers (candidate lists, marks, tier positions) come
+// from the query's pooled scratch, so planning allocates nothing in
+// steady state. Because the buffers are recycled, a plan is only valid
+// until its scratch is released.
 type plan struct {
 	tiers []tier
 }
@@ -42,12 +51,15 @@ type tier struct {
 	bound float64 // score ceiling for anything outside this tier; <0 = none
 }
 
-// dimSet is one query dimension's candidate set — unsorted positions,
-// possibly with duplicates (the mark sweep below tolerates both).
-// all=true means the dimension cannot prune (its index declined, e.g.
-// an over-large radius) and every feature must be treated as a
-// candidate.
+// dimSet is one query dimension's candidate set: posting containers
+// (the variable dimension, straight from the interned index) and/or
+// positions (space and time, whose indexes emit position runs) —
+// unsorted, possibly duplicated across entries; the mark sweep below
+// tolerates both. all=true means the dimension cannot prune (its index
+// declined, e.g. an over-large radius) and every feature must be
+// treated as a candidate.
 type dimSet struct {
+	lists  []catalog.Postings
 	pos    []int32
 	all    bool
 	weight float64
@@ -56,14 +68,26 @@ type dimSet struct {
 	beta float64
 }
 
-func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm) plan {
-	var dims []dimSet
+func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm, sc *scratch) plan {
+	dims := sc.dims[:0]
 	w := s.opts.Weights
 	eps := s.opts.PruneScore
 
 	if len(expanded) > 0 {
+		lists := sc.lists[:0]
+		for _, et := range expanded {
+			for _, exp := range et.expansions {
+				if id, ok := sh.VariableID(exp.Name); ok {
+					lists = append(lists, sh.VariablePostings(id))
+				}
+			}
+			if id, ok := sh.ParentID(et.term.Name); ok {
+				lists = append(lists, sh.ParentPostings(id))
+			}
+		}
+		sc.lists = lists
 		dims = append(dims, dimSet{
-			pos:    varCandidates(sh, expanded),
+			lists:  lists,
 			weight: w.Variables,
 			beta:   0,
 		})
@@ -81,26 +105,30 @@ func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm
 		// decay(d, scale) ≥ ε  ⟺  d ≤ scale·(1/ε − 1); +1 km of slack
 		// keeps float rounding on the candidate side.
 		maxKm := s.opts.SpaceScaleKm*(1/eps-1) + 1
-		pos, ok := sh.SpatialCandidates(qb, maxKm)
+		pos, ok := sh.SpatialCandidatesAppend(qb, maxKm, sc.spat[:0])
+		sc.spat = pos
 		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Space, beta: eps})
 	}
 	if q.Time != nil {
 		gapF := float64(s.opts.TimeScale) * (1/eps - 1)
-		var pos []int32
+		pos := sc.temp[:0]
 		ok := false
 		if gapF < float64(math.MaxInt64)/4 {
 			maxGap := time.Duration(gapF) + time.Hour
-			pos, ok = sh.TimeCandidates(*q.Time, maxGap)
+			pos, ok = sh.TimeCandidatesAppend(*q.Time, maxGap, pos)
 		}
+		sc.temp = pos
 		dims = append(dims, dimSet{pos: pos, all: !ok, weight: w.Time, beta: eps})
 	}
+	sc.dims = dims
 
 	totalWeight := 0.0
 	for _, d := range dims {
 		totalWeight += d.weight
 	}
 	if totalWeight == 0 {
-		return plan{tiers: []tier{{all: true, bound: -1}}}
+		sc.tiers = append(sc.tiers[:0], tier{all: true, bound: -1})
+		return plan{tiers: sc.tiers}
 	}
 
 	// Intersection and union come from one mark sweep: each dimension
@@ -118,14 +146,18 @@ func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm
 	interAll := allMask == fullMask
 	unionAll := allMask != 0
 
-	var interPos, unionPos []int32
+	interPos := sc.inter[:0]
+	unionPos := sc.union[:0]
 	if !interAll {
-		marks := make([]uint8, sh.Len())
+		marks := sc.marksFor(sh.Len())
 		for di, d := range dims {
 			if d.all {
 				continue
 			}
 			bit := uint8(1) << di
+			for _, l := range d.lists {
+				l.Mark(marks, bit)
+			}
 			for _, p := range d.pos {
 				marks[p] |= bit
 			}
@@ -140,6 +172,8 @@ func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm
 			}
 		}
 	}
+	sc.inter = interPos
+	sc.union = unionPos
 
 	// Outside the intersection at least one dimension d is missed:
 	// score ≤ (Σw − w_d·(1−β_d))/Σw, maximized over d. Outside the
@@ -157,7 +191,7 @@ func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm
 	// union tier is only added for multi-dimensional queries. An all
 	// intersection implies every dimension declined to prune (interAll
 	// ⟹ unionAll), leaving just the full scan.
-	var tiers []tier
+	tiers := sc.tiers[:0]
 	if !interAll {
 		tiers = append(tiers, tier{pos: interPos, bound: interBound})
 		if len(dims) > 1 && !unionAll {
@@ -165,19 +199,6 @@ func (s *Searcher) buildPlan(sh *catalog.Shard, q Query, expanded []expandedTerm
 		}
 	}
 	tiers = append(tiers, tier{all: true, bound: -1})
+	sc.tiers = tiers
 	return plan{tiers: tiers}
-}
-
-// varCandidates unions the shard's variable-name and hierarchy-parent
-// indexes over all term expansions; positions may repeat across terms
-// (the mark sweep dedups).
-func varCandidates(sh *catalog.Shard, expanded []expandedTerm) []int32 {
-	var out []int32
-	for _, et := range expanded {
-		for _, exp := range et.expansions {
-			out = append(out, sh.WithVariable(exp.Name)...)
-		}
-		out = append(out, sh.WithParent(et.term.Name)...)
-	}
-	return out
 }

@@ -1,0 +1,279 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"metamess/internal/catalog"
+	"metamess/internal/geo"
+)
+
+func res(id string, score float64) Result {
+	return Result{Feature: &catalog.Feature{ID: id}, Score: score}
+}
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+// benchishFeature fabricates a deterministic coastal-transect feature
+// for allocation tests: spread positions, a seasonal window, and a
+// couple of variables drawn from the name pool.
+func benchishFeature(i int, names []string) *catalog.Feature {
+	path := fmt.Sprintf("alloc/ds%04d.obs", i)
+	lat := 42 + float64(i%50)*0.1
+	lon := -125 + float64((i/50)%40)*0.1
+	start := date(2010, 1, 1).AddDate(0, 0, (i*3)%700)
+	f := &catalog.Feature{
+		ID:     catalog.IDForPath(path),
+		Path:   path,
+		Source: "alloc",
+		Format: "obs",
+		BBox: geo.BBox{
+			MinLat: lat, MinLon: lon,
+			MaxLat: lat + 0.05, MaxLon: lon + 0.05,
+		},
+		Time:        geo.NewTimeRange(start, start.AddDate(0, 0, 14)),
+		RowCount:    1000,
+		Bytes:       4096,
+		ModTime:     start,
+		ScannedAt:   start,
+		ContentHash: fmt.Sprintf("alloc%d", i),
+		Variables: []catalog.VarFeature{
+			{RawName: names[i%len(names)], Name: names[i%len(names)],
+				Range: geo.NewValueRange(float64(i%20), float64(i%20+15)), Count: 900},
+			{RawName: names[(i+1)%len(names)], Name: names[(i+1)%len(names)],
+				Range: geo.NewValueRange(0, 30), Count: 800, Parent: "fluorescence"},
+		},
+	}
+	return f
+}
+
+// rankedIDs drains a heap's contents through the final ranking order.
+func rankedIDs(h *topK) []string {
+	out := append([]Result(nil), h.items...)
+	rank(out)
+	ids := make([]string, len(out))
+	for i, r := range out {
+		ids[i] = r.Feature.ID
+	}
+	return ids
+}
+
+func requireIDs(t *testing.T, ctx string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", ctx, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: got %v, want %v", ctx, got, want)
+		}
+	}
+}
+
+// TestTopKDegenerateBounds pins the edge bounds: K=0 keeps nothing (and
+// must not panic), K=1 keeps exactly the best under the ranking order.
+func TestTopKDegenerateBounds(t *testing.T) {
+	h := newTopK(0)
+	for i := 0; i < 5; i++ {
+		h.consider(res(fmt.Sprintf("d%d", i), float64(i)))
+	}
+	if len(h.items) != 0 {
+		t.Fatalf("K=0 heap kept %d items", len(h.items))
+	}
+
+	h = newTopK(1)
+	h.consider(res("mid", 0.5))
+	h.consider(res("best", 0.9))
+	h.consider(res("low", 0.1))
+	requireIDs(t, "K=1", rankedIDs(h), []string{"best"})
+}
+
+// TestTopKTieBreaking pins the total order on equal scores: the lower
+// ID ranks higher, so with K=2 and three equal-scored candidates the
+// two lowest IDs survive regardless of arrival order.
+func TestTopKTieBreaking(t *testing.T) {
+	arrivals := [][]string{
+		{"a", "b", "c"},
+		{"c", "b", "a"},
+		{"b", "a", "c"},
+		{"c", "a", "b"},
+	}
+	for _, order := range arrivals {
+		h := newTopK(2)
+		for _, id := range order {
+			h.consider(res(id, 0.7))
+		}
+		requireIDs(t, fmt.Sprintf("arrival %v", order), rankedIDs(h), []string{"a", "b"})
+	}
+}
+
+// TestTopKEvictionOrder feeds scores in several orders and checks the
+// root always holds the worst kept result and evictions happen strictly
+// worst-first: the survivors are the true top-K with the K-th at the
+// root.
+func TestTopKEvictionOrder(t *testing.T) {
+	feeds := [][]float64{
+		{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7},
+		{0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1},
+		{0.4, 0.7, 0.1, 0.6, 0.3, 0.5, 0.2},
+	}
+	for fi, feed := range feeds {
+		h := newTopK(3)
+		for i, s := range feed {
+			h.consider(res(fmt.Sprintf("d%d", i), s))
+			if len(h.items) == 0 {
+				continue
+			}
+			// Root invariant after every insert: no kept item ranks below it.
+			for _, r := range h.items[1:] {
+				if outranked(r, h.items[0]) {
+					t.Fatalf("feed %d: root %.2f not the worst kept (saw %.2f)",
+						fi, h.items[0].Score, r.Score)
+				}
+			}
+		}
+		got := append([]Result(nil), h.items...)
+		rank(got)
+		if len(got) != 3 || got[0].Score != 0.7 || got[1].Score != 0.6 || got[2].Score != 0.5 {
+			t.Fatalf("feed %d: survivors %v, want scores 0.7/0.6/0.5", fi, got)
+		}
+		if h.items[0].Score != 0.5 {
+			t.Fatalf("feed %d: root score %.2f, want the K-th (0.5)", fi, h.items[0].Score)
+		}
+	}
+}
+
+// TestTopKPooledReset guards the pooling change: a heap reused through
+// reset must behave exactly like a fresh one — stale items gone, a new
+// (smaller or larger) K honored, and a scatter-gather merge of several
+// reused heaps identical to one built from scratch.
+func TestTopKPooledReset(t *testing.T) {
+	h := &topK{}
+	h.reset(3)
+	for i := 0; i < 6; i++ {
+		h.consider(res(fmt.Sprintf("old%d", i), 0.9))
+	}
+	h.reset(2) // shrink across reuse
+	h.consider(res("x", 0.3))
+	h.consider(res("y", 0.8))
+	h.consider(res("z", 0.5))
+	requireIDs(t, "after reset", rankedIDs(h), []string{"y", "z"})
+
+	// Merge pooled-then-reset per-shard heaps into a fresh gather heap,
+	// as the scatter path does each tier round.
+	shard1, shard2 := &topK{}, &topK{}
+	for round := 0; round < 3; round++ {
+		shard1.reset(2)
+		shard2.reset(2)
+	}
+	for i, s := range []float64{0.2, 0.9, 0.4} {
+		shard1.consider(res(fmt.Sprintf("s1-%d", i), s))
+	}
+	for i, s := range []float64{0.6, 0.1, 0.8} {
+		shard2.consider(res(fmt.Sprintf("s2-%d", i), s))
+	}
+	merge := newTopK(3)
+	for _, sh := range []*topK{shard1, shard2} {
+		for _, r := range sh.items {
+			merge.consider(r)
+		}
+	}
+	requireIDs(t, "merged", rankedIDs(merge), []string{"s1-1", "s2-2", "s2-0"})
+}
+
+// TestEffectiveWorkersSerialFallback pins the adaptive fan-out clamp:
+// one worker per parallelMinWork candidates, serial below the
+// threshold, never exceeding the request — so a small tier runs on the
+// calling goroutine no matter how many workers were configured.
+func TestEffectiveWorkersSerialFallback(t *testing.T) {
+	min := parallelMinWork
+	cases := []struct {
+		workers, work, want int
+	}{
+		{8, 0, 1},
+		{8, min - 1, 1},   // below threshold: serial despite 8 workers
+		{8, min, 1},       // one threshold's worth still serial-equivalent
+		{8, 2 * min, 2},   // enough for two real batches
+		{8, 16 * min, 8},  // clamped by the request, not the work
+		{2, 16 * min, 2},  //
+		{1, 16 * min, 1},  // explicit serial config stays serial
+		{0, 16 * min, 1},  // non-positive request normalizes to serial
+		{8, 8*min - 1, 7}, // floor division: just under 8 batches
+		{8, 8 * min, 8},   //
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.workers, c.work); got != c.want {
+			t.Errorf("effectiveWorkers(%d, %d) = %d, want %d", c.workers, c.work, got, c.want)
+		}
+	}
+}
+
+// TestClampFanOutProcsCeiling pins the scheduler-parallelism cap: a
+// worker request beyond GOMAXPROCS (or the test override) is cut to the
+// ceiling, so on a 1-core host every configuration degrades to the
+// serial path instead of paying goroutine overhead for no concurrency.
+func TestClampFanOutProcsCeiling(t *testing.T) {
+	oldCap := maxFanOutProcs
+	defer func() { maxFanOutProcs = oldCap }()
+
+	maxFanOutProcs = 0 // default: machine parallelism
+	limit := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < limit {
+		limit = n
+	}
+	if got := clampFanOut(limit + 5); got != limit {
+		t.Errorf("clampFanOut(%d) = %d, want min(GOMAXPROCS, NumCPU) = %d", limit+5, got, limit)
+	}
+	if got := clampFanOut(1); got != 1 {
+		t.Errorf("clampFanOut(1) = %d, want 1", got)
+	}
+
+	maxFanOutProcs = 4
+	for workers, want := range map[int]int{1: 1, 4: 4, 8: 4} {
+		if got := clampFanOut(workers); got != want {
+			t.Errorf("cap=4: clampFanOut(%d) = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestSearchSteadyStateAllocs pins the pooling payoff: once the scratch
+// pool is warm, a single-shard indexed query allocates only its
+// response — bounded by a small constant independent of catalog size.
+func TestSearchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	names := []string{"water_temperature", "salinity", "turbidity", "nitrate"}
+	c := catalog.NewSharded(1)
+	for i := 0; i < 400; i++ {
+		if err := c.Upsert(benchishFeature(i, names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Snapshot()
+	s := New(c, DefaultOptions())
+	q := Query{
+		Location: &geo.Point{Lat: 44.6, Lon: -124.0},
+		Time:     &geo.TimeRange{Start: date(2010, 6, 1), End: date(2010, 8, 1)},
+		Terms:    []Term{{Name: "salinity", Range: &geo.ValueRange{Min: 25, Max: 35}}},
+		K:        10,
+	}
+	for i := 0; i < 4; i++ { // warm the pool and the lazy snapshot state
+		if _, err := s.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 48 // response slice + K explanations + query bookkeeping
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := s.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("steady-state Search allocates %.1f/op, budget %d", avg, budget)
+	}
+}

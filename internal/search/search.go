@@ -222,6 +222,21 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Explain pass: per-term score breakdowns are recomputed for the ≤K
+	// returned results only. The hot scoring loop computes bare sums —
+	// allocating a TermScores slice (and building matched-as labels) for
+	// every scored candidate would dominate the query's allocations just
+	// to throw all but K away. scoreTerm is deterministic, so the
+	// explanation carries exactly the score the ranking used.
+	if len(expanded) > 0 {
+		for i := range results {
+			ts := make([]TermScore, len(expanded))
+			for j, et := range expanded {
+				ts[j] = s.scoreTerm(results[i].Feature, et, true)
+			}
+			results[i].TermScores = ts
+		}
+	}
 	return results, nil
 }
 
@@ -281,9 +296,7 @@ func (s *Searcher) score(f *catalog.Feature, q Query, expanded []expandedTerm) R
 	if len(expanded) > 0 {
 		sum := 0.0
 		for _, et := range expanded {
-			ts := s.scoreTerm(f, et)
-			r.TermScores = append(r.TermScores, ts)
-			sum += ts.Score
+			sum += s.scoreTerm(f, et, false).Score
 		}
 		r.Vars = sum / float64(len(expanded))
 		total += w.Variables * r.Vars
@@ -298,9 +311,17 @@ func (s *Searcher) score(f *catalog.Feature, q Query, expanded []expandedTerm) R
 
 // scoreTerm scores one query term against a feature: the best expansion
 // match (by name or hierarchy parent), degraded by value-range fit.
-func (s *Searcher) scoreTerm(f *catalog.Feature, et expandedTerm) TermScore {
+// With explain=false only the score is computed — no matched-as label
+// and no string building, keeping the per-candidate loop free of
+// allocations; the explain pass re-runs with explain=true for the
+// results actually returned, and yields the identical Score (the match
+// loops are the same either way).
+func (s *Searcher) scoreTerm(f *catalog.Feature, et expandedTerm, explain bool) TermScore {
 	best := TermScore{Term: et.term.Name}
-	consider := func(v catalog.VarFeature, weight float64, label string) {
+	// matched/viaParent record how the current best was found; the label
+	// string is only built once, after the loops, when explaining.
+	var matched, viaParent string
+	consider := func(v catalog.VarFeature, weight float64, name, parent string) {
 		if v.Excluded {
 			return
 		}
@@ -310,18 +331,25 @@ func (s *Searcher) scoreTerm(f *catalog.Feature, et expandedTerm) TermScore {
 		}
 		if score > best.Score {
 			best.Score = score
-			best.MatchedAs = label
+			matched, viaParent = name, parent
 		}
 	}
 	for _, exp := range et.expansions {
 		if v, ok := f.Variable(exp.Name); ok {
-			consider(v, exp.Weight, exp.Name)
+			consider(v, exp.Weight, exp.Name, "")
 		}
 	}
 	// Hierarchy-parent match: querying the parent concept finds members.
 	for _, v := range f.Variables {
 		if v.Parent != "" && v.Parent == et.term.Name {
-			consider(v, s.opts.ParentWeight, v.Name+" (child of "+v.Parent+")")
+			consider(v, s.opts.ParentWeight, v.Name, v.Parent)
+		}
+	}
+	if explain && best.Score > 0 {
+		if viaParent != "" {
+			best.MatchedAs = matched + " (child of " + viaParent + ")"
+		} else {
+			best.MatchedAs = matched
 		}
 	}
 	return best

@@ -21,10 +21,11 @@ import (
 // the 1-shard catalog rides along as the ablation oracle, closing the
 // triangle: sharded ≡ single-shard ≡ full scan.
 func TestShardedSearchMatchesSingleShard(t *testing.T) {
-	// Force the scatter/parallel machinery even on tiny catalogs.
-	oldMin := parallelMinWork
-	parallelMinWork = 1
-	defer func() { parallelMinWork = oldMin }()
+	// Force the scatter/parallel machinery even on tiny catalogs and
+	// single-CPU hosts.
+	oldMin, oldCap := parallelMinWork, maxFanOutProcs
+	parallelMinWork, maxFanOutProcs = 1, 64
+	defer func() { parallelMinWork, maxFanOutProcs = oldMin, oldCap }()
 
 	names := []string{
 		"water_temperature", "salinity", "turbidity", "dissolved_oxygen",

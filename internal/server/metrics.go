@@ -16,8 +16,12 @@ type serveMetrics struct {
 	inFlight  atomic.Int64
 	cacheHits atomic.Uint64
 	cacheMiss atomic.Uint64
-	endpoints map[string]*endpointMetrics
-	names     []string // registration order, for stable /stats output
+	// searchesRun counts searches actually executed against the catalog
+	// (cache hits excluded) — the denominator for /stats' approximate
+	// per-search allocation figures.
+	searchesRun atomic.Uint64
+	endpoints   map[string]*endpointMetrics
+	names       []string // registration order, for stable /stats output
 }
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds; an

@@ -27,7 +27,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"metamess"
@@ -72,6 +74,15 @@ type Server struct {
 	rew     *rewrangler
 	logger  *log.Logger
 	httpSrv *http.Server
+
+	// Allocation-sampling state for /stats: per-search figures are the
+	// process-wide MemStats delta between consecutive /stats reads divided
+	// by the searches executed in that window, so they approximate (other
+	// handlers allocate too) but track the steady-state pooling payoff.
+	allocMu      sync.Mutex
+	lastMallocs  uint64
+	lastBytes    uint64
+	lastSearches uint64
 }
 
 // New wires a server; call Start (or mount Handler yourself) to serve.
@@ -271,6 +282,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		s.metrics.searchesRun.Add(1)
 		if s.sys.SnapshotGeneration() != gen {
 			// A publish raced the search; the snapshot it used is
 			// ambiguous. Retry against the fresh generation.
@@ -332,10 +344,45 @@ type StatsResponse struct {
 	Shards     ShardStats      `json:"shards"`
 	Endpoints  []EndpointStats `json:"endpoints"`
 	Cache      CacheStats      `json:"cache"`
+	Search     SearchStats     `json:"search"`
 	Rewrangle  RewrangleStats  `json:"rewrangle"`
 	// Durability reports the publish journal + checkpoint store; absent
 	// when the system runs without a data directory.
 	Durability *metamess.DurabilityStats `json:"durability,omitempty"`
+}
+
+// SearchStats reports query-execution efficiency: scratch-pool reuse
+// counters from internal/search, the number of searches that actually
+// ran against the catalog (cache hits excluded), and approximate
+// per-search allocation figures sampled as the process-wide heap delta
+// between consecutive /stats reads divided by the searches executed in
+// that window. The per-search numbers are zero until a window with at
+// least one executed search has elapsed.
+type SearchStats struct {
+	PoolHits        uint64  `json:"poolHits"`
+	PoolMisses      uint64  `json:"poolMisses"`
+	SearchesRun     uint64  `json:"searchesRun"`
+	AllocsPerSearch float64 `json:"allocsPerSearch"`
+	BytesPerSearch  float64 `json:"bytesPerSearch"`
+}
+
+// sampleSearchStats reads the pool counters and advances the
+// allocation-sampling window.
+func (s *Server) sampleSearchStats() SearchStats {
+	var st SearchStats
+	st.PoolHits, st.PoolMisses = search.PoolStats()
+	st.SearchesRun = s.metrics.searchesRun.Load()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if ran := st.SearchesRun - s.lastSearches; ran > 0 && s.lastMallocs > 0 {
+		st.AllocsPerSearch = float64(ms.Mallocs-s.lastMallocs) / float64(ran)
+		st.BytesPerSearch = float64(ms.TotalAlloc-s.lastBytes) / float64(ran)
+	}
+	s.lastMallocs, s.lastBytes, s.lastSearches = ms.Mallocs, ms.TotalAlloc, st.SearchesRun
+	return st
 }
 
 // ShardStats reports the published snapshot's partitioning: how many
@@ -362,6 +409,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:     ShardStats{Count: len(sizes), Sizes: sizes},
 		Endpoints:  s.metrics.snapshotEndpoints(),
 		Cache:      cache,
+		Search:     s.sampleSearchStats(),
 		Rewrangle:  s.rew.stats(),
 	}
 	if ds, ok := s.sys.Durability(); ok {

@@ -605,6 +605,27 @@ func TestStatsMetrics(t *testing.T) {
 	if stats.UptimeSec <= 0 {
 		t.Errorf("uptime = %v", stats.UptimeSec)
 	}
+	// Three identical queries: one executed search, two cache hits.
+	if stats.Search.SearchesRun != 1 {
+		t.Errorf("searchesRun = %d, want 1", stats.Search.SearchesRun)
+	}
+	if stats.Search.PoolHits+stats.Search.PoolMisses == 0 {
+		t.Error("pool counters both zero after an executed search")
+	}
+	// Per-search allocation figures need a second sampling window with at
+	// least one executed search in between.
+	get(t, ts.URL+"/search/text?q=with+salinity")
+	_, _, body = get(t, ts.URL+"/stats")
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Search.SearchesRun != 2 {
+		t.Errorf("searchesRun = %d, want 2", stats.Search.SearchesRun)
+	}
+	if stats.Search.AllocsPerSearch <= 0 || stats.Search.BytesPerSearch <= 0 {
+		t.Errorf("per-search alloc sample = %.1f allocs / %.1f bytes, want > 0",
+			stats.Search.AllocsPerSearch, stats.Search.BytesPerSearch)
+	}
 }
 
 // TestSearchStructuredNormalization checks that JSON field order and
