@@ -16,7 +16,16 @@
 // costs O(churn while down) instead of a cold re-wrangle.
 //
 // Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
-// GET /curator/queue, GET /healthz, GET /stats.
+// GET /curator/queue, GET /healthz, GET /stats, GET /metrics
+// (Prometheus text format), GET /debug/slowlog, GET /debug/wrangletrace.
+//
+// Observability: any search request carrying ?debug=trace or an
+// "X-Trace: 1" header returns its span tree inline (and bypasses the
+// query cache); -trace-sample N additionally traces 1 in N ordinary
+// requests for the stage histograms. Queries slower than
+// -slow-threshold land in the /debug/slowlog ring buffer and the
+// structured log. Logs are structured key=value lines on stderr
+// (log/slog).
 //
 // Signals: SIGHUP triggers an immediate background re-wrangle — or, in
 // -catalog mode, reloads the catalog file — while searches keep serving
@@ -28,7 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers, served only when -pprof is set
 	"os"
@@ -53,10 +62,16 @@ func main() {
 	fsync := flag.String("fsync", "always", "journal fsync policy: always, group, or none")
 	groupWindow := flag.Duration("fsync-window", 0, "group-commit fsync window under -fsync group (0 = 50ms)")
 	compactRatio := flag.Float64("compact-ratio", 0, "compact when journal exceeds ratio x checkpoint size (0 = 1.0)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N search requests for the stage histograms (0 = forced traces only)")
+	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold, "slow-query log threshold (negative disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dnhd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	if *archiveRoot == "" && *catalogPath == "" && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "dnhd: one of -archive, -catalog, or -data is required")
 		flag.Usage()
@@ -82,30 +97,30 @@ func main() {
 		CompactRatio:    *compactRatio,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	defer sys.Close()
 	fromCatalog := *catalogPath != "" && *archiveRoot == ""
 	if *archiveRoot == "" && *rewrangle > 0 {
 		// There is no archive to wrangle — a scheduled run would scan the
 		// throwaway root and publish an empty catalog over the loaded one.
-		logger.Printf("-rewrangle ignored without -archive (SIGHUP reloads the catalog instead)")
+		logger.Warn("-rewrangle ignored without -archive (SIGHUP reloads the catalog instead)")
 		*rewrangle = 0
 	}
 	switch {
 	case *catalogPath != "":
 		if err := sys.LoadCatalog(*catalogPath); err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("loaded catalog %s: %d datasets", *catalogPath, sys.DatasetCount())
+		logger.Info("loaded catalog "+*catalogPath, "datasets", sys.DatasetCount())
 	case *archiveRoot == "":
 		// -data only: serve the recovered catalog as-is.
-		logger.Printf("recovered %s: %d datasets, generation %d",
-			*dataDir, sys.DatasetCount(), sys.SnapshotGeneration())
+		logger.Info("recovered "+*dataDir,
+			"datasets", sys.DatasetCount(), "generation", sys.SnapshotGeneration())
 	default:
 		if sys.Durable() && sys.DatasetCount() > 0 {
-			logger.Printf("recovered %s: %d datasets, generation %d; reconciling against %s",
-				*dataDir, sys.DatasetCount(), sys.SnapshotGeneration(), root)
+			logger.Info("recovered "+*dataDir+"; reconciling against "+root,
+				"datasets", sys.DatasetCount(), "generation", sys.SnapshotGeneration())
 		}
 		// Cold start: a full wrangle. Warm restart: the recovered catalog
 		// seeds the scan, so this reconciliation run re-parses only the
@@ -113,17 +128,21 @@ func main() {
 		start := time.Now()
 		rep, err := sys.Wrangle()
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 		mode := "wrangled"
 		if rep.Delta.Unchanged > 0 && !rep.Delta.FullReprocess {
 			mode = "reconciled"
 		}
-		logger.Printf("%s %s: %d datasets, coverage %.3f, delta +%d ~%d -%d, %v",
-			mode, root, rep.Datasets, rep.CoverageAfter,
-			rep.Delta.Added, rep.Delta.Changed, rep.Delta.Removed, time.Since(start))
+		logger.Info(mode+" "+root,
+			"datasets", rep.Datasets,
+			"coverage", rep.CoverageAfter,
+			"added", rep.Delta.Added,
+			"changed", rep.Delta.Changed,
+			"removed", rep.Delta.Removed,
+			"duration", time.Since(start))
 		if _, err := sys.CompactIfNeeded(); err != nil {
-			logger.Printf("compact: %v", err)
+			logger.Error("compact failed", "err", err)
 		}
 	}
 
@@ -131,25 +150,27 @@ func main() {
 		Sys:            sys,
 		CacheSize:      *cacheSize,
 		RewrangleEvery: *rewrangle,
+		TraceSample:    *traceSample,
+		SlowThreshold:  *slowThreshold,
 		Logger:         logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
-	logger.Printf("serving on %s (generation %d)", bound, sys.SnapshotGeneration())
+	logger.Info("serving on "+bound.String(), "generation", sys.SnapshotGeneration())
 
 	if *pprofAddr != "" {
 		// The pprof handlers register on http.DefaultServeMux at import;
 		// serving that mux on a separate listener keeps profiling off the
 		// public API address (bind it to localhost).
 		go func() {
-			logger.Printf("pprof on %s", *pprofAddr)
+			logger.Info("pprof on " + *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				logger.Printf("pprof: %v", err)
+				logger.Error("pprof", "err", err)
 			}
 		}()
 	}
@@ -163,31 +184,31 @@ func main() {
 				// atomically and bumps the generation, invalidating the
 				// query cache just like a wrangled publish.
 				if err := sys.LoadCatalog(*catalogPath); err != nil {
-					logger.Printf("SIGHUP: reload %s: %v", *catalogPath, err)
+					logger.Error("SIGHUP: reload "+*catalogPath, "err", err)
 				} else {
-					logger.Printf("SIGHUP: reloaded catalog %s: %d datasets, generation %d",
-						*catalogPath, sys.DatasetCount(), sys.SnapshotGeneration())
+					logger.Info("SIGHUP: reloaded catalog "+*catalogPath,
+						"datasets", sys.DatasetCount(), "generation", sys.SnapshotGeneration())
 				}
 				continue
 			}
-			logger.Printf("SIGHUP: scheduling re-wrangle")
+			logger.Info("SIGHUP: scheduling re-wrangle")
 			srv.Rewrangle()
 			continue
 		}
-		logger.Printf("%v: draining (up to %v)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "timeout", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(ctx)
 		cancel()
 		// Shutdown has stopped the rewrangler, so no publish races this:
 		// flush and close the journal before the process exits.
 		if cerr := sys.Close(); cerr != nil {
-			logger.Printf("close journal: %v", cerr)
+			logger.Error("close journal", "err", cerr)
 		}
 		if err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 			os.Exit(1)
 		}
-		logger.Printf("bye")
+		logger.Info("bye")
 		return
 	}
 }

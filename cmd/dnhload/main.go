@@ -13,16 +13,25 @@
 //	    replays against an already-running server, deriving queries from
 //	    the archive's ground-truth manifest (e.g. the CI smoke test, with
 //	    a SIGHUP re-wrangle racing the replay).
+//
+// After the cold phase the p99-rank request is re-issued once with a
+// forced trace (X-Trace: 1) and its span tree lands in the report as an
+// exemplar — a worst-case stage breakdown next to the percentile it
+// explains. -slow-threshold sets the self-hosted server's slow-query
+// log threshold (recorded in the report either way).
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"metamess"
@@ -45,6 +54,16 @@ func searchRequests(base string, queries []workload.Judged) ([]workload.HTTPRequ
 	return out, nil
 }
 
+// traceExemplar is one forced-trace request embedded in the report: the
+// cold-phase p99-rank query replayed with X-Trace: 1.
+type traceExemplar struct {
+	// ColdLatencyMs is the latency the request observed during the cold
+	// phase (what ranked it at the p99); TracedLatencyMs is the re-issue.
+	ColdLatencyMs   float64         `json:"coldLatencyMs"`
+	TracedLatencyMs float64         `json:"tracedLatencyMs"`
+	Trace           json.RawMessage `json:"trace"`
+}
+
 // benchReport is the BENCH_serve.json schema.
 type benchReport struct {
 	GeneratedAt string `json:"generatedAt"`
@@ -59,6 +78,10 @@ type benchReport struct {
 	// HotSpeedupP50 is Cold.P50Ms / Hot.P50Ms — how much faster the
 	// cached hot query is at the median.
 	HotSpeedupP50 float64 `json:"hotSpeedupP50"`
+	// SlowThresholdMs is the server's slow-query log threshold during
+	// the run; P99Exemplar is the cold p99 request's forced span tree.
+	SlowThresholdMs float64        `json:"slowThresholdMs,omitempty"`
+	P99Exemplar     *traceExemplar `json:"p99Exemplar,omitempty"`
 }
 
 func main() {
@@ -69,10 +92,19 @@ func main() {
 	conc := flag.Int("c", 8, "concurrent requests")
 	datasets := flag.Int("datasets", 300, "archive size in self-hosted mode")
 	seed := flag.Int64("seed", 42, "workload/archive seed")
+	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold,
+		"self-hosted server's slow-query log threshold (negative disables)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dnhload: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	rep := benchReport{Concurrency: *conc}
+	if *slowThreshold > 0 {
+		rep.SlowThresholdMs = float64(*slowThreshold) / float64(time.Millisecond)
+	}
 
 	var m *archive.Manifest
 	base := *addr
@@ -80,31 +112,31 @@ func main() {
 		rep.Mode = "selfhosted"
 		var shutdown func()
 		var err error
-		base, m, shutdown, err = selfHost(logger, *datasets, *seed)
+		base, m, shutdown, err = selfHost(logger, *datasets, *seed, *slowThreshold)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 		defer shutdown()
 	} else {
 		rep.Mode = "external"
 		if *manifestPath == "" {
-			logger.Fatal("-manifest is required with -addr")
+			fatal(fmt.Errorf("-manifest is required with -addr"))
 		}
 		var err error
 		m, err = archive.ReadManifest(*manifestPath)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 	}
 	rep.Datasets = len(m.Datasets)
 
 	queries, err := workload.Queries(m, *n, *seed, workload.DefaultRelevance(), false)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	coldReqs, err := searchRequests(base, queries)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	hotReqs := make([]workload.HTTPRequest, *n)
 	for i := range hotReqs {
@@ -113,13 +145,18 @@ func main() {
 
 	ctx := context.Background()
 	opts := workload.LoadOptions{Concurrency: *conc}
-	logger.Printf("cold phase: %d distinct queries, c=%d", len(coldReqs), *conc)
+	logger.Info("cold phase", "queries", len(coldReqs), "concurrency", *conc)
 	if rep.Cold, err = workload.Replay(ctx, coldReqs, opts); err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
-	logger.Printf("hot phase: 1 query x %d, c=%d", len(hotReqs), *conc)
+	if ex, err := p99Exemplar(ctx, coldReqs, rep.Cold.Latencies); err != nil {
+		logger.Warn("p99 exemplar trace failed", "err", err)
+	} else {
+		rep.P99Exemplar = ex
+	}
+	logger.Info("hot phase", "requests", len(hotReqs), "concurrency", *conc)
 	if rep.Hot, err = workload.Replay(ctx, hotReqs, opts); err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	if rep.Hot.P50Ms > 0 {
 		rep.HotSpeedupP50 = rep.Cold.P50Ms / rep.Hot.P50Ms
@@ -128,25 +165,87 @@ func main() {
 
 	body, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	body = append(body, '\n')
 	if *out == "" {
 		os.Stdout.Write(body)
 	} else if err := os.WriteFile(*out, body, 0o644); err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
-	logger.Printf("cold: %.0f qps p50=%.2fms p99=%.2fms (%d errors); hot: %.0f qps p50=%.2fms p99=%.2fms (%d errors); hot p50 speedup %.1fx",
-		rep.Cold.QPS, rep.Cold.P50Ms, rep.Cold.P99Ms, rep.Cold.Errors,
-		rep.Hot.QPS, rep.Hot.P50Ms, rep.Hot.P99Ms, rep.Hot.Errors, rep.HotSpeedupP50)
+	logger.Info("done",
+		"coldQPS", rep.Cold.QPS, "coldP50Ms", rep.Cold.P50Ms, "coldP99Ms", rep.Cold.P99Ms, "coldErrors", rep.Cold.Errors,
+		"hotQPS", rep.Hot.QPS, "hotP50Ms", rep.Hot.P50Ms, "hotP99Ms", rep.Hot.P99Ms, "hotErrors", rep.Hot.Errors,
+		"hotP50Speedup", rep.HotSpeedupP50)
 	if rep.Cold.Errors+rep.Hot.Errors > 0 {
 		os.Exit(1)
 	}
 }
 
+// p99Exemplar re-issues the cold phase's p99-rank request with a forced
+// trace and returns its span tree for the report.
+func p99Exemplar(ctx context.Context, reqs []workload.HTTPRequest, latencies []time.Duration) (*traceExemplar, error) {
+	if len(latencies) != len(reqs) || len(reqs) == 0 {
+		return nil, fmt.Errorf("no latencies recorded")
+	}
+	// Nearest-rank p99 over the request indexes sorted by latency.
+	idx := make([]int, len(latencies))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return latencies[idx[a]] < latencies[idx[b]] })
+	rank := int(0.99*float64(len(idx))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(idx) {
+		rank = len(idx) - 1
+	}
+	pick := idx[rank]
+
+	r := reqs[pick]
+	var reqBody io.Reader
+	if r.Body != nil {
+		reqBody = bytes.NewReader(r.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, r.URL, reqBody)
+	if err != nil {
+		return nil, err
+	}
+	if r.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("X-Trace", "1")
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	traced := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("traced replay: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if len(body.Trace) == 0 {
+		return nil, fmt.Errorf("traced replay: no trace in response")
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &traceExemplar{
+		ColdLatencyMs:   ms(latencies[pick]),
+		TracedLatencyMs: ms(traced),
+		Trace:           body.Trace,
+	}, nil
+}
+
 // selfHost generates an archive, wrangles it, and starts an in-process
 // server on a loopback port.
-func selfHost(logger *log.Logger, datasets int, seed int64) (base string, m *archive.Manifest, shutdown func(), err error) {
+func selfHost(logger *slog.Logger, datasets int, seed int64, slowThreshold time.Duration) (base string, m *archive.Manifest, shutdown func(), err error) {
 	root, err := os.MkdirTemp("", "dnhload-archive-")
 	if err != nil {
 		return "", nil, nil, err
@@ -167,8 +266,8 @@ func selfHost(logger *log.Logger, datasets int, seed int64) (base string, m *arc
 		cleanup()
 		return "", nil, nil, err
 	}
-	logger.Printf("wrangled %d datasets in %v", sys.DatasetCount(), time.Since(start))
-	srv, err := server.New(server.Config{Sys: sys, Logger: logger})
+	logger.Info("wrangled", "datasets", sys.DatasetCount(), "duration", time.Since(start))
+	srv, err := server.New(server.Config{Sys: sys, Logger: logger, SlowThreshold: slowThreshold})
 	if err != nil {
 		cleanup()
 		return "", nil, nil, err

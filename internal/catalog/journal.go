@@ -133,6 +133,7 @@ func (j *Journal) Append(rec DeltaRecord) error {
 	}
 	j.size += int64(len(line))
 	j.appends++
+	journalAppends.Inc()
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("catalog: flush journal: %w", err)
 	}
@@ -172,9 +173,12 @@ func (j *Journal) groupSync() {
 }
 
 func (j *Journal) syncLocked() error {
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("catalog: sync journal: %w", err)
 	}
+	journalFsyncs.Inc()
+	journalFsyncSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
 	j.syncs++
 	j.lastSync = time.Now()
 	return nil

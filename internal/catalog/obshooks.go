@@ -1,0 +1,19 @@
+package catalog
+
+import "metamess/internal/obs"
+
+// Durability metric families, registered at init so every family exists
+// (at zero) on /metrics even when the server runs without a data
+// directory — scrape-side absence alerts need presence, not luck.
+var (
+	journalAppends = obs.Default().Counter("dnh_journal_appends_total",
+		"Publish-delta records appended to the durable journal.")
+	journalFsyncs = obs.Default().Counter("dnh_journal_fsyncs_total",
+		"Journal fsyncs issued (policy-driven and explicit).")
+	journalFsyncSeconds = obs.Default().Histogram("dnh_journal_fsync_duration_seconds",
+		"Journal fsync wall time in seconds.", obs.DurationBuckets)
+	compactions = obs.Default().Counter("dnh_compactions_total",
+		"Journal compactions completed (checkpoint rewrites).")
+	compactSeconds = obs.Default().Histogram("dnh_compact_duration_seconds",
+		"Journal compaction wall time in seconds.", obs.DurationBuckets)
+)

@@ -412,6 +412,8 @@ func (st *Store) Compact(c *Catalog) error {
 	st.lastComp = time.Since(start)
 	st.degraded = false
 	st.mu.Unlock()
+	compactions.Inc()
+	compactSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
 	return nil
 }
 

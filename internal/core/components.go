@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"metamess/internal/catalog"
 	"metamess/internal/cluster"
@@ -677,7 +678,13 @@ func (Publish) Run(ctx *Context) (StepReport, error) {
 		return StepReport{}, fmt.Errorf("no published catalog configured")
 	}
 	changed, removed := ctx.Published.DiffTo(ctx.Working)
+	aid := ctx.Trace.Start(ctx.TraceSpan, "apply-delta")
+	t0 := time.Now()
 	bumped, err := ctx.Published.ApplyDelta(changed, removed)
+	applyDeltaSeconds.ObserveSeconds(time.Since(t0).Nanoseconds())
+	ctx.Trace.Attr(aid, "changed", int64(len(changed)))
+	ctx.Trace.Attr(aid, "removed", int64(len(removed)))
+	ctx.Trace.End(aid)
 	if err != nil {
 		return StepReport{}, fmt.Errorf("publish: %w", err)
 	}
@@ -692,7 +699,15 @@ func (Publish) Run(ctx *Context) (StepReport, error) {
 		if err != nil {
 			return StepReport{}, fmt.Errorf("publish: %w", err)
 		}
-		if err := ctx.Journal.AppendPublish(ctx.Published.Generation(), changed, removed, sidecar); err != nil {
+		// The journal-append span covers encode + write + flush and,
+		// under the always-fsync policy, the fsync itself; fsyncs are
+		// aggregated separately in dnh_journal_fsync_duration_seconds.
+		jid := ctx.Trace.Start(ctx.TraceSpan, "journal-append")
+		t0 = time.Now()
+		err = ctx.Journal.AppendPublish(ctx.Published.Generation(), changed, removed, sidecar)
+		journalAppendSeconds.ObserveSeconds(time.Since(t0).Nanoseconds())
+		ctx.Trace.End(jid)
+		if err != nil {
 			return StepReport{}, fmt.Errorf("publish: %w", err)
 		}
 		journaled = 1

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"metamess/internal/catalog"
+	"metamess/internal/obs"
 	"metamess/internal/refine"
 	"metamess/internal/scan"
 	"metamess/internal/semdiv"
@@ -125,6 +126,13 @@ type Context struct {
 	// whose epoch differs from the last completed run's reprocesses
 	// everything.
 	KnowledgeEpoch uint64
+	// Trace, when set, receives write-path spans: Process.Run opens one
+	// span per component under TraceSpan, and instrumented components
+	// (Publish) nest their own stages beneath it. Nil disables tracing
+	// at zero cost — every obs.Trace method is nil-safe.
+	Trace *obs.Trace
+	// TraceSpan is the parent span id component spans attach under.
+	TraceSpan int32
 
 	// Bookkeeping recorded by Publish at the end of a completed run.
 	hasRun          bool
@@ -327,19 +335,35 @@ func (p *Process) Run(ctx *Context) (*RunReport, error) {
 		MessBefore: mess(),
 	}
 	for _, comp := range p.Components {
+		name := comp.Name()
+		// Component spans nest under the run's span; instrumented
+		// components (Publish) hang their own stages off TraceSpan, so
+		// it is re-pointed at this component for the duration of its
+		// Run and restored after.
+		sid := ctx.Trace.Start(ctx.TraceSpan, name)
+		saved := ctx.TraceSpan
+		if sid >= 0 {
+			ctx.TraceSpan = sid
+		}
 		stepStart := time.Now()
 		step, err := comp.Run(ctx)
+		dur := time.Since(stepStart)
+		ctx.TraceSpan = saved
+		ctx.Trace.End(sid)
+		observeWrangleStage(name, dur)
 		if err != nil {
-			return report, fmt.Errorf("core: component %s: %w", comp.Name(), err)
+			wrangleFailures.Inc()
+			return report, fmt.Errorf("core: component %s: %w", name, err)
 		}
-		step.Component = comp.Name()
-		step.Duration = time.Since(stepStart)
+		step.Component = name
+		step.Duration = dur
 		step.MessAfter = mess()
 		report.Steps = append(report.Steps, step)
 	}
 	report.Duration = time.Since(start)
 	report.MessAfter = mess()
 	p.History = append(p.History, report)
+	wrangleRuns.Inc()
 	return report, nil
 }
 

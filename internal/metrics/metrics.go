@@ -2,6 +2,10 @@
 // the experiments report: precision/recall at k, F1, average precision,
 // and NDCG. All functions treat result lists as ranked (best first) and
 // relevance as a set of relevant item IDs.
+//
+// This package scores how well the ranking retrieves, offline, against
+// ground truth. Operational telemetry — request tracing, Prometheus
+// counters and histograms, the slow-query log — lives in internal/obs.
 package metrics
 
 import "math"

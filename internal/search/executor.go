@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metamess/internal/catalog"
+	"metamess/internal/obs"
 )
 
 // parallelMinWork is the candidate count each scoring worker must be
@@ -54,22 +56,74 @@ func canceled(ctx context.Context) bool {
 // rule is the same proof the single-shard executor uses. The result is
 // byte-identical for every shard count — the property
 // TestShardedSearchMatchesSingleShard pins.
-func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q Query, expanded []expandedTerm, k int) []Result {
+//
+// qo is the query's observability footprint (nil when unobserved — the
+// benchmark and library paths): stage timings, per-shard candidate
+// counts, and — when a trace is attached — plan/scatter/merge phase
+// spans with per-shard and per-tier children. Every hook is
+// nil-guarded, so the qo == nil path never reads the clock and never
+// allocates; the ranking itself is identical either way.
+func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q Query, expanded []expandedTerm, k int, qo *obs.QueryObs) []Result {
 	shards := snap.Shards()
 	workers := s.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workers = clampFanOut(workers)
+	qo.SizeShards(len(shards))
+	tr, root := qo.Tracer()
 
 	if len(shards) == 1 {
 		sc := getScratch()
-		results := s.searchShard(ctx, shards[0], q, expanded, k, workers, sc)
+		var results []Result
+		var t0 time.Time
+		if s.opts.UseIndex {
+			if qo != nil {
+				t0 = time.Now()
+			}
+			pid := tr.Start(root, "plan")
+			spid := tr.Start(pid, "shard-plan")
+			pln := s.buildPlan(shards[0], q, expanded, sc)
+			tr.Attr(spid, "shard", 0)
+			tr.Attr(spid, "tiers", int64(len(pln.tiers)))
+			tr.End(spid)
+			tr.End(pid)
+			if qo != nil {
+				qo.PlanNs += time.Since(t0).Nanoseconds()
+				t0 = time.Now()
+			}
+			sid := tr.Start(root, "scatter")
+			results = s.executePlan(ctx, shards[0], pln, q, expanded, k, workers, sc, qo, 0, sid)
+			tr.End(sid)
+			if qo != nil {
+				qo.ScatterNs += time.Since(t0).Nanoseconds()
+			}
+		} else {
+			if qo != nil {
+				t0 = time.Now()
+			}
+			sid := tr.Start(root, "scatter")
+			results = s.linearShard(ctx, shards[0], q, expanded, k, workers, sc, qo, 0, sid)
+			tr.End(sid)
+			if qo != nil {
+				qo.ScatterNs += time.Since(t0).Nanoseconds()
+				qo.NoteTier(0)
+			}
+		}
+		if qo != nil {
+			t0 = time.Now()
+		}
+		mid := tr.Start(root, "merge")
 		rank(results)
 		if len(results) > k {
 			results = results[:k]
 		}
 		out := append([]Result(nil), results...) // detach from pooled scratch
+		tr.Attr(mid, "results", int64(len(out)))
+		tr.End(mid)
+		if qo != nil {
+			qo.MergeNs += time.Since(t0).Nanoseconds()
+		}
 		putScratch(sc)
 		return out
 	}
@@ -97,31 +151,67 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 		mu.Unlock()
 	}
 
+	// Trace spans inside parallelDo callbacks are safe (the Trace is
+	// mutex-guarded) and candidate counts go to disjoint per-shard
+	// slots; the stage-duration fields are only touched here on the
+	// request goroutine, between barriers.
+	var t0 time.Time
+
 	if !s.opts.UseIndex {
 		// Linear ablation: one full-scan round over every shard.
+		if qo != nil {
+			t0 = time.Now()
+		}
+		sid := tr.Start(root, "scatter")
 		parallelDo(workers, len(shards), func(si int) {
 			if canceled(ctx) {
 				return
 			}
-			gather(s.searchShard(ctx, shards[si], q, expanded, k, 1, scs[si]))
+			gather(s.linearShard(ctx, shards[si], q, expanded, k, 1, scs[si], qo, si, sid))
 		})
+		tr.End(sid)
+		if qo != nil {
+			qo.ScatterNs += time.Since(t0).Nanoseconds()
+			qo.NoteTier(0)
+			t0 = time.Now()
+		}
+		mid := tr.Start(root, "merge")
 		out := append([]Result(nil), merge.items...)
 		rank(out)
+		tr.Attr(mid, "results", int64(len(out)))
+		tr.End(mid)
+		if qo != nil {
+			qo.MergeNs += time.Since(t0).Nanoseconds()
+		}
 		return out
 	}
 
+	if qo != nil {
+		t0 = time.Now()
+	}
+	pid := tr.Start(root, "plan")
 	plans := make([]plan, len(shards))
 	parallelDo(workers, len(shards), func(si int) {
+		spid := tr.Start(pid, "shard-plan")
 		plans[si] = s.buildPlan(shards[si], q, expanded, scs[si])
 		scs[si].scoredFor(shards[si].Len())
+		tr.Attr(spid, "shard", int64(si))
+		tr.Attr(spid, "tiers", int64(len(plans[si].tiers)))
+		tr.End(spid)
 	})
+	tr.End(pid)
 	maxTiers := 0
 	for _, p := range plans {
 		if len(p.tiers) > maxTiers {
 			maxTiers = len(p.tiers)
 		}
 	}
+	if qo != nil {
+		qo.PlanNs += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
 
+	sid := tr.Start(root, "scatter")
 	for ti := 0; ti < maxTiers; ti++ {
 		if canceled(ctx) {
 			break
@@ -152,10 +242,17 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 				was[p] = true
 			}
 			sc.batch = batch
+			tid := tr.Start(sid, "tier")
 			if len(batch) > 0 {
 				gather(s.scorePositions(ctx, sh, batch, q, expanded, k, 1, sc))
 			}
+			qo.AddShardCandidates(si, len(batch))
+			tr.Attr(tid, "shard", int64(si))
+			tr.Attr(tid, "tier", int64(ti))
+			tr.Attr(tid, "candidates", int64(len(batch)))
+			tr.End(tid)
 		})
+		qo.NoteTier(ti)
 		// Barrier: all workers joined, so the heap is quiescent. Stop
 		// when K gathered results strictly clear every shard's outside
 		// bound for this tier (bounds are query-derived and identical
@@ -173,8 +270,19 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 			break
 		}
 	}
+	tr.End(sid)
+	if qo != nil {
+		qo.ScatterNs += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
+	mid := tr.Start(root, "merge")
 	out := append([]Result(nil), merge.items...)
 	rank(out)
+	tr.Attr(mid, "results", int64(len(out)))
+	tr.End(mid)
+	if qo != nil {
+		qo.MergeNs += time.Since(t0).Nanoseconds()
+	}
 	return out
 }
 
@@ -209,20 +317,28 @@ func parallelDo(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// searchShard computes one shard's exact top-K — via the tiered plan
-// when the index is enabled, or a full scan for the linear ablation.
-// The returned slice is unsorted, has at most k elements, and aliases
-// the scratch: callers copy out before releasing sc.
-func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, expanded []expandedTerm, k, workers int, sc *scratch) []Result {
-	if !s.opts.UseIndex {
-		all := sc.batch[:0]
-		for i := 0; i < sh.Len(); i++ {
-			all = append(all, int32(i))
-		}
-		sc.batch = all
-		return s.scorePositions(ctx, sh, all, q, expanded, k, workers, sc)
+// linearShard computes one shard's exact top-K by full scan — the
+// linear ablation. The returned slice is unsorted, has at most k
+// elements, and aliases the scratch: callers copy out before releasing
+// sc. The whole scan is one "tier" span under parent, and every
+// position counts as an examined candidate for shard si. Safe to call
+// from scatter workers: it only touches the (mutex-guarded) trace and
+// shard si's own counter slot.
+func (s *Searcher) linearShard(ctx context.Context, sh *catalog.Shard, q Query, expanded []expandedTerm, k, workers int, sc *scratch, qo *obs.QueryObs, si int, parent int32) []Result {
+	tr, _ := qo.Tracer()
+	tid := tr.Start(parent, "tier")
+	all := sc.batch[:0]
+	for i := 0; i < sh.Len(); i++ {
+		all = append(all, int32(i))
 	}
-	return s.executePlan(ctx, sh, s.buildPlan(sh, q, expanded, sc), q, expanded, k, workers, sc)
+	sc.batch = all
+	res := s.scorePositions(ctx, sh, all, q, expanded, k, workers, sc)
+	qo.AddShardCandidates(si, len(all))
+	tr.Attr(tid, "shard", int64(si))
+	tr.Attr(tid, "tier", 0)
+	tr.Attr(tid, "candidates", int64(len(all)))
+	tr.End(tid)
+	return res
 }
 
 // executePlan runs the tiers of a plan over one shard: score each
@@ -231,12 +347,15 @@ func (s *Searcher) searchShard(ctx context.Context, sh *catalog.Shard, q Query, 
 // outside bound — anything unscored in this shard is then provably
 // below every returned result. (The multi-shard scatter path runs the
 // same tier loop inline, with the bound check against the global merge
-// heap at each tier barrier.)
-func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan, q Query, expanded []expandedTerm, k, workers int, sc *scratch) []Result {
+// heap at each tier barrier.) Only the single-shard path calls it, so
+// it runs on the request goroutine and may touch qo's tier counter
+// directly; each executed tier becomes a "tier" span under parent.
+func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan, q Query, expanded []expandedTerm, k, workers int, sc *scratch, qo *obs.QueryObs, si int, parent int32) []Result {
+	tr, _ := qo.Tracer()
 	n := sh.Len()
 	scored := sc.scoredFor(n)
 	acc := sc.acc[:0]
-	for _, t := range pln.tiers {
+	for ti, t := range pln.tiers {
 		if canceled(ctx) {
 			break
 		}
@@ -258,6 +377,7 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 			scored[p] = true
 		}
 		sc.batch = batch
+		tid := tr.Start(parent, "tier")
 		if len(batch) > 0 {
 			acc = append(acc, s.scorePositions(ctx, sh, batch, q, expanded, k, workers, sc)...)
 			rank(acc)
@@ -265,6 +385,12 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 				acc = acc[:k]
 			}
 		}
+		qo.AddShardCandidates(si, len(batch))
+		qo.NoteTier(ti)
+		tr.Attr(tid, "shard", int64(si))
+		tr.Attr(tid, "tier", int64(ti))
+		tr.Attr(tid, "candidates", int64(len(batch)))
+		tr.End(tid)
 		if len(acc) >= k && acc[k-1].Score > t.bound {
 			break
 		}

@@ -15,6 +15,7 @@ import (
 
 	"metamess/internal/catalog"
 	"metamess/internal/geo"
+	"metamess/internal/obs"
 )
 
 // Term is one variable query term, optionally constrained to a value
@@ -204,6 +205,12 @@ func (s *Searcher) Search(q Query) ([]Result, error) {
 // ctx between tiers and every few hundred candidates, and returns
 // ctx.Err() instead of a partial ranking when the caller gives up — the
 // serving layer's request-scoped entry point.
+//
+// When the context carries an obs.QueryObs (attached by the serving
+// layer), the executor records per-stage timings, per-shard candidate
+// counts, and — for sampled or forced traces — a span tree. Without
+// one, the whole observability surface collapses to a single context
+// lookup and nil checks; rankings are identical either way.
 func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -215,10 +222,23 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error)
 	if k <= 0 {
 		k = 10
 	}
+	qo := obs.QueryFromContext(ctx)
+	tr, root := qo.Tracer()
+	var t0 time.Time
+	if qo != nil {
+		t0 = time.Now()
+	}
+	eid := tr.Start(root, "expand")
 	expanded := s.expandTerms(q.Terms)
+	tr.Attr(eid, "terms", int64(len(expanded)))
+	tr.End(eid)
+	if qo != nil {
+		// Term expansion is query preparation; fold it into plan time.
+		qo.PlanNs += time.Since(t0).Nanoseconds()
+	}
 	snap := s.cat.Snapshot()
 
-	results := s.searchSnapshot(ctx, snap, q, expanded, k)
+	results := s.searchSnapshot(ctx, snap, q, expanded, k, qo)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -229,12 +249,20 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error)
 	// to throw all but K away. scoreTerm is deterministic, so the
 	// explanation carries exactly the score the ranking used.
 	if len(expanded) > 0 {
+		if qo != nil {
+			t0 = time.Now()
+		}
+		xid := tr.Start(root, "explain")
 		for i := range results {
 			ts := make([]TermScore, len(expanded))
 			for j, et := range expanded {
 				ts[j] = s.scoreTerm(results[i].Feature, et, true)
 			}
 			results[i].TermScores = ts
+		}
+		tr.End(xid)
+		if qo != nil {
+			qo.ExplainNs += time.Since(t0).Nanoseconds()
 		}
 	}
 	return results, nil

@@ -1,0 +1,131 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metamess/internal/catalog"
+	"metamess/internal/obs"
+)
+
+// The tracing properties: attaching a QueryObs (with a forced trace)
+// must be purely observational. Rankings are byte-identical with and
+// without it; the per-shard candidate counts it records are the real
+// examined sets — a traced linear scan examines every live feature
+// exactly once, and the indexed executor's counters agree with the
+// "candidates" attributes on its own tier spans. Runs under -race in
+// CI, so the scatter workers' concurrent span recording is checked too.
+
+// tracedSearch runs one search with a forced trace attached and returns
+// the results plus the footprint's counters and rendered span tree.
+func tracedSearch(t *testing.T, s *Searcher, q Query) ([]Result, *obs.QueryObs, *obs.SpanTree) {
+	t.Helper()
+	qo := obs.GetQueryObs()
+	qo.Forced = true
+	qo.Trace = obs.NewTrace()
+	qo.Root = qo.Trace.Start(-1, "search")
+	res, err := s.SearchContext(obs.WithQuery(context.Background(), qo), q)
+	if err != nil {
+		t.Fatalf("traced search: %v", err)
+	}
+	qo.Trace.End(qo.Root)
+	return res, qo, qo.Trace.Tree()
+}
+
+// releaseTraced recycles what tracedSearch handed out.
+func releaseTraced(qo *obs.QueryObs) {
+	obs.ReleaseTrace(qo.Trace)
+	obs.PutQueryObs(qo)
+}
+
+// sumTierCandidates walks the span tree adding up the "candidates"
+// attribute of every "tier" span.
+func sumTierCandidates(n *obs.SpanTree) int64 {
+	if n == nil {
+		return 0
+	}
+	var sum int64
+	if n.Name == "tier" {
+		sum += n.Attrs["candidates"]
+	}
+	for _, c := range n.Children {
+		sum += sumTierCandidates(c)
+	}
+	return sum
+}
+
+func TestTracedSearchObservational(t *testing.T) {
+	// Force the scatter/parallel machinery even on tiny catalogs and
+	// single-CPU hosts.
+	oldMin, oldCap := parallelMinWork, maxFanOutProcs
+	parallelMinWork, maxFanOutProcs = 1, 64
+	defer func() { parallelMinWork, maxFanOutProcs = oldMin, oldCap }()
+
+	names := []string{
+		"water_temperature", "salinity", "turbidity", "dissolved_oxygen",
+		"fluores375", "fluores410", "nitrate", "fluorescence",
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 10; trial++ {
+		// The 1-shard baseline plus a random scatter partitioning.
+		for _, sc := range []int{1, 2 + rng.Intn(15)} {
+			n := 20 + rng.Intn(100)
+			c := catalog.NewSharded(sc)
+			for i := 0; i < n; i++ {
+				if err := c.Upsert(randomFeature(rng, trial, i, names)); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+			idxOpts := DefaultOptions()
+			idxOpts.Workers = 1 + rng.Intn(8)
+			indexed := New(c, idxOpts)
+			linOpts := DefaultOptions()
+			linOpts.UseIndex = false
+			linOpts.Workers = 1 + rng.Intn(8)
+			linear := New(c, linOpts)
+
+			for qi := 0; qi < 6; qi++ {
+				q := randomQuery(rng, names, n)
+				label := fmt.Sprintf("trial %d shards %d query %d (%+v)", trial, sc, qi, q)
+
+				// Tracing on vs. off: byte-identical rankings.
+				plain, err := indexed.Search(q)
+				if err != nil {
+					t.Fatalf("%s: untraced: %v", label, err)
+				}
+				traced, qo, tree := tracedSearch(t, indexed, q)
+				requireSameResults(t, label+": traced vs untraced", plain, traced)
+
+				// The executor's counters agree with its own spans: the
+				// tier spans' candidates attributes sum to the footprint's
+				// per-shard totals.
+				if got, want := sumTierCandidates(tree), qo.TotalCandidates(); got != want {
+					t.Fatalf("%s: tier span candidates %d != footprint total %d", label, got, want)
+				}
+				if qo.TiersRun < 1 {
+					t.Fatalf("%s: TiersRun = %d, want >= 1", label, qo.TiersRun)
+				}
+				if len(qo.ShardCandidates) != sc {
+					t.Fatalf("%s: %d shard counters, want %d", label, len(qo.ShardCandidates), sc)
+				}
+				releaseTraced(qo)
+
+				// The linear-scan oracle examines every live feature
+				// exactly once, however it is sharded: its traced per-shard
+				// candidate counts must sum to the catalog size.
+				linTraced, lqo, _ := tracedSearch(t, linear, q)
+				if got := lqo.TotalCandidates(); got != int64(n) {
+					t.Fatalf("%s: linear scan examined %d candidates, want %d", label, got, n)
+				}
+				linPlain, err := linear.Search(q)
+				if err != nil {
+					t.Fatalf("%s: linear untraced: %v", label, err)
+				}
+				requireSameResults(t, label+": linear traced vs untraced", linPlain, linTraced)
+				releaseTraced(lqo)
+			}
+		}
+	}
+}

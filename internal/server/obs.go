@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"metamess/internal/obs"
+	"metamess/internal/search"
+)
+
+// Read-path metric families in the process-wide registry. Stage
+// histograms are fed from each executed query's obs.QueryObs footprint
+// after the search returns — the executor itself only accumulates
+// nanosecond counters, so the search hot path never touches the
+// registry.
+var (
+	searchStageParse = obs.Default().Histogram("dnh_search_stage_duration_seconds",
+		"Search stage wall time in seconds.", obs.DurationBuckets, "stage", "parse")
+	searchStagePlan = obs.Default().Histogram("dnh_search_stage_duration_seconds",
+		"Search stage wall time in seconds.", obs.DurationBuckets, "stage", "plan")
+	searchStageScatter = obs.Default().Histogram("dnh_search_stage_duration_seconds",
+		"Search stage wall time in seconds.", obs.DurationBuckets, "stage", "scatter")
+	searchStageMerge = obs.Default().Histogram("dnh_search_stage_duration_seconds",
+		"Search stage wall time in seconds.", obs.DurationBuckets, "stage", "merge")
+	searchStageExplain = obs.Default().Histogram("dnh_search_stage_duration_seconds",
+		"Search stage wall time in seconds.", obs.DurationBuckets, "stage", "explain")
+	tracesForced = obs.Default().Counter("dnh_traces_total",
+		"Traced requests by mode.", "mode", "forced")
+	tracesSampled = obs.Default().Counter("dnh_traces_total",
+		"Traced requests by mode.", "mode", "sampled")
+	slowQueries = obs.Default().Counter("dnh_slow_queries_total",
+		"Queries at or above the slow-query threshold.")
+)
+
+// beginQuery builds the request's observability footprint: every search
+// gets a pooled QueryObs (stage timings and shard counts always
+// accumulate — they feed the histograms and the slow-query log), and a
+// trace is attached when the client forces one (?debug=trace or
+// X-Trace: 1) or the sampler picks the request.
+func (s *Server) beginQuery(r *http.Request) *obs.QueryObs {
+	qo := obs.GetQueryObs()
+	if r.URL.Query().Get("debug") == "trace" || r.Header.Get("X-Trace") == "1" {
+		qo.Forced = true
+		qo.Trace = obs.NewTrace()
+		tracesForced.Inc()
+	} else if s.sampler.Sample() {
+		qo.Trace = obs.NewTrace()
+		tracesSampled.Inc()
+	}
+	if qo.Trace != nil {
+		qo.Root = qo.Trace.Start(-1, "search")
+	}
+	return qo
+}
+
+// endQuery recycles the footprint and its trace (span trees rendered
+// for the response were deep-copied by Tree, so pooling is safe).
+func (s *Server) endQuery(qo *obs.QueryObs) {
+	obs.ReleaseTrace(qo.Trace)
+	obs.PutQueryObs(qo)
+}
+
+// observeStages feeds one executed search's stage timings into the
+// histograms. Parse is observed separately (once per request, not per
+// generation-race attempt).
+func observeStages(qo *obs.QueryObs) {
+	searchStagePlan.ObserveSeconds(qo.PlanNs)
+	searchStageScatter.ObserveSeconds(qo.ScatterNs)
+	searchStageMerge.ObserveSeconds(qo.MergeNs)
+	searchStageExplain.ObserveSeconds(qo.ExplainNs)
+}
+
+// noteSlow records the finished request into the slow-query log when it
+// crossed the threshold, and mirrors it to the structured log. The
+// fast path is one nil/threshold check.
+func (s *Server) noteSlow(start time.Time, key string, gen uint64, qo *obs.QueryObs, cacheHit bool) {
+	wallMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	if !s.slow.Slow(wallMs) {
+		return
+	}
+	slowQueries.Inc()
+	e := obs.SlowEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Query:      key,
+		Generation: gen,
+		WallMs:     wallMs,
+		CacheHit:   cacheHit,
+		Traced:     qo.Trace != nil,
+		Tiers:      qo.TiersRun,
+		ShardSkew:  qo.Skew(),
+	}
+	if len(qo.ShardCandidates) > 0 {
+		e.ShardCandidates = append([]int32(nil), qo.ShardCandidates...)
+	}
+	for _, st := range [...]struct {
+		name string
+		ns   int64
+	}{
+		{"parse", qo.ParseNs},
+		{"plan", qo.PlanNs},
+		{"scatter", qo.ScatterNs},
+		{"merge", qo.MergeNs},
+		{"explain", qo.ExplainNs},
+	} {
+		if st.ns > 0 {
+			e.Stages = append(e.Stages, obs.StageMs{Stage: st.name, Ms: float64(st.ns) / 1e6})
+		}
+	}
+	s.slow.Record(e)
+	s.logger.Warn("slow query",
+		"query", key,
+		"wallMs", wallMs,
+		"generation", gen,
+		"tiers", qo.TiersRun,
+		"shardSkew", e.ShardSkew,
+		"cacheHit", cacheHit)
+}
+
+// handleMetrics serves the Prometheus text exposition: the process-wide
+// registry (search/wrangle/publish/journal stage families) plus this
+// server instance's own families (HTTP, cache, pool, snapshot,
+// durability gauges).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	obs.Default().WritePrometheus(&buf)
+	s.writeServerFamilies(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// writeServerFamilies renders the families owned by this Server value
+// (not the process-wide registry, so tests running several servers in
+// one process don't cross their counters).
+func (s *Server) writeServerFamilies(w io.Writer) {
+	promFamily(w, "dnh_uptime_seconds", "gauge", "Seconds since the server started.")
+	promFloat(w, "dnh_uptime_seconds", "", time.Since(s.metrics.start).Seconds())
+	promFamily(w, "dnh_http_in_flight", "gauge", "Requests currently being served.")
+	promInt(w, "dnh_http_in_flight", "", s.metrics.inFlight.Load())
+
+	promFamily(w, "dnh_http_requests_total", "counter", "HTTP requests by endpoint.")
+	for _, name := range s.metrics.names {
+		promUint(w, "dnh_http_requests_total", `endpoint="`+name+`"`, s.metrics.endpoints[name].requests.Load())
+	}
+	promFamily(w, "dnh_http_request_errors_total", "counter", "HTTP responses with status >= 400 by endpoint.")
+	for _, name := range s.metrics.names {
+		promUint(w, "dnh_http_request_errors_total", `endpoint="`+name+`"`, s.metrics.endpoints[name].errors.Load())
+	}
+	promFamily(w, "dnh_http_request_duration_seconds", "histogram", "HTTP request latency by endpoint.")
+	for _, name := range s.metrics.names {
+		e := s.metrics.endpoints[name]
+		labels := `endpoint="` + name + `"`
+		var cum uint64
+		for i, ms := range latencyBucketsMs {
+			cum += e.buckets[i].Load()
+			promUint(w, "dnh_http_request_duration_seconds_bucket",
+				labels+`,le="`+strconv.FormatFloat(ms/1000, 'g', -1, 64)+`"`, cum)
+		}
+		cum += e.buckets[len(latencyBucketsMs)].Load()
+		promUint(w, "dnh_http_request_duration_seconds_bucket", labels+`,le="+Inf"`, cum)
+		promFloat(w, "dnh_http_request_duration_seconds_sum", labels, float64(e.totalUs.Load())/1e6)
+		promUint(w, "dnh_http_request_duration_seconds_count", labels, e.requests.Load())
+	}
+
+	promFamily(w, "dnh_cache_hits_total", "counter", "Query-cache hits.")
+	promUint(w, "dnh_cache_hits_total", "", s.metrics.cacheHits.Load())
+	promFamily(w, "dnh_cache_misses_total", "counter", "Query-cache misses.")
+	promUint(w, "dnh_cache_misses_total", "", s.metrics.cacheMiss.Load())
+	promFamily(w, "dnh_cache_entries", "gauge", "Query-cache resident entries.")
+	promInt(w, "dnh_cache_entries", "", int64(s.cache.Len()))
+
+	promFamily(w, "dnh_searches_total", "counter", "Searches executed against the catalog (cache hits excluded).")
+	promUint(w, "dnh_searches_total", "", s.metrics.searchesRun.Load())
+	poolHits, poolMisses := search.PoolStats()
+	promFamily(w, "dnh_search_pool_hits_total", "counter", "Query-scratch pool reuses.")
+	promUint(w, "dnh_search_pool_hits_total", "", poolHits)
+	promFamily(w, "dnh_search_pool_misses_total", "counter", "Query-scratch pool fresh allocations.")
+	promUint(w, "dnh_search_pool_misses_total", "", poolMisses)
+
+	promFamily(w, "dnh_snapshot_generation", "gauge", "Published snapshot generation.")
+	promUint(w, "dnh_snapshot_generation", "", s.sys.SnapshotGeneration())
+	promFamily(w, "dnh_datasets", "gauge", "Datasets in the published catalog.")
+	promInt(w, "dnh_datasets", "", int64(s.sys.DatasetCount()))
+	promFamily(w, "dnh_snapshot_shard_features", "gauge", "Features per snapshot shard.")
+	for i, n := range s.sys.SnapshotShardSizes() {
+		promInt(w, "dnh_snapshot_shard_features", `shard="`+strconv.Itoa(i)+`"`, int64(n))
+	}
+
+	if ds, ok := s.sys.Durability(); ok {
+		// Journal bytes since the last checkpoint are exactly the warm
+		// restart's replay backlog — the lag a replica would have to
+		// catch up.
+		promFamily(w, "dnh_journal_lag_bytes", "gauge", "Journal bytes not yet folded into the checkpoint (replay backlog).")
+		promInt(w, "dnh_journal_lag_bytes", "", ds.JournalBytes)
+		promFamily(w, "dnh_checkpoint_size_bytes", "gauge", "Checkpoint size on disk.")
+		promInt(w, "dnh_checkpoint_size_bytes", "", ds.CheckpointBytes)
+		promFamily(w, "dnh_store_degraded", "gauge", "1 while the durable store refuses appends after a journal error.")
+		var degraded int64
+		if ds.Degraded {
+			degraded = 1
+		}
+		promInt(w, "dnh_store_degraded", "", degraded)
+	}
+
+	promFamily(w, "dnh_slowlog_entries", "gauge", "Slow-query log resident entries.")
+	promInt(w, "dnh_slowlog_entries", "", int64(s.slow.Len()))
+}
+
+func promFamily(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func promUint(w io.Writer, name, labels string, v uint64) {
+	promValue(w, name, labels, strconv.FormatUint(v, 10))
+}
+
+func promInt(w io.Writer, name, labels string, v int64) {
+	promValue(w, name, labels, strconv.FormatInt(v, 10))
+}
+
+func promFloat(w io.Writer, name, labels string, v float64) {
+	promValue(w, name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func promValue(w io.Writer, name, labels, val string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, val)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, val)
+	}
+}
+
+// SlowlogResponse is the /debug/slowlog body.
+type SlowlogResponse struct {
+	ThresholdMs float64         `json:"thresholdMs"`
+	Count       int             `json:"count"`
+	Total       uint64          `json:"total"`
+	Slowest     []obs.SlowEntry `json:"slowest"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Entries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowlogResponse{
+		ThresholdMs: s.slow.ThresholdMs(),
+		Count:       s.slow.Len(),
+		Total:       s.slow.Total(),
+		Slowest:     entries,
+	})
+}
+
+func (s *Server) handleWrangleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"trace": s.rew.trace()})
+}

@@ -1,11 +1,12 @@
 package server
 
 import (
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
 	"metamess"
+	"metamess/internal/obs"
 )
 
 // rewrangler re-runs the wrangling pipeline in the background — on a
@@ -18,7 +19,7 @@ import (
 type rewrangler struct {
 	sys      *metamess.System
 	interval time.Duration
-	logger   *log.Logger
+	logger   *slog.Logger
 	kick     chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
@@ -34,6 +35,10 @@ type rewrangler struct {
 	noopRuns     int
 	compactions  int
 	compactErr   string
+	// lastTrace is the previous run's rendered span tree, served at
+	// /debug/wrangletrace. Wrangles are seconds-scale and rare, so every
+	// run is traced — the span overhead is noise against a single fsync.
+	lastTrace *obs.SpanTree
 }
 
 // DeltaStats is the last completed run's churn, plus how many runs in a
@@ -70,7 +75,7 @@ type RewrangleStats struct {
 	LastCompactError string `json:"lastCompactError,omitempty"`
 }
 
-func newRewrangler(sys *metamess.System, interval time.Duration, logger *log.Logger) *rewrangler {
+func newRewrangler(sys *metamess.System, interval time.Duration, logger *slog.Logger) *rewrangler {
 	return &rewrangler{
 		sys:      sys,
 		interval: interval,
@@ -123,8 +128,13 @@ func (r *rewrangler) run() {
 	r.mu.Lock()
 	r.running = true
 	r.mu.Unlock()
+	// Every background run is traced: the write path is seconds-scale
+	// and runs at most once per interval, so span overhead is noise, and
+	// /debug/wrangletrace always has the latest run's stage breakdown.
+	tr := obs.NewTrace()
+	root := tr.Start(-1, "wrangle-run")
 	start := time.Now()
-	rep, err := r.sys.Wrangle()
+	rep, err := r.sys.WrangleWithTrace(tr, root)
 	d := time.Since(start)
 
 	r.mu.Lock()
@@ -147,11 +157,17 @@ func (r *rewrangler) run() {
 	r.mu.Unlock()
 
 	if err != nil {
-		r.logger.Printf("rewrangle: failed after %v: %v", d, err)
+		r.logger.Error("rewrangle failed", "after", d, "err", err)
 	} else {
-		r.logger.Printf("rewrangle: %d datasets, coverage %.3f, generation %d, delta +%d ~%d -%d (published %d), %v",
-			rep.Datasets, rep.CoverageAfter, r.sys.SnapshotGeneration(),
-			rep.Delta.Added, rep.Delta.Changed, rep.Delta.Removed, rep.Delta.Published, d)
+		r.logger.Info("rewrangle",
+			"datasets", rep.Datasets,
+			"coverage", rep.CoverageAfter,
+			"generation", r.sys.SnapshotGeneration(),
+			"added", rep.Delta.Added,
+			"changed", rep.Delta.Changed,
+			"removed", rep.Delta.Removed,
+			"published", rep.Delta.Published,
+			"duration", d)
 	}
 
 	// The background compactor rides the rewrangle loop: after every run
@@ -160,8 +176,14 @@ func (r *rewrangler) run() {
 	// fresh checkpoint if it has outgrown the configured ratio. Searches
 	// read the immutable snapshot throughout; publishes are serialized
 	// with this loop anyway.
+	cid := tr.Start(root, "compact")
 	compacted, cerr := r.sys.CompactIfNeeded()
+	tr.End(cid)
+	tr.End(root)
+	tree := tr.Tree()
+	obs.ReleaseTrace(tr)
 	r.mu.Lock()
+	r.lastTrace = tree
 	if cerr != nil {
 		r.compactErr = cerr.Error()
 	} else {
@@ -172,13 +194,23 @@ func (r *rewrangler) run() {
 	}
 	r.mu.Unlock()
 	if cerr != nil {
-		r.logger.Printf("compact: %v", cerr)
+		r.logger.Error("compact failed", "err", cerr)
 	} else if compacted {
 		if ds, ok := r.sys.Durability(); ok {
-			r.logger.Printf("compact: journal folded into checkpoint (generation %d, checkpoint %d bytes, %.1fms)",
-				ds.Generation, ds.CheckpointBytes, ds.LastCompactMs)
+			r.logger.Info("compact: journal folded into checkpoint",
+				"generation", ds.Generation,
+				"checkpointBytes", ds.CheckpointBytes,
+				"ms", ds.LastCompactMs)
 		}
 	}
+}
+
+// trace returns the last completed run's span tree (nil before the
+// first background run).
+func (r *rewrangler) trace() *obs.SpanTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastTrace
 }
 
 func (r *rewrangler) stats() RewrangleStats {

@@ -10,12 +10,22 @@
 //	GET  /curator/queue   names awaiting a curator decision
 //	GET  /healthz         liveness + catalog size and generation
 //	GET  /stats           serving metrics (counts, latency, cache, rewrangle)
+//	GET  /metrics         Prometheus text exposition (internal/obs)
+//	GET  /debug/slowlog   the N slowest recent queries past the threshold
+//	GET  /debug/wrangletrace  the last wrangle run's span tree
 //
 // Search responses are cached in an LRU keyed by (normalized query,
 // snapshot generation): a publish bumps the generation, so stale
 // entries are invalidated by construction. A background rewrangler can
 // re-run the pipeline on an interval or on demand (SIGHUP) while
 // searches keep serving the previous snapshot.
+//
+// Every search carries an obs.QueryObs through its context: stage
+// timings and per-shard candidate counts always feed the /metrics
+// histograms and the slow-query log, and a span tree is attached when
+// the request forces one (?debug=trace or X-Trace: 1 — returned inline
+// in the response, bypassing the cache) or the configured sampler picks
+// it.
 package server
 
 import (
@@ -24,7 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"metamess"
+	"metamess/internal/obs"
 	"metamess/internal/search"
 )
 
@@ -44,13 +55,23 @@ const (
 	epCurator     = "/curator/queue"
 	epHealthz     = "/healthz"
 	epStats       = "/stats"
+	epMetrics     = "/metrics"
+	epDebug       = "/debug"
 	endpointOther = "other"
 )
 
-var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epStats, endpointOther}
+var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epStats, epMetrics, epDebug, endpointOther}
 
 // DefaultCacheSize is the query-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 512
+
+// DefaultSlowThreshold is the slow-query threshold when Config leaves
+// it 0; negative disables the slow-query log.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// DefaultSlowLogSize is the slow-query ring capacity when Config leaves
+// it 0.
+const DefaultSlowLogSize = 64
 
 // Config configures a Server.
 type Config struct {
@@ -62,8 +83,17 @@ type Config struct {
 	// RewrangleEvery re-runs the wrangling pipeline on this interval;
 	// 0 disables the timer (Rewrangle/SIGHUP kicks still work).
 	RewrangleEvery time.Duration
+	// TraceSample traces 1 in N searches into the aggregate trace
+	// machinery (forced ?debug=trace requests are always traced);
+	// 0 disables sampling.
+	TraceSample int
+	// SlowThreshold is the wall-time floor for the slow-query log; 0
+	// means DefaultSlowThreshold, negative disables the log.
+	SlowThreshold time.Duration
+	// SlowLogSize caps the slow-query ring; 0 means DefaultSlowLogSize.
+	SlowLogSize int
 	// Logger receives serving and rewrangle logs; nil discards them.
-	Logger *log.Logger
+	Logger *slog.Logger
 }
 
 // Server is the dnhd HTTP service.
@@ -72,7 +102,9 @@ type Server struct {
 	cache   *queryCache
 	metrics *serveMetrics
 	rew     *rewrangler
-	logger  *log.Logger
+	logger  *slog.Logger
+	sampler *obs.Sampler
+	slow    *obs.SlowLog
 	httpSrv *http.Server
 
 	// Allocation-sampling state for /stats: per-search figures are the
@@ -92,11 +124,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
+	}
+	slowThreshold := cfg.SlowThreshold
+	if slowThreshold == 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	slowSize := cfg.SlowLogSize
+	if slowSize == 0 {
+		slowSize = DefaultSlowLogSize
 	}
 	return &Server{
 		sys:     cfg.Sys,
@@ -104,6 +144,10 @@ func New(cfg Config) (*Server, error) {
 		metrics: newServeMetrics(endpointNames),
 		rew:     newRewrangler(cfg.Sys, cfg.RewrangleEvery, logger),
 		logger:  logger,
+		sampler: obs.NewSampler(cfg.TraceSample),
+		// NewSlowLog returns nil (log disabled, all methods inert) when
+		// the threshold went negative.
+		slow: obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
 	}, nil
 }
 
@@ -116,6 +160,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /curator/queue", s.handleCuratorQueue)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("GET /debug/wrangletrace", s.handleWrangleTrace)
 	return s.instrument(mux)
 }
 
@@ -131,7 +178,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.logger.Printf("server: serve: %v", err)
+			s.logger.Error("server: serve", "err", err)
 		}
 	}()
 	return ln.Addr(), nil
@@ -184,6 +231,9 @@ type SearchResponse struct {
 	Generation uint64         `json:"generation"`
 	Count      int            `json:"count"`
 	Hits       []metamess.Hit `json:"hits"`
+	// Trace is the request's span tree, present only when the client
+	// forced tracing (?debug=trace / X-Trace: 1).
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 // RequestFromQuery converts an internal workload query into the wire
@@ -226,7 +276,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	s.serveSearch(w, r, req)
+	qo := s.beginQuery(r)
+	defer s.endQuery(qo)
+	s.serveSearch(w, r, req, qo)
 }
 
 func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
@@ -235,16 +287,24 @@ func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
+	qo := s.beginQuery(r)
+	defer s.endQuery(qo)
 	// Parse once, then feed the same structured path /search uses: the
 	// parsed form validates early, executes without a second parse, and
 	// normalizes the cache key — textual variants of one query (spacing,
 	// clause order) and their structured equivalent share an entry.
+	tr, root := qo.Tracer()
+	t0 := time.Now()
+	pid := tr.Start(root, "parse")
 	iq, err := search.ParseQuery(text)
+	tr.End(pid)
+	qo.ParseNs = time.Since(t0).Nanoseconds()
+	searchStageParse.ObserveSeconds(qo.ParseNs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveSearch(w, r, RequestFromQuery(iq))
+	s.serveSearch(w, r, RequestFromQuery(iq), qo)
 }
 
 // serveSearch runs the cache-wrapped search path shared by both search
@@ -255,7 +315,12 @@ func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
 // label is exact and an entry keyed G never holds data from a later
 // snapshot); with publishes landing faster than searches finish, the
 // last attempt is served unlabeled-safe — generation 0 — and uncached.
-func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchRequest) {
+//
+// qo (never nil here) rides the request context into the executor.
+// Forced-trace requests bypass the cache in both directions: a cached
+// body has no trace to return, and a body with an inline trace must not
+// be served to untraced clients.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, qo *obs.QueryObs) {
 	keyBytes, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -263,17 +328,32 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 	}
 	key := string(keyBytes)
 	q := req.toQuery()
+	tr, root := qo.Tracer()
+	ctx := obs.WithQuery(r.Context(), qo)
+	start := time.Now()
 
 	var body []byte
 	for attempt := 0; attempt < 3; attempt++ {
 		gen := s.sys.SnapshotGeneration()
-		if cached, ok := s.cache.Get(gen, key); ok {
-			s.metrics.cacheHits.Add(1)
-			w.Header().Set("X-Dnhd-Cache", "hit")
-			writeJSONBytes(w, http.StatusOK, cached)
-			return
+		if !qo.Forced {
+			cid := tr.Start(root, "cache_lookup")
+			cached, ok := s.cache.Get(gen, key)
+			tr.End(cid)
+			if ok {
+				s.metrics.cacheHits.Add(1)
+				w.Header().Set("X-Dnhd-Cache", "hit")
+				writeJSONBytes(w, http.StatusOK, cached)
+				s.noteSlow(start, key, gen, qo, true)
+				return
+			}
 		}
-		hits, err := s.sys.SearchContext(r.Context(), q)
+		// A generation-race retry re-runs the executor; zero the stage
+		// counters so histograms and the slow log see the attempt that
+		// produced the response, not a sum across attempts.
+		if attempt > 0 {
+			qo.ResetStages()
+		}
+		hits, err := s.sys.SearchContext(ctx, q)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				writeError(w, http.StatusServiceUnavailable, "request canceled")
@@ -283,6 +363,7 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 			return
 		}
 		s.metrics.searchesRun.Add(1)
+		observeStages(qo)
 		if s.sys.SnapshotGeneration() != gen {
 			// A publish raced the search; the snapshot it used is
 			// ambiguous. Retry against the fresh generation.
@@ -292,7 +373,22 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 			}
 			continue
 		}
-		body, err = json.Marshal(SearchResponse{Generation: gen, Count: len(hits), Hits: hits})
+		resp := SearchResponse{Generation: gen, Count: len(hits), Hits: hits}
+		if qo.Forced {
+			tr.Attr(root, "generation", int64(gen))
+			tr.End(root)
+			resp.Trace = tr.Tree()
+			body, err = json.Marshal(resp)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			w.Header().Set("X-Dnhd-Cache", "bypass")
+			writeJSONBytes(w, http.StatusOK, body)
+			s.noteSlow(start, key, gen, qo, false)
+			return
+		}
+		body, err = json.Marshal(resp)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -303,10 +399,12 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 		s.cache.Put(gen, key, body)
 		w.Header().Set("X-Dnhd-Cache", "miss")
 		writeJSONBytes(w, http.StatusOK, body)
+		s.noteSlow(start, key, gen, qo, false)
 		return
 	}
 	w.Header().Set("X-Dnhd-Cache", "miss")
 	writeJSONBytes(w, http.StatusOK, body)
+	s.noteSlow(start, key, 0, qo, false)
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -368,16 +466,26 @@ type SearchStats struct {
 
 // sampleSearchStats reads the pool counters and advances the
 // allocation-sampling window.
+//
+// The MemStats read, the searches-run read, and the baseline swap all
+// happen under one lock: concurrent /stats readers previously read
+// MemStats before contending for the lock, so a reader could pair a
+// stale MemStats with a baseline another reader had already advanced
+// past it and report negative (uint64-wrapped) per-search figures. With
+// every read inside the critical section the sample is always at least
+// as fresh as the baseline it is diffed against, and the deltas are
+// monotonic by construction; the >= guards stay as defense in depth.
 func (s *Server) sampleSearchStats() SearchStats {
 	var st SearchStats
 	st.PoolHits, st.PoolMisses = search.PoolStats()
-	st.SearchesRun = s.metrics.searchesRun.Load()
 
 	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
-	if ran := st.SearchesRun - s.lastSearches; ran > 0 && s.lastMallocs > 0 {
+	runtime.ReadMemStats(&ms)
+	st.SearchesRun = s.metrics.searchesRun.Load()
+	if ran := st.SearchesRun - s.lastSearches; ran > 0 && s.lastMallocs > 0 &&
+		st.SearchesRun >= s.lastSearches && ms.Mallocs >= s.lastMallocs && ms.TotalAlloc >= s.lastBytes {
 		st.AllocsPerSearch = float64(ms.Mallocs-s.lastMallocs) / float64(ran)
 		st.BytesPerSearch = float64(ms.TotalAlloc-s.lastBytes) / float64(ran)
 	}
@@ -435,6 +543,10 @@ func endpointLabel(path string) string {
 		return epHealthz
 	case path == epStats:
 		return epStats
+	case path == epMetrics:
+		return epMetrics
+	case path == epDebug || strings.HasPrefix(path, epDebug+"/"):
+		return epDebug
 	}
 	return endpointOther
 }

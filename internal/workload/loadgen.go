@@ -42,6 +42,11 @@ type LoadStats struct {
 	// headers observed across responses.
 	CacheHits   int `json:"cacheHits"`
 	CacheMisses int `json:"cacheMisses"`
+	// Latencies holds every request's client-observed latency, indexed
+	// like the request slice passed to Replay — callers use it to pick
+	// exemplar requests (e.g. the p99) for a follow-up traced replay.
+	// Not serialized.
+	Latencies []time.Duration `json:"-"`
 }
 
 // HTTPRequest is one replayable request.
@@ -73,11 +78,13 @@ func Replay(ctx context.Context, reqs []HTTPRequest, opts LoadOptions) (LoadStat
 	client := &http.Client{Timeout: timeout}
 
 	type workerStats struct {
-		latencies            []time.Duration
 		errors, hits, misses int
 	}
 	work := make(chan int)
 	perWorker := make([]workerStats, conc)
+	// Each request index is dispatched exactly once, so workers write
+	// disjoint latency slots — no lock needed.
+	latencies := make([]time.Duration, len(reqs))
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < conc; w++ {
@@ -89,7 +96,7 @@ func Replay(ctx context.Context, reqs []HTTPRequest, opts LoadOptions) (LoadStat
 				r := reqs[i]
 				t0 := time.Now()
 				ok, cache := issue(ctx, client, r)
-				ws.latencies = append(ws.latencies, time.Since(t0))
+				latencies[i] = time.Since(t0)
 				if !ok {
 					ws.errors++
 				}
@@ -115,10 +122,9 @@ func Replay(ctx context.Context, reqs []HTTPRequest, opts LoadOptions) (LoadStat
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	stats := LoadStats{DurationSec: elapsed.Seconds()}
+	all := append([]time.Duration(nil), latencies...)
+	stats := LoadStats{DurationSec: elapsed.Seconds(), Latencies: latencies}
 	for _, ws := range perWorker {
-		all = append(all, ws.latencies...)
 		stats.Errors += ws.errors
 		stats.CacheHits += ws.hits
 		stats.CacheMisses += ws.misses

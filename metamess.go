@@ -46,6 +46,7 @@ import (
 	"metamess/internal/core"
 	"metamess/internal/geo"
 	"metamess/internal/hierarchy"
+	"metamess/internal/obs"
 	"metamess/internal/refine"
 	"metamess/internal/scan"
 	"metamess/internal/search"
@@ -341,6 +342,21 @@ type Report struct {
 // catalog, never a mix, and a re-wrangle that changes nothing leaves
 // the served snapshot (and its generation) untouched.
 func (s *System) Wrangle() (*Report, error) {
+	return s.WrangleWithTrace(nil, -1)
+}
+
+// WrangleWithTrace is Wrangle with write-path tracing: one span per
+// chain component (with apply-delta / journal-append stages nested
+// under publish) is recorded into tr under parent. A nil tr is exactly
+// Wrangle — every trace hook is nil-safe. The dnhd rewrangler uses it
+// so /debug/wrangletrace can serve the last run's span tree.
+func (s *System) WrangleWithTrace(tr *obs.Trace, parent int32) (*Report, error) {
+	s.ctx.Trace = tr
+	s.ctx.TraceSpan = parent
+	defer func() {
+		s.ctx.Trace = nil
+		s.ctx.TraceSpan = 0
+	}()
 	run, err := s.process.Run(s.ctx)
 	if err != nil {
 		return nil, fmt.Errorf("metamess: %w", err)
