@@ -16,8 +16,20 @@
 // costs O(churn while down) instead of a cold re-wrangle.
 //
 // Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
-// GET /curator/queue, GET /healthz, GET /stats, GET /metrics
-// (Prometheus text format), GET /debug/slowlog, GET /debug/wrangletrace.
+// GET /curator/queue, GET /healthz (liveness), GET /readyz (readiness:
+// 503 while shedding), GET /stats, GET /metrics (Prometheus text
+// format), GET /debug/slowlog, GET /debug/wrangletrace.
+//
+// Overload: -max-inflight bounds concurrent searches; excess requests
+// wait up to -queue-wait in a bounded FIFO (-queue-depth), then are
+// shed with 429 + Retry-After. Identical cold queries collapse into one
+// execution (followers get the leader's bytes, X-Dnhd-Cache:
+// collapsed). For -stale-window after a publish, still-warm queries are
+// answered from the previous generation's cache (X-Dnhd-Cache: stale,
+// X-Dnhd-Generation reports the serving generation) while a background
+// flight warms the new one. -request-timeout (tightened per request by
+// an X-Deadline-Ms header) bounds each search; on expiry the response
+// is a 200 with partial:true and X-Dnhd-Partial: 1, never cached.
 //
 // Observability: any search request carrying ?debug=trace or an
 // "X-Trace: 1" header returns its span tree inline (and bypasses the
@@ -65,6 +77,11 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N search requests for the stage histograms (0 = forced traces only)")
 	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold, "slow-query log threshold (negative disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission limit on concurrent searches (0 = unbounded)")
+	queueDepth := flag.Int("queue-depth", 0, "admission wait-queue depth past the in-flight limit (0 = 2x the limit, negative = no queue)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued search waits for a slot before shedding (0 = 50ms)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-search deadline; exceeding it returns partial results (0 = none)")
+	staleWindow := flag.Duration("stale-window", 5*time.Second, "serve previous-generation cache entries this long after a publish while revalidating (0 = disabled)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -153,6 +170,11 @@ func main() {
 		TraceSample:    *traceSample,
 		SlowThreshold:  *slowThreshold,
 		Logger:         logger,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+		StaleWindow:    *staleWindow,
 	})
 	if err != nil {
 		fatal(err)

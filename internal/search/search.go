@@ -212,10 +212,42 @@ func (s *Searcher) Search(q Query) ([]Result, error) {
 // one, the whole observability surface collapses to a single context
 // lookup and nil checks; rankings are identical either way.
 func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error) {
-	if err := q.Validate(); err != nil {
+	results, err := s.searchCtx(ctx, q, false)
+	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SearchPartialContext is SearchContext with best-effort semantics on
+// deadline: when ctx ends before the ranking is complete, it returns
+// whatever the scatter had gathered and ranked by then — possibly
+// nothing — with partial=true instead of an error. The serving layer
+// uses it to answer a deadline-expired request with HTTP 200 and a
+// Partial flag rather than burning the work already done. Partial
+// rankings are exact over the candidates that were scored, but tiers
+// the deadline cut off may hold better-scoring datasets; only
+// partial=false results carry the executor's exactness guarantee.
+func (s *Searcher) SearchPartialContext(ctx context.Context, q Query) (results []Result, partial bool, err error) {
+	results, err = s.searchCtx(ctx, q, true)
+	if err != nil {
+		return nil, false, err
+	}
+	return results, ctx.Err() != nil, nil
+}
+
+// searchCtx is the shared search body. With partialOK, a context that
+// ends mid-search stops the scatter early and the gathered results are
+// still explained and returned; without it the caller discards them
+// (preserving SearchContext's error contract).
+func (s *Searcher) searchCtx(ctx context.Context, q Query, partialOK bool) ([]Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil && !partialOK {
 		return nil, err
 	}
 	k := q.K
@@ -239,9 +271,6 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query) ([]Result, error)
 	snap := s.cat.Snapshot()
 
 	results := s.searchSnapshot(ctx, snap, q, expanded, k, qo)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	// Explain pass: per-term score breakdowns are recomputed for the ≤K
 	// returned results only. The hot scoring loop computes bare sums —
 	// allocating a TermScores slice (and building matched-as labels) for

@@ -20,8 +20,17 @@ type serveMetrics struct {
 	// (cache hits excluded) — the denominator for /stats' approximate
 	// per-search allocation figures.
 	searchesRun atomic.Uint64
-	endpoints   map[string]*endpointMetrics
-	names       []string // registration order, for stable /stats output
+	// Overload counters: requests shed at admission, follower responses
+	// served from a collapsed flight, previous-generation bytes served
+	// during the stale window, background cache warms started, and
+	// deadline-expired partial responses.
+	shed          atomic.Uint64
+	collapsed     atomic.Uint64
+	staleServed   atomic.Uint64
+	revalidations atomic.Uint64
+	partials      atomic.Uint64
+	endpoints     map[string]*endpointMetrics
+	names         []string // registration order, for stable /stats output
 }
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds; an
@@ -82,12 +91,16 @@ type EndpointStats struct {
 	Buckets []uint64 `json:"buckets"`
 }
 
-// CacheStats reports query-cache effectiveness.
+// CacheStats reports query-cache effectiveness. Stale counts
+// previous-generation bytes served during the stale-while-revalidate
+// window (not part of the hit/miss ratio: a stale serve is a miss at
+// the current generation answered from the previous one).
 type CacheStats struct {
 	Hits    uint64  `json:"hits"`
 	Misses  uint64  `json:"misses"`
 	Entries int     `json:"entries"`
 	HitRate float64 `json:"hitRate"`
+	Stale   uint64  `json:"stale"`
 }
 
 // snapshotEndpoints renders the per-endpoint rows.

@@ -173,6 +173,38 @@ func (s *Server) writeServerFamilies(w io.Writer) {
 	promFamily(w, "dnh_cache_entries", "gauge", "Query-cache resident entries.")
 	promInt(w, "dnh_cache_entries", "", int64(s.cache.Len()))
 
+	// Overload families: always rendered (at zero when idle or when
+	// admission is disabled) so dashboards and alerts can be written
+	// before the first incident.
+	promFamily(w, "dnh_admission_shed_total", "counter", "Search requests shed with 429, by reason.")
+	if a := s.adm; a != nil {
+		promUint(w, "dnh_admission_shed_total", `reason="queue_full"`, a.shedFull.Load())
+		promUint(w, "dnh_admission_shed_total", `reason="wait_timeout"`, a.shedTimeout.Load())
+		promUint(w, "dnh_admission_shed_total", `reason="client_gone"`, a.shedClient.Load())
+	} else {
+		promUint(w, "dnh_admission_shed_total", `reason="queue_full"`, 0)
+		promUint(w, "dnh_admission_shed_total", `reason="wait_timeout"`, 0)
+		promUint(w, "dnh_admission_shed_total", `reason="client_gone"`, 0)
+	}
+	promFamily(w, "dnh_admission_in_flight", "gauge", "Searches holding an admission slot.")
+	promInt(w, "dnh_admission_in_flight", "", s.adm.inFlight())
+	var queued, limit int64
+	if a := s.adm; a != nil {
+		queued, limit = a.queued.Load(), int64(a.max)
+	}
+	promFamily(w, "dnh_admission_queued", "gauge", "Searches waiting for an admission slot.")
+	promInt(w, "dnh_admission_queued", "", queued)
+	promFamily(w, "dnh_admission_limit", "gauge", "Configured in-flight search limit (0 = unlimited).")
+	promInt(w, "dnh_admission_limit", "", limit)
+	promFamily(w, "dnh_flights_collapsed_total", "counter", "Follower responses served from a singleflight leader's bytes.")
+	promUint(w, "dnh_flights_collapsed_total", "", s.metrics.collapsed.Load())
+	promFamily(w, "dnh_cache_stale_total", "counter", "Previous-generation cache bytes served during the stale window.")
+	promUint(w, "dnh_cache_stale_total", "", s.metrics.staleServed.Load())
+	promFamily(w, "dnh_cache_revalidations_total", "counter", "Background flights warming the new generation after a publish.")
+	promUint(w, "dnh_cache_revalidations_total", "", s.metrics.revalidations.Load())
+	promFamily(w, "dnh_search_partial_total", "counter", "Deadline-expired searches answered with partial results.")
+	promUint(w, "dnh_search_partial_total", "", s.metrics.partials.Load())
+
 	promFamily(w, "dnh_searches_total", "counter", "Searches executed against the catalog (cache hits excluded).")
 	promUint(w, "dnh_searches_total", "", s.metrics.searchesRun.Load())
 	poolHits, poolMisses := search.PoolStats()

@@ -38,6 +38,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,13 +55,14 @@ const (
 	epDataset     = "/dataset"
 	epCurator     = "/curator/queue"
 	epHealthz     = "/healthz"
+	epReadyz      = "/readyz"
 	epStats       = "/stats"
 	epMetrics     = "/metrics"
 	epDebug       = "/debug"
 	endpointOther = "other"
 )
 
-var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epStats, epMetrics, epDebug, endpointOther}
+var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epReadyz, epStats, epMetrics, epDebug, endpointOther}
 
 // DefaultCacheSize is the query-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 512
@@ -92,6 +94,31 @@ type Config struct {
 	SlowThreshold time.Duration
 	// SlowLogSize caps the slow-query ring; 0 means DefaultSlowLogSize.
 	SlowLogSize int
+	// MaxInFlight caps concurrently executing search requests; past it
+	// requests queue briefly (QueueDepth/QueueWait) and are then shed
+	// with 429 + Retry-After. 0 disables admission control. Only the
+	// search endpoints are gated — health, readiness, and metrics always
+	// answer.
+	MaxInFlight int
+	// QueueDepth is how many over-limit searches may wait for a slot;
+	// 0 means 2*MaxInFlight, negative disables the wait queue.
+	QueueDepth int
+	// QueueWait bounds how long a queued search waits before being shed;
+	// 0 means DefaultQueueWait.
+	QueueWait time.Duration
+	// RequestTimeout is the per-search execution budget. A search that
+	// exhausts it (or the client's X-Deadline-Ms, whichever is smaller)
+	// stops mid-scatter and returns the results gathered so far with
+	// Partial: true — HTTP 200, never cached. 0 disables the server-side
+	// budget (client deadlines are always honored).
+	RequestTimeout time.Duration
+	// StaleWindow enables stale-while-revalidate: for this long after a
+	// publish bumps the generation, a miss at the new generation may be
+	// served the previous generation's cached bytes (X-Dnhd-Cache:
+	// stale, generation header set to the bytes' generation) while one
+	// background flight warms the new entry. 0 disables — every miss
+	// after a publish pays the cold executor run.
+	StaleWindow time.Duration
 	// Logger receives serving and rewrangle logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -106,6 +133,25 @@ type Server struct {
 	sampler *obs.Sampler
 	slow    *obs.SlowLog
 	httpSrv *http.Server
+
+	adm         *admission
+	flights     flightGroup
+	reqTimeout  time.Duration
+	staleWindow time.Duration
+	// revalSem bounds concurrent background revalidation flights; warms
+	// past the bound are skipped (the next stale hit re-triggers them),
+	// so a publish over a hot cache cannot stampede the executor.
+	revalSem chan struct{}
+
+	// Generation-transition tracking for stale-while-revalidate: when a
+	// search observes a generation different from the last one noted,
+	// the previous generation and the switch time are recorded — the
+	// staleness bound is measured from when this server first *saw* the
+	// new generation, which is within one request of the publish.
+	genMu       sync.Mutex
+	curGen      uint64
+	prevGen     uint64
+	genSwitched time.Time
 
 	// Allocation-sampling state for /stats: per-search figures are the
 	// process-wide MemStats delta between consecutive /stats reads divided
@@ -147,9 +193,17 @@ func New(cfg Config) (*Server, error) {
 		sampler: obs.NewSampler(cfg.TraceSample),
 		// NewSlowLog returns nil (log disabled, all methods inert) when
 		// the threshold went negative.
-		slow: obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
+		slow:        obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
+		adm:         newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait),
+		reqTimeout:  cfg.RequestTimeout,
+		staleWindow: cfg.StaleWindow,
+		revalSem:    make(chan struct{}, maxRevalidations),
+		curGen:      cfg.Sys.SnapshotGeneration(),
 	}, nil
 }
+
+// maxRevalidations bounds concurrent background cache warms.
+const maxRevalidations = 4
 
 // Handler returns the instrumented route tree.
 func (s *Server) Handler() http.Handler {
@@ -159,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /dataset/{path...}", s.handleDataset)
 	mux.HandleFunc("GET /curator/queue", s.handleCuratorQueue)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
@@ -231,6 +286,11 @@ type SearchResponse struct {
 	Generation uint64         `json:"generation"`
 	Count      int            `json:"count"`
 	Hits       []metamess.Hit `json:"hits"`
+	// Partial marks a response whose deadline (RequestTimeout or the
+	// client's X-Deadline-Ms) expired mid-search: Hits holds whatever
+	// the scatter had gathered and ranked by then. Partial responses are
+	// HTTP 200 and are never cached.
+	Partial bool `json:"partial,omitempty"`
 	// Trace is the request's span tree, present only when the client
 	// forced tracing (?debug=trace / X-Trace: 1).
 	Trace *obs.SpanTree `json:"trace,omitempty"`
@@ -270,7 +330,26 @@ func (req SearchRequest) toQuery() metamess.Query {
 
 // --- handlers --------------------------------------------------------
 
+// admitSearch runs the admission gate in front of a search endpoint.
+// A shed request is answered here — 429 with Retry-After, no parsing
+// and no executor work, microseconds end to end — and false returned.
+func (s *Server) admitSearch(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, reason := s.adm.acquire(r.Context())
+	if reason == shedNone {
+		return release, true
+	}
+	s.metrics.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "server overloaded ("+reason.String()+"), retry later")
+	return nil, false
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitSearch(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -282,6 +361,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitSearch(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	text := r.URL.Query().Get("q")
 	if text == "" {
 		writeError(w, http.StatusBadRequest, "missing q parameter")
@@ -307,19 +391,46 @@ func (s *Server) handleSearchText(w http.ResponseWriter, r *http.Request) {
 	s.serveSearch(w, r, RequestFromQuery(iq), qo)
 }
 
-// serveSearch runs the cache-wrapped search path shared by both search
-// endpoints. Re-marshaling the decoded request normalizes field order,
-// whitespace, and unknown fields out of the cache key. The generation
-// is read before the search and re-checked after: if a publish landed
-// in between, the attempt is retried (so the response's generation
-// label is exact and an entry keyed G never holds data from a later
-// snapshot); with publishes landing faster than searches finish, the
-// last attempt is served unlabeled-safe — generation 0 — and uncached.
+// requestContext derives the search's execution budget: the smaller of
+// the server-wide RequestTimeout and the client's X-Deadline-Ms header
+// (milliseconds of remaining budget; 0 means already expired). With
+// neither, the request context passes through unchanged.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	budget := s.reqTimeout
+	bounded := budget > 0
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms >= 0 {
+			// ms == 0 is a real (already expired) budget, not "unset" —
+			// the deterministic way to ask for an immediate partial.
+			if d := time.Duration(ms) * time.Millisecond; !bounded || d < budget {
+				budget = d
+			}
+			bounded = true
+		}
+	}
+	if !bounded {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// serveSearch runs the overload-hardened search path shared by both
+// search endpoints. Re-marshaling the decoded request normalizes field
+// order, whitespace, and unknown fields out of the cache key. The
+// layers, cheapest first:
 //
-// qo (never nil here) rides the request context into the executor.
-// Forced-trace requests bypass the cache in both directions: a cached
-// body has no trace to return, and a body with an inline trace must not
-// be served to untraced clients.
+//  1. cache hit at the current generation — served as before;
+//  2. stale-while-revalidate — within StaleWindow of a publish, the
+//     previous generation's cached bytes are served immediately
+//     (X-Dnhd-Cache: stale, X-Dnhd-Generation labels the bytes) while
+//     one background flight warms the new generation's entry;
+//  3. singleflight — concurrent identical misses elect one leader to
+//     run the executor; followers get the leader's bytes verbatim
+//     (X-Dnhd-Cache: collapsed).
+//
+// Forced-trace requests bypass all three: a cached or shared body has
+// no trace to return, and a body with an inline trace must not be
+// served to untraced clients.
 func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, qo *obs.QueryObs) {
 	keyBytes, err := json.Marshal(req)
 	if err != nil {
@@ -328,83 +439,247 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, req SearchR
 	}
 	key := string(keyBytes)
 	q := req.toQuery()
-	tr, root := qo.Tracer()
-	ctx := obs.WithQuery(r.Context(), qo)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	ctx = obs.WithQuery(ctx, qo)
 	start := time.Now()
 
-	var body []byte
+	gen := s.sys.SnapshotGeneration()
+	s.noteGeneration(gen)
+	if qo.Forced {
+		out := s.executeSearch(ctx, q, key, qo)
+		s.serveOutcome(w, out, out.cacheState)
+		s.noteSlow(start, key, out.generation, qo, false)
+		return
+	}
+
+	tr, root := qo.Tracer()
+	cid := tr.Start(root, "cache_lookup")
+	cached, ok := s.cache.Get(gen, key)
+	tr.End(cid)
+	if ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Dnhd-Cache", "hit")
+		w.Header().Set("X-Dnhd-Generation", strconv.FormatUint(gen, 10))
+		writeJSONBytes(w, http.StatusOK, cached)
+		s.noteSlow(start, key, gen, qo, true)
+		return
+	}
+	if prev, ok := s.staleSource(gen); ok {
+		if staleBody, ok := s.cache.Get(prev, key); ok {
+			s.metrics.staleServed.Add(1)
+			s.startRevalidate(gen, key, q)
+			w.Header().Set("X-Dnhd-Cache", "stale")
+			w.Header().Set("X-Dnhd-Generation", strconv.FormatUint(prev, 10))
+			writeJSONBytes(w, http.StatusOK, staleBody)
+			s.noteSlow(start, key, prev, qo, true)
+			return
+		}
+	}
+
+	fk := flightKey{generation: gen, query: key}
+	f, leader := s.flights.join(fk)
+	if leader {
+		var out searchOutcome
+		// finish in a deferred call so a panicking executor (recovered
+		// by net/http) still releases the followers — with the default
+		// 500 outcome rather than a hang.
+		out = searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"search failed"}`), cacheState: "miss"}
+		func() {
+			defer func() { s.flights.finish(fk, f, out) }()
+			out = s.executeSearch(ctx, q, key, qo)
+		}()
+		s.serveOutcome(w, out, out.cacheState)
+		s.noteSlow(start, key, out.generation, qo, false)
+		return
+	}
+	select {
+	case <-f.done:
+		s.metrics.collapsed.Add(1)
+		s.serveOutcome(w, f.out, "collapsed")
+	case <-ctx.Done():
+		// The follower's own deadline expired while the leader was still
+		// working: answer with an empty partial rather than holding the
+		// connection for bytes the client no longer has time for.
+		s.metrics.partials.Add(1)
+		out := partialOutcome(gen, nil)
+		s.serveOutcome(w, out, "timeout")
+	}
+	s.noteSlow(start, key, gen, qo, false)
+}
+
+// serveOutcome writes one executed (or shared) search outcome.
+func (s *Server) serveOutcome(w http.ResponseWriter, out searchOutcome, cacheState string) {
+	w.Header().Set("X-Dnhd-Cache", cacheState)
+	w.Header().Set("X-Dnhd-Generation", strconv.FormatUint(out.generation, 10))
+	if out.partial {
+		w.Header().Set("X-Dnhd-Partial", "1")
+	}
+	writeJSONBytes(w, out.status, out.body)
+}
+
+// partialOutcome renders an empty partial response labeled with gen.
+func partialOutcome(gen uint64, hits []metamess.Hit) searchOutcome {
+	body, err := json.Marshal(SearchResponse{Generation: gen, Count: len(hits), Hits: hits, Partial: true})
+	if err != nil {
+		return searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"marshal failed"}`), generation: gen}
+	}
+	return searchOutcome{status: http.StatusOK, body: body, cacheState: "miss", partial: true, generation: gen}
+}
+
+// executeSearch runs the executor with the generation-race retry loop
+// and renders the outcome. The generation is read before the search and
+// re-checked after: if a publish landed in between, the attempt is
+// retried (so the response's generation label is exact and a cache
+// entry keyed G never holds data from a later snapshot); with publishes
+// landing faster than searches finish, the last attempt is served
+// unlabeled-safe — generation 0 — and uncached. A deadline that expires
+// mid-scatter yields the results gathered so far with Partial: true,
+// HTTP 200, never cached. qo may be nil (background revalidation).
+func (s *Server) executeSearch(ctx context.Context, q metamess.Query, key string, qo *obs.QueryObs) searchOutcome {
+	tr, root := qo.Tracer()
+	forced := qo != nil && qo.Forced
+	var lastBody []byte
 	for attempt := 0; attempt < 3; attempt++ {
 		gen := s.sys.SnapshotGeneration()
-		if !qo.Forced {
-			cid := tr.Start(root, "cache_lookup")
-			cached, ok := s.cache.Get(gen, key)
-			tr.End(cid)
-			if ok {
-				s.metrics.cacheHits.Add(1)
-				w.Header().Set("X-Dnhd-Cache", "hit")
-				writeJSONBytes(w, http.StatusOK, cached)
-				s.noteSlow(start, key, gen, qo, true)
-				return
-			}
-		}
 		// A generation-race retry re-runs the executor; zero the stage
 		// counters so histograms and the slow log see the attempt that
 		// produced the response, not a sum across attempts.
 		if attempt > 0 {
 			qo.ResetStages()
 		}
-		hits, err := s.sys.SearchContext(ctx, q)
+		hits, partial, err := s.sys.SearchPartialContext(ctx, q)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				writeError(w, http.StatusServiceUnavailable, "request canceled")
-				return
+			body, merr := json.Marshal(map[string]string{"error": err.Error()})
+			if merr != nil {
+				body = []byte(`{"error":"bad query"}`)
 			}
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return searchOutcome{status: http.StatusBadRequest, body: body, cacheState: "miss", generation: gen}
 		}
 		s.metrics.searchesRun.Add(1)
-		observeStages(qo)
+		if qo != nil {
+			observeStages(qo)
+		}
+		if partial {
+			s.metrics.partials.Add(1)
+			resp := SearchResponse{Generation: gen, Count: len(hits), Hits: hits, Partial: true}
+			if forced {
+				tr.Attr(root, "generation", int64(gen))
+				tr.End(root)
+				resp.Trace = tr.Tree()
+			}
+			body, merr := json.Marshal(resp)
+			if merr != nil {
+				return searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"marshal failed"}`), generation: gen}
+			}
+			state := "miss"
+			if forced {
+				state = "bypass"
+			}
+			return searchOutcome{status: http.StatusOK, body: body, cacheState: state, partial: true, generation: gen}
+		}
 		if s.sys.SnapshotGeneration() != gen {
 			// A publish raced the search; the snapshot it used is
 			// ambiguous. Retry against the fresh generation.
-			if body, err = json.Marshal(SearchResponse{Count: len(hits), Hits: hits}); err != nil {
-				writeError(w, http.StatusInternalServerError, err.Error())
-				return
+			var merr error
+			if lastBody, merr = json.Marshal(SearchResponse{Count: len(hits), Hits: hits}); merr != nil {
+				return searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"marshal failed"}`)}
 			}
 			continue
 		}
 		resp := SearchResponse{Generation: gen, Count: len(hits), Hits: hits}
-		if qo.Forced {
+		if forced {
 			tr.Attr(root, "generation", int64(gen))
 			tr.End(root)
 			resp.Trace = tr.Tree()
-			body, err = json.Marshal(resp)
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, err.Error())
-				return
+			body, merr := json.Marshal(resp)
+			if merr != nil {
+				return searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"marshal failed"}`), generation: gen}
 			}
-			w.Header().Set("X-Dnhd-Cache", "bypass")
-			writeJSONBytes(w, http.StatusOK, body)
-			s.noteSlow(start, key, gen, qo, false)
-			return
+			return searchOutcome{status: http.StatusOK, body: body, cacheState: "bypass", generation: gen}
 		}
-		body, err = json.Marshal(resp)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
+		body, merr := json.Marshal(resp)
+		if merr != nil {
+			return searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"marshal failed"}`), generation: gen}
 		}
 		if s.cache.enabled() {
 			s.metrics.cacheMiss.Add(1)
 		}
 		s.cache.Put(gen, key, body)
-		w.Header().Set("X-Dnhd-Cache", "miss")
-		writeJSONBytes(w, http.StatusOK, body)
-		s.noteSlow(start, key, gen, qo, false)
+		return searchOutcome{status: http.StatusOK, body: body, cacheState: "miss", generation: gen}
+	}
+	return searchOutcome{status: http.StatusOK, body: lastBody, cacheState: "miss"}
+}
+
+// --- stale-while-revalidate ------------------------------------------
+
+// noteGeneration records generation transitions as the serving path
+// observes them.
+func (s *Server) noteGeneration(gen uint64) {
+	if s.staleWindow <= 0 {
 		return
 	}
-	w.Header().Set("X-Dnhd-Cache", "miss")
-	writeJSONBytes(w, http.StatusOK, body)
-	s.noteSlow(start, key, 0, qo, false)
+	s.genMu.Lock()
+	if gen != s.curGen {
+		s.prevGen = s.curGen
+		s.curGen = gen
+		s.genSwitched = time.Now()
+	}
+	s.genMu.Unlock()
+}
+
+// staleSource returns the generation whose cached bytes may be served
+// in place of a cold miss at gen: the previous generation, within
+// StaleWindow of the switch.
+func (s *Server) staleSource(gen uint64) (uint64, bool) {
+	if s.staleWindow <= 0 {
+		return 0, false
+	}
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	if s.prevGen == 0 || gen != s.curGen {
+		return 0, false
+	}
+	if time.Since(s.genSwitched) > s.staleWindow {
+		return 0, false
+	}
+	return s.prevGen, true
+}
+
+// startRevalidate kicks one background flight to warm (gen, key). The
+// flight group guarantees at most one warm per entry; revalSem bounds
+// warms across entries — past it the warm is skipped and the next
+// stale hit tries again.
+func (s *Server) startRevalidate(gen uint64, key string, q metamess.Query) {
+	select {
+	case s.revalSem <- struct{}{}:
+	default:
+		return
+	}
+	fk := flightKey{generation: gen, query: key}
+	f, leader := s.flights.join(fk)
+	if !leader {
+		<-s.revalSem
+		return
+	}
+	s.metrics.revalidations.Add(1)
+	go func() {
+		defer func() { <-s.revalSem }()
+		timeout := s.reqTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		out := searchOutcome{status: http.StatusInternalServerError, body: []byte(`{"error":"search failed"}`), cacheState: "miss"}
+		func() {
+			defer func() {
+				recover() // a panicking warm must still release joiners
+				s.flights.finish(fk, f, out)
+			}()
+			out = s.executeSearch(ctx, q, key, nil)
+		}()
+	}()
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -425,12 +700,46 @@ func (s *Server) handleCuratorQueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(queue), "queue": queue})
 }
 
+// handleHealthz is liveness: the process is up and can read its
+// snapshot. It answers 200 even while shedding — restarting a merely
+// overloaded instance would only make the overload worse. Routing
+// decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"datasets":   s.sys.DatasetCount(),
 		"generation": s.sys.SnapshotGeneration(),
 	})
+}
+
+// ReadyzResponse is the /readyz body — the load-balancer drain signal.
+type ReadyzResponse struct {
+	Status      string `json:"status"` // "ready" or "shedding"
+	Shedding    bool   `json:"shedding"`
+	InFlight    int64  `json:"inFlight"`
+	Queued      int64  `json:"queued"`
+	MaxInFlight int    `json:"maxInFlight,omitempty"`
+	QueueDepth  int    `json:"queueDepth,omitempty"`
+}
+
+// handleReadyz is readiness: 503 while the admission gate is shedding
+// (queue at capacity now, or a shed within the last few seconds), so a
+// balancer drains a saturated instance before more users see 429s.
+// Never gated by admission itself.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Status: "ready", InFlight: s.adm.inFlight()}
+	if s.adm != nil {
+		resp.Queued = s.adm.queued.Load()
+		resp.MaxInFlight = s.adm.max
+		resp.QueueDepth = s.adm.depth
+	}
+	status := http.StatusOK
+	if s.adm.shedding() {
+		resp.Status = "shedding"
+		resp.Shedding = true
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // StatsResponse is the /stats body.
@@ -443,6 +752,7 @@ type StatsResponse struct {
 	Endpoints  []EndpointStats `json:"endpoints"`
 	Cache      CacheStats      `json:"cache"`
 	Search     SearchStats     `json:"search"`
+	Overload   OverloadStats   `json:"overload"`
 	Rewrangle  RewrangleStats  `json:"rewrangle"`
 	// Durability reports the publish journal + checkpoint store; absent
 	// when the system runs without a data directory.
@@ -502,9 +812,72 @@ type ShardStats struct {
 	Sizes []int `json:"sizes"`
 }
 
+// OverloadStats is the admission/overload row in /stats: the gate's
+// configuration and live occupancy, plus the degraded-mode serving
+// counters (sheds, collapsed flights, stale serves, partial results).
+type OverloadStats struct {
+	MaxInFlight    int     `json:"maxInFlight"` // 0 = admission disabled
+	QueueDepth     int     `json:"queueDepth,omitempty"`
+	QueueWaitMs    float64 `json:"queueWaitMs,omitempty"`
+	InFlight       int64   `json:"inFlight"`
+	Queued         int64   `json:"queued"`
+	PeakInFlight   int64   `json:"peakInFlight"`
+	Admitted       uint64  `json:"admitted"`
+	Waited         uint64  `json:"waited"` // admitted after queuing
+	Shed           uint64  `json:"shed"`
+	ShedQueueFull  uint64  `json:"shedQueueFull"`
+	ShedTimeout    uint64  `json:"shedTimeout"`
+	ShedClientGone uint64  `json:"shedClientGone"`
+	// Queue-full shed decision time measured inside the gate — what the
+	// shed itself cost the server, excluding network and client
+	// scheduling. Timeout sheds are excluded: they cost the configured
+	// wait by design.
+	ShedDecisionMeanUs float64 `json:"shedDecisionMeanUs,omitempty"`
+	ShedDecisionMaxUs  float64 `json:"shedDecisionMaxUs,omitempty"`
+	Shedding           bool    `json:"shedding"`
+	Collapsed          uint64  `json:"collapsedFlights"`
+	StaleServed        uint64  `json:"staleServed"`
+	Revalidations      uint64  `json:"revalidations"`
+	PartialResults     uint64  `json:"partialResults"`
+}
+
+func (s *Server) overloadStats() OverloadStats {
+	st := OverloadStats{
+		Collapsed:      s.metrics.collapsed.Load(),
+		StaleServed:    s.metrics.staleServed.Load(),
+		Revalidations:  s.metrics.revalidations.Load(),
+		PartialResults: s.metrics.partials.Load(),
+	}
+	if a := s.adm; a != nil {
+		st.MaxInFlight = a.max
+		st.QueueDepth = a.depth
+		st.QueueWaitMs = float64(a.wait) / float64(time.Millisecond)
+		st.InFlight = a.inFlight()
+		st.Queued = a.queued.Load()
+		st.PeakInFlight = a.peakInFlight.Load()
+		st.Admitted = a.admitted.Load()
+		st.Waited = a.waited.Load()
+		st.Shed = a.shedTotal()
+		st.ShedQueueFull = a.shedFull.Load()
+		st.ShedTimeout = a.shedTimeout.Load()
+		st.ShedClientGone = a.shedClient.Load()
+		if st.ShedQueueFull > 0 {
+			st.ShedDecisionMeanUs = float64(a.shedFullSumNs.Load()) / float64(st.ShedQueueFull) / 1e3
+			st.ShedDecisionMaxUs = float64(a.shedFullMaxNs.Load()) / 1e3
+		}
+		st.Shedding = a.shedding()
+	}
+	return st
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.metrics.cacheHits.Load(), s.metrics.cacheMiss.Load()
-	cache := CacheStats{Hits: hits, Misses: misses, Entries: s.cache.Len()}
+	cache := CacheStats{
+		Hits:    hits,
+		Misses:  misses,
+		Entries: s.cache.Len(),
+		Stale:   s.metrics.staleServed.Load(),
+	}
 	if hits+misses > 0 {
 		cache.HitRate = float64(hits) / float64(hits+misses)
 	}
@@ -518,6 +891,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:  s.metrics.snapshotEndpoints(),
 		Cache:      cache,
 		Search:     s.sampleSearchStats(),
+		Overload:   s.overloadStats(),
 		Rewrangle:  s.rew.stats(),
 	}
 	if ds, ok := s.sys.Durability(); ok {
@@ -541,6 +915,8 @@ func endpointLabel(path string) string {
 		return epCurator
 	case path == epHealthz:
 		return epHealthz
+	case path == epReadyz:
+		return epReadyz
 	case path == epStats:
 		return epStats
 	case path == epMetrics:

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZipfIndicesSkewAndDeterminism(t *testing.T) {
+	const total, n = 5000, 100
+	a := ZipfIndices(total, n, 1.2, 7)
+	b := ZipfIndices(total, n, 1.2, 7)
+	if len(a) != total {
+		t.Fatalf("len = %d, want %d", len(a), total)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= n {
+			t.Fatalf("index %d out of [0,%d)", a[i], n)
+		}
+	}
+	counts := make([]int, n)
+	for _, idx := range a {
+		counts[idx]++
+	}
+	// Zipfian skew: the most popular key dominates any tail key, and the
+	// head outweighs a uniform share many times over.
+	if counts[0] < 5*total/n {
+		t.Errorf("head count %d, want well above the uniform share %d", counts[0], total/n)
+	}
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail >= counts[0] {
+		t.Errorf("tail half (%d draws) outweighs the head key (%d)", tail, counts[0])
+	}
+
+	if got := ZipfIndices(0, 10, 1.2, 1); got != nil {
+		t.Errorf("total 0: got %v", got)
+	}
+	if got := ZipfIndices(10, 0, 1.2, 1); got != nil {
+		t.Errorf("n 0: got %v", got)
+	}
+}
+
+func TestArrivalSchedules(t *testing.T) {
+	steady := SteadyArrivals(4, 100)
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if steady[i] != want[i] {
+			t.Errorf("steady[%d] = %v, want %v", i, steady[i], want[i])
+		}
+	}
+
+	burst := BurstArrivals(8, 4, 100)
+	// Bursts of 4 at 100 qps: offsets 0,0,0,0 then 40ms x4 — same span,
+	// same average rate, released in slabs.
+	for i, wantOff := range []time.Duration{0, 0, 0, 0, 40 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond} {
+		if burst[i] != wantOff {
+			t.Errorf("burst[%d] = %v, want %v", i, burst[i], wantOff)
+		}
+	}
+
+	ramp := RampArrivals(100, 50, 500)
+	if ramp[0] != 0 {
+		t.Errorf("ramp[0] = %v, want 0", ramp[0])
+	}
+	for i := 1; i < len(ramp); i++ {
+		if ramp[i] <= ramp[i-1] {
+			t.Fatalf("ramp not strictly increasing at %d: %v then %v", i, ramp[i-1], ramp[i])
+		}
+	}
+	// Accelerating arrivals: the last quarter takes less wall time than
+	// the first quarter.
+	first := ramp[25] - ramp[0]
+	last := ramp[99] - ramp[74]
+	if last >= first {
+		t.Errorf("ramp last quarter (%v) not faster than first (%v)", last, first)
+	}
+}
+
+func TestCorpusStringsReadsFuzzCorpora(t *testing.T) {
+	got, err := CorpusStrings("../scan/testdata/fuzz/FuzzScanParsers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no strings extracted from the scan fuzz corpus")
+	}
+	found := false
+	for _, s := range got {
+		if s == "csv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the csv format tag among corpus strings, got %d strings", len(got))
+	}
+	if _, err := CorpusStrings("no/such/dir"); err == nil {
+		t.Error("missing dir: want error")
+	}
+}
+
+func TestHostileTextRequestsShape(t *testing.T) {
+	reqs := HostileTextRequests("http://x", []string{"a b", `"; DROP`}, 10, 3)
+	if len(reqs) != 10 {
+		t.Fatalf("len = %d, want 10", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Method != http.MethodGet {
+			t.Errorf("method %q", r.Method)
+		}
+		const prefix = "http://x/search/text?q="
+		if len(r.URL) <= len(prefix) || r.URL[:len(prefix)] != prefix {
+			t.Errorf("url %q", r.URL)
+		}
+	}
+	if HostileTextRequests("http://x", nil, 10, 3) != nil {
+		t.Error("empty corpus: want nil")
+	}
+}
+
+// TestReplayOpenLoop drives the open-loop path: arrivals dispatch on
+// schedule regardless of completion, per-status and per-cache-state
+// counts land in the stats, and 429s are sheds, not errors.
+func TestReplayOpenLoop(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		switch {
+		case i%3 == 0:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+		case i%3 == 1:
+			w.Header().Set("X-Dnhd-Cache", "hit")
+			w.Write([]byte(`{"ok":true}`))
+		default:
+			w.Header().Set("X-Dnhd-Cache", "collapsed")
+			w.Header().Set("X-Dnhd-Partial", "1")
+			w.Write([]byte(`{"ok":true,"partial":true}`))
+		}
+	}))
+	defer ts.Close()
+
+	const total = 30
+	reqs := make([]HTTPRequest, total)
+	for i := range reqs {
+		reqs[i] = HTTPRequest{Method: http.MethodGet, URL: ts.URL, Header: map[string]string{"X-Test": "1"}}
+	}
+	stats, err := Replay(context.Background(), reqs, LoadOptions{Arrivals: BurstArrivals(total, 5, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != total {
+		t.Errorf("requests = %d, want %d", stats.Requests, total)
+	}
+	if stats.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (429 is a shed, not an error)", stats.Errors)
+	}
+	if stats.Status.Shed429 != total/3 {
+		t.Errorf("shed = %d, want %d", stats.Status.Shed429, total/3)
+	}
+	if stats.Status.OK2xx != total-total/3 {
+		t.Errorf("2xx = %d, want %d", stats.Status.OK2xx, total-total/3)
+	}
+	if stats.ShedRate <= 0 || stats.ShedRate >= 1 {
+		t.Errorf("shedRate = %v, want in (0,1)", stats.ShedRate)
+	}
+	if stats.CacheStates["hit"] == 0 || stats.CacheStates["collapsed"] == 0 {
+		t.Errorf("cache states = %v, want hit and collapsed counted", stats.CacheStates)
+	}
+	if stats.Partials == 0 {
+		t.Errorf("partials = %d, want > 0", stats.Partials)
+	}
+	if stats.AdmittedP99Ms <= 0 || stats.ShedP50Ms <= 0 {
+		t.Errorf("latency splits: admittedP99=%v shedP50=%v, want > 0", stats.AdmittedP99Ms, stats.ShedP50Ms)
+	}
+	if stats.OfferedQPS <= 0 {
+		t.Errorf("offeredQPS = %v, want > 0", stats.OfferedQPS)
+	}
+}
+
+func TestReplayArrivalsLengthMismatch(t *testing.T) {
+	reqs := []HTTPRequest{{Method: http.MethodGet, URL: "http://127.0.0.1:1"}}
+	if _, err := Replay(context.Background(), reqs, LoadOptions{Arrivals: make([]time.Duration, 2)}); err == nil {
+		t.Fatal("mismatched arrivals: want error")
+	}
+}

@@ -464,6 +464,29 @@ func (s *System) Search(q Query) ([]Hit, error) {
 // This is the entry point request-scoped callers (the dnhd server)
 // use.
 func (s *System) SearchContext(ctx context.Context, q Query) ([]Hit, error) {
+	results, err := s.searcher.SearchContext(ctx, internalQuery(q))
+	if err != nil {
+		return nil, fmt.Errorf("metamess: %w", err)
+	}
+	return hitsFromResults(results), nil
+}
+
+// SearchPartialContext is SearchContext with best-effort deadline
+// semantics: when ctx ends mid-ranking it returns the hits gathered so
+// far (possibly none) with partial=true instead of an error. The dnhd
+// server uses it to honor per-request budgets without discarding work
+// already done; see search.Searcher.SearchPartialContext for the
+// exactness caveat on partial rankings.
+func (s *System) SearchPartialContext(ctx context.Context, q Query) ([]Hit, bool, error) {
+	results, partial, err := s.searcher.SearchPartialContext(ctx, internalQuery(q))
+	if err != nil {
+		return nil, false, fmt.Errorf("metamess: %w", err)
+	}
+	return hitsFromResults(results), partial, nil
+}
+
+// internalQuery converts the facade query into the search package's.
+func internalQuery(q Query) search.Query {
 	iq := search.Query{K: q.K}
 	if q.Near != nil {
 		iq.Location = &geo.Point{Lat: q.Near.Lat, Lon: q.Near.Lon}
@@ -489,11 +512,7 @@ func (s *System) SearchContext(ctx context.Context, q Query) ([]Hit, error) {
 		}
 		iq.Terms = append(iq.Terms, term)
 	}
-	results, err := s.searcher.SearchContext(ctx, iq)
-	if err != nil {
-		return nil, fmt.Errorf("metamess: %w", err)
-	}
-	return hitsFromResults(results), nil
+	return iq
 }
 
 // SearchText parses and runs a textual "Data Near Here" query, e.g. the
