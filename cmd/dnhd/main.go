@@ -7,6 +7,7 @@
 //	dnhd -archive /data/archive -addr :8080 -rewrangle 15m
 //	dnhd -archive /data/archive -data /var/dnh -addr :8080
 //	dnhd -catalog /var/dnh/catalog.json -addr :8080
+//	dnhd -follow http://leader:8080 -data /var/replica -addr :8081
 //
 // With -data the daemon is durable: every publish is journaled (fsync
 // policy per -fsync), a background compactor folds the journal into a
@@ -14,6 +15,26 @@
 // from the data directory — serving traffic immediately, then
 // reconciling against the archive with a delta-scoped wrangle that
 // costs O(churn while down) instead of a cold re-wrangle.
+//
+// With -follow the daemon is a read replica: instead of wrangling it
+// tails the leader's publish journal (GET /journal/tail on the leader,
+// long-polled), applies each generation-stamped delta, and serves
+// searches with the full cache/admission/observability stack at the
+// leader's generations. A follower that falls behind the leader's
+// retained journals (e.g. down across a compaction) bootstraps from
+// the leader's checkpoint automatically. With -data the follower
+// journals what it applies, so a restart resumes from its last applied
+// generation instead of re-downloading the world; a durable follower
+// also serves /journal/tail itself, so replicas can chain. /readyz
+// reports 503 once the follower is more than -max-lag generations
+// behind; /stats and /metrics expose lag in generations and seconds.
+// Clients needing read-your-writes send X-Min-Generation: N and either
+// get an answer at generation >= N or a 412 naming the current one.
+//
+// Per-client rate limiting (-rate-limit, -rate-burst) refuses clients
+// past their token budget with 429 + an accurate Retry-After before
+// they can occupy an admission queue position; clients are keyed by
+// X-Client-Id when present, else client IP.
 //
 // Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
 // GET /curator/queue, GET /healthz (liveness), GET /readyz (readiness:
@@ -40,9 +61,10 @@
 // (log/slog).
 //
 // Signals: SIGHUP triggers an immediate background re-wrangle — or, in
-// -catalog mode, reloads the catalog file — while searches keep serving
-// the old snapshot until the new one publishes; SIGINT and SIGTERM
-// drain in-flight requests for up to -drain, then exit.
+// -catalog mode, reloads the catalog file; in -follow mode, an
+// immediate tail retry — while searches keep serving the old snapshot
+// until the new one publishes; SIGINT and SIGTERM drain in-flight
+// requests for up to -drain, then exit.
 package main
 
 import (
@@ -82,6 +104,10 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "longest a queued search waits for a slot before shedding (0 = 50ms)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-search deadline; exceeding it returns partial results (0 = none)")
 	staleWindow := flag.Duration("stale-window", 5*time.Second, "serve previous-generation cache entries this long after a publish while revalidating (0 = disabled)")
+	follow := flag.String("follow", "", "run as a read replica tailing this leader URL (e.g. http://leader:8080)")
+	maxLag := flag.Uint64("max-lag", 0, "follower /readyz reports 503 past this many generations behind the leader (0 = 16)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client search budget in requests/second (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client token-bucket burst (0 = 2x -rate-limit)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -89,13 +115,17 @@ func main() {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
-	if *archiveRoot == "" && *catalogPath == "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "dnhd: one of -archive, -catalog, or -data is required")
+	if *archiveRoot == "" && *catalogPath == "" && *dataDir == "" && *follow == "" {
+		fmt.Fprintln(os.Stderr, "dnhd: one of -archive, -catalog, -data, or -follow is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *catalogPath != "" && *dataDir != "" {
 		fmt.Fprintln(os.Stderr, "dnhd: -catalog and -data are mutually exclusive (the data directory is the catalog)")
+		os.Exit(2)
+	}
+	if *follow != "" && (*archiveRoot != "" || *catalogPath != "") {
+		fmt.Fprintln(os.Stderr, "dnhd: -follow is mutually exclusive with -archive and -catalog (a replica's catalog comes from its leader)")
 		os.Exit(2)
 	}
 	root := *archiveRoot
@@ -124,7 +154,24 @@ func main() {
 		logger.Warn("-rewrangle ignored without -archive (SIGHUP reloads the catalog instead)")
 		*rewrangle = 0
 	}
+	var rep *server.Replicator
 	switch {
+	case *follow != "":
+		rep, err = server.NewReplicator(server.ReplicaConfig{
+			Leader: *follow,
+			Sys:    sys,
+			MaxLag: *maxLag,
+			Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if sys.Durable() && sys.DatasetCount() > 0 {
+			logger.Info("recovered "+*dataDir+"; resuming tail of "+*follow,
+				"datasets", sys.DatasetCount(), "generation", sys.SnapshotGeneration())
+		} else {
+			logger.Info("following " + *follow)
+		}
 	case *catalogPath != "":
 		if err := sys.LoadCatalog(*catalogPath); err != nil {
 			fatal(err)
@@ -175,9 +222,15 @@ func main() {
 		QueueWait:      *queueWait,
 		RequestTimeout: *requestTimeout,
 		StaleWindow:    *staleWindow,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
+		Replica:        rep,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rep != nil {
+		rep.Start()
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -201,6 +254,13 @@ func main() {
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
 	for sig := range sigs {
 		if sig == syscall.SIGHUP {
+			if rep != nil {
+				// A healthy follower is always tailing; the kick cuts an
+				// error backoff short after, say, a leader restart.
+				logger.Info("SIGHUP: kicking replication tail")
+				rep.Kick()
+				continue
+			}
 			if fromCatalog {
 				// Reload the snapshot file; ReplaceAll publishes it
 				// atomically and bumps the generation, invalidating the
@@ -218,6 +278,11 @@ func main() {
 			continue
 		}
 		logger.Info("draining", "signal", sig.String(), "timeout", *drain)
+		if rep != nil {
+			// Stop applying before draining: no replicated publish races
+			// the journal close below.
+			rep.Stop()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(ctx)
 		cancel()

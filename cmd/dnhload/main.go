@@ -134,6 +134,27 @@ type deadlineScenario struct {
 	NeverCached bool               `json:"neverCached"`
 }
 
+// replicationScenario is the leader/follower row: a durable leader and
+// a tailing read replica, with live publishes racing the follower's
+// replay. It reports the follower's serving throughput, the per-publish
+// catch-up lag, and the byte-identity verdict.
+type replicationScenario struct {
+	Publishes int `json:"publishes"`
+	// Follower is the query replay against the replica while it tails.
+	Follower      workload.LoadStats `json:"follower"`
+	FollowerQPS   float64            `json:"followerQPS"`
+	FollowerP99Ms float64            `json:"followerP99Ms"`
+	// LagP99Ms / LagMaxMs summarize per-publish catch-up: the wall time
+	// from a publish landing on the leader to the follower serving it.
+	LagP99Ms       float64 `json:"lagP99Ms"`
+	LagMaxMs       float64 `json:"lagMaxMs"`
+	Resyncs        uint64  `json:"resyncs"`
+	AppliedRecords uint64  `json:"appliedRecords"`
+	// Verdicts — both must hold or dnhload exits non-zero.
+	ByteIdentical bool `json:"byteIdentical"`
+	ZeroErrors    bool `json:"zeroErrors"`
+}
+
 // hostileScenario replays fuzz-corpus garbage; rejections (4xx) are
 // expected, server errors are not.
 type hostileScenario struct {
@@ -165,6 +186,7 @@ type benchReport struct {
 	PostPublish *postPublishScenario `json:"postPublish,omitempty"`
 	Deadline    *deadlineScenario    `json:"deadline,omitempty"`
 	Hostile     *hostileScenario     `json:"hostile,omitempty"`
+	Replication *replicationScenario `json:"replication,omitempty"`
 }
 
 func main() {
@@ -275,6 +297,9 @@ func main() {
 		if rep.Hostile, err = runHostile(ctx, logger, host.base, *hostileCorpus, *seed); err != nil {
 			logger.Warn("hostile mix skipped", "err", err)
 		}
+		if rep.Replication, err = runReplication(ctx, logger, host, *seed); err != nil {
+			fatal(err)
+		}
 		o := rep.Overload
 		if !o.ShedObserved || !o.CollapseObserved || !o.ZeroServerErrors || !o.AdmittedP99Within2x || !o.ShedsFast {
 			logger.Error("overload verdicts failed",
@@ -296,6 +321,13 @@ func main() {
 		}
 		if rep.Hostile != nil && !rep.Hostile.ZeroServerErrors {
 			logger.Error("hostile mix produced server errors")
+			failed = true
+		}
+		if !rep.Replication.ByteIdentical || !rep.Replication.ZeroErrors {
+			logger.Error("replication verdicts failed",
+				"byteIdentical", rep.Replication.ByteIdentical,
+				"zeroErrors", rep.Replication.ZeroErrors,
+				"resyncs", rep.Replication.Resyncs)
 			failed = true
 		}
 	}
@@ -602,6 +634,217 @@ func runDeadline(ctx context.Context, logger *slog.Logger, host *selfHosted, m *
 		AllPartial:  stats.Partials == len(reqs) && stats.Status.OK2xx == len(reqs),
 		NeverCached: stats.CacheStates["hit"] == 0,
 	}, nil
+}
+
+// runReplication builds a leader/follower pair — a durable leader over
+// its own archive, a read replica tailing it — then interleaves live
+// publishes (and a leader compaction) with a query replay against the
+// follower, measuring serving throughput and per-publish catch-up lag,
+// and finally replays a probe set against both nodes expecting
+// byte-identical bodies at the same generation.
+func runReplication(ctx context.Context, logger *slog.Logger, host *selfHosted, seed int64) (*replicationScenario, error) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	root, err := os.MkdirTemp("", "dnhload-replication-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	archiveRoot := filepath.Join(root, "archive")
+	m, err := archive.Generate(archiveRoot, archive.DefaultGenConfig(400, seed+41))
+	if err != nil {
+		return nil, err
+	}
+	lsys, err := metamess.New(metamess.Config{
+		ArchiveRoot:     archiveRoot,
+		DataDir:         filepath.Join(root, "leader-data"),
+		CompactMinBytes: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer lsys.Close()
+	if _, err := lsys.Wrangle(); err != nil {
+		return nil, err
+	}
+	leaderBase, leaderStop, err := host.startServer(server.Config{Sys: lsys, Logger: quiet, SlowThreshold: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer leaderStop()
+
+	fsys, err := metamess.New(metamess.Config{
+		ArchiveRoot: filepath.Join(root, "follower-throwaway"),
+		DataDir:     filepath.Join(root, "follower-data"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fsys.Close()
+	replica, err := server.NewReplicator(server.ReplicaConfig{
+		Leader:   leaderBase,
+		Sys:      fsys,
+		PollWait: 250 * time.Millisecond,
+		Backoff:  50 * time.Millisecond,
+		Logger:   quiet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	replica.Start()
+	defer replica.Stop()
+	followerBase, followerStop, err := host.startServer(server.Config{Sys: fsys, Logger: quiet, SlowThreshold: -1, Replica: replica})
+	if err != nil {
+		return nil, err
+	}
+	defer followerStop()
+
+	awaitCatchUp := func(target uint64) (time.Duration, error) {
+		t0 := time.Now()
+		deadline := t0.Add(30 * time.Second)
+		for fsys.SnapshotGeneration() < target {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("replication: follower stuck at generation %d, want %d",
+					fsys.SnapshotGeneration(), target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return time.Since(t0), nil
+	}
+	if _, err := awaitCatchUp(lsys.SnapshotGeneration()); err != nil {
+		return nil, err
+	}
+
+	// The follower replay: leader-derived queries rebased onto the
+	// replica, running concurrently with a publish stream on the leader.
+	qs, err := workload.Queries(m, 300, seed+43, workload.DefaultRelevance(), false)
+	if err != nil {
+		return nil, err
+	}
+	leaderReqs, err := searchRequests(leaderBase, qs)
+	if err != nil {
+		return nil, err
+	}
+	followerReqs := workload.Rebase(leaderReqs, leaderBase, followerBase)
+
+	const publishes = 4
+	var lags []float64
+	publishErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < publishes; i++ {
+			if _, err := archive.Generate(filepath.Join(archiveRoot, fmt.Sprintf("rep-%d", i)),
+				archive.DefaultGenConfig(8, seed+100+int64(i))); err != nil {
+				publishErr <- err
+				return
+			}
+			if _, err := lsys.Wrangle(); err != nil {
+				publishErr <- err
+				return
+			}
+			target := lsys.SnapshotGeneration()
+			lag, err := awaitCatchUp(target)
+			if err != nil {
+				publishErr <- err
+				return
+			}
+			lags = append(lags, float64(lag)/float64(time.Millisecond))
+			if i == 1 {
+				// A mid-stream leader compaction: rotation must not disturb
+				// the live tail.
+				if _, err := lsys.CompactIfNeeded(); err != nil {
+					publishErr <- err
+					return
+				}
+			}
+		}
+		publishErr <- nil
+	}()
+	logger.Info("replication: follower replay", "requests", len(followerReqs), "publishes", publishes)
+	stats, err := workload.Replay(ctx, followerReqs, workload.LoadOptions{Concurrency: 8})
+	if err != nil {
+		return nil, err
+	}
+	if err := <-publishErr; err != nil {
+		return nil, err
+	}
+
+	// Byte-identity probe at the final (caught-up) generation.
+	probes := leaderReqs
+	if len(probes) > 32 {
+		probes = probes[:32]
+	}
+	byteIdentical := true
+	for i, lr := range probes {
+		fr := workload.Rebase([]workload.HTTPRequest{lr}, leaderBase, followerBase)[0]
+		lb, lgen, err := fetchBody(ctx, lr)
+		if err != nil {
+			return nil, err
+		}
+		fb, fgen, err := fetchBody(ctx, fr)
+		if err != nil {
+			return nil, err
+		}
+		if lgen != fgen || !bytes.Equal(lb, fb) {
+			logger.Error("replication: divergent response", "probe", i, "leaderGen", lgen, "followerGen", fgen)
+			byteIdentical = false
+		}
+	}
+
+	sort.Float64s(lags)
+	sc := &replicationScenario{
+		Publishes:      publishes,
+		Follower:       stats,
+		FollowerQPS:    stats.QPS,
+		FollowerP99Ms:  stats.P99Ms,
+		Resyncs:        replica.Stats().Resyncs,
+		AppliedRecords: replica.Stats().AppliedRecords,
+		ByteIdentical:  byteIdentical,
+		ZeroErrors:     stats.Errors == 0,
+	}
+	if n := len(lags); n > 0 {
+		rank := int(0.99*float64(n)+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= n {
+			rank = n - 1
+		}
+		sc.LagP99Ms = lags[rank]
+		sc.LagMaxMs = lags[n-1]
+	}
+	logger.Info("replication: done",
+		"followerQPS", sc.FollowerQPS, "followerP99Ms", sc.FollowerP99Ms,
+		"lagP99Ms", sc.LagP99Ms, "resyncs", sc.Resyncs,
+		"byteIdentical", sc.ByteIdentical, "errors", stats.Errors)
+	return sc, nil
+}
+
+// fetchBody issues one request and returns its body bytes and the
+// X-Dnhd-Generation header — the byte-identity probe primitive.
+func fetchBody(ctx context.Context, r workload.HTTPRequest) ([]byte, string, error) {
+	var reqBody io.Reader
+	if r.Body != nil {
+		reqBody = bytes.NewReader(r.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, r.URL, reqBody)
+	if err != nil {
+		return nil, "", err
+	}
+	if r.Body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("probe %s: status %d", r.URL, resp.StatusCode)
+	}
+	return body, resp.Header.Get("X-Dnhd-Generation"), nil
 }
 
 // runHostile replays fuzz-corpus strings as text queries: 400s are the

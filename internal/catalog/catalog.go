@@ -467,6 +467,65 @@ func (c *Catalog) ApplyDelta(changed []*Feature, removed []string) (bool, error)
 	return true, nil
 }
 
+// ApplyDeltaAt is ApplyDelta for the replication apply path: instead of
+// advancing the generation by one it pins the catalog to gen — the
+// stamp the leader journaled for this delta — so a follower serves the
+// exact generation numbers its leader published and generation-keyed
+// caches agree across the fleet. gen must be ahead of the catalog's
+// current generation. Unlike ApplyDelta, a delta that resolves to
+// nothing still advances the generation: the follower must reach the
+// leader's stamp even when (idempotent re-delivery, deletes of absent
+// IDs) there is no content to change. Takes ownership of the passed
+// features, like ApplyDelta.
+func (c *Catalog) ApplyDeltaAt(gen uint64, changed []*Feature, removed []string) error {
+	for _, f := range changed {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i].ID < changed[j].ID })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen <= c.generation {
+		return fmt.Errorf("catalog: replicated generation %d not ahead of catalog generation %d", gen, c.generation)
+	}
+	prev := c.snap.Load()
+	changedIDs := make(map[string]bool, len(changed))
+	for _, f := range changed {
+		changedIDs[f.ID] = true
+	}
+	removedSet := make(map[string]bool, len(removed))
+	for _, id := range removed {
+		if _, ok := c.features[id]; !ok {
+			continue
+		}
+		if changedIDs[id] {
+			continue
+		}
+		removedSet[id] = true
+	}
+	for id := range removedSet {
+		f := c.features[id]
+		c.unindexLocked(f)
+		delete(c.features, id)
+	}
+	for _, f := range changed {
+		if old, ok := c.features[f.ID]; ok {
+			c.unindexLocked(old)
+		}
+		clone := f.Clone()
+		c.features[f.ID] = clone
+		c.indexLocked(clone)
+	}
+	c.generation = gen
+	if prev != nil && len(changed)+len(removedSet) <= len(c.features)/2+1 {
+		c.snap.Store(prev.applyDelta(changed, removedSet, c.generation))
+	} else {
+		c.snap.Store(newSnapshot(c.features, c.generation, c.shards))
+	}
+	return nil
+}
+
 // ReplaceAll swaps this catalog's contents for those of other — the
 // wholesale load path (catalog snapshots from disk). The source catalog
 // is left untouched. The new snapshot is built eagerly here, so the

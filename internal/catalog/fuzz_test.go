@@ -72,7 +72,7 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 		recover := func() (*Catalog, uint64, error) {
 			into := New()
-			gen, _, _, err := recoverState(dir, into)
+			gen, _, _, _, err := recoverState(dir, into)
 			return into, gen, err
 		}
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -57,13 +58,22 @@ type Store struct {
 	compactMu sync.Mutex
 	mu        sync.Mutex
 	gen       uint64
-	sidecar   json.RawMessage
-	appends   uint64
-	skipped   uint64
-	refused   uint64
-	degraded  bool
-	compacts  uint64
-	lastComp  time.Duration
+	// ckGen is the generation stamped on the on-disk checkpoint file.
+	// Every record with a higher stamp is, by the compaction protocol,
+	// present in the on-disk journal files — so a tail from any
+	// generation >= ckGen can be served from the journals alone, and a
+	// tail from below it must resync from the checkpoint.
+	ckGen   uint64
+	sidecar json.RawMessage
+	// pubCh, when non-nil, is closed on the next successful append —
+	// the long-poll wakeup for journal tailers (see PublishNotify).
+	pubCh    chan struct{}
+	appends  uint64
+	skipped  uint64
+	refused  uint64
+	degraded bool
+	compacts uint64
+	lastComp time.Duration
 
 	// crashHook, when set (tests only), is consulted at each named
 	// compaction stage; returning true abandons the compaction with all
@@ -174,7 +184,7 @@ func OpenStore(dir string, into *Catalog, opts StoreOptions) (*Store, error) {
 	// real checkpoint is still authoritative.
 	os.Remove(st.tmpPath())
 
-	gen, sidecar, hadOld, err := recoverState(dir, into)
+	gen, ckGen, sidecar, hadOld, err := recoverState(dir, into)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +193,7 @@ func OpenStore(dir string, into *Catalog, opts StoreOptions) (*Store, error) {
 		return nil, err
 	}
 	st.gen = gen
+	st.ckGen = ckGen
 	st.sidecar = sidecar
 	if hadOld {
 		// Finish the interrupted compaction: fold everything into a fresh
@@ -200,11 +211,12 @@ func OpenStore(dir string, into *Catalog, opts StoreOptions) (*Store, error) {
 // journals (compactions that died mid-flight) then the journal, and pin
 // the catalog's generation to the last durable publish. On error the
 // catalog's contents are undefined.
-func recoverState(dir string, into *Catalog) (gen uint64, sidecar json.RawMessage, hadOld bool, err error) {
+func recoverState(dir string, into *Catalog) (gen, ckGen uint64, sidecar json.RawMessage, hadOld bool, err error) {
 	gen, sidecar, err = loadCheckpoint(filepath.Join(dir, "checkpoint"), into)
 	if err != nil {
-		return 0, nil, false, err
+		return 0, 0, nil, false, err
 	}
+	ckGen = gen
 	// Publishes stamp strictly increasing generations, and the replay
 	// order (rotated journals in rotation order, then the live journal)
 	// reconstructs append order — so the raw record stream must be
@@ -241,19 +253,19 @@ func recoverState(dir string, into *Catalog) (gen uint64, sidecar json.RawMessag
 	}
 	olds, err := oldJournals(dir)
 	if err != nil {
-		return 0, nil, false, err
+		return 0, 0, nil, false, err
 	}
 	for _, oldPath := range olds {
 		hadOld = true
 		if _, err := ReplayJournal(oldPath, apply); err != nil {
-			return 0, nil, false, err
+			return 0, 0, nil, false, err
 		}
 	}
 	if _, err := ReplayJournal(filepath.Join(dir, "journal"), apply); err != nil {
-		return 0, nil, false, err
+		return 0, 0, nil, false, err
 	}
 	into.restoreGeneration(gen)
-	return gen, sidecar, hadOld, nil
+	return gen, ckGen, sidecar, hadOld, nil
 }
 
 // Generation returns the last durable publish generation.
@@ -312,7 +324,25 @@ func (st *Store) AppendPublish(gen uint64, changed []*Feature, removed []string,
 	if sidecar != nil {
 		st.sidecar = sidecar
 	}
+	if st.pubCh != nil {
+		close(st.pubCh)
+		st.pubCh = nil
+	}
 	return nil
+}
+
+// PublishNotify returns a channel closed by the next successful append,
+// so journal tailers can long-poll instead of busy-spinning. Callers
+// must take the channel before re-reading Generation: the append that
+// bumps the generation closes the channel under the same lock, so
+// channel-then-generation can never miss a wakeup.
+func (st *Store) PublishNotify() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pubCh == nil {
+		st.pubCh = make(chan struct{})
+	}
+	return st.pubCh
 }
 
 // errCrashInjected marks a test-simulated kill -9 mid-compaction.
@@ -411,6 +441,7 @@ func (st *Store) Compact(c *Catalog) error {
 	st.compacts++
 	st.lastComp = time.Since(start)
 	st.degraded = false
+	st.ckGen = snap.Generation()
 	st.mu.Unlock()
 	compactions.Inc()
 	compactSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
@@ -503,7 +534,15 @@ func loadCheckpoint(path string, into *Catalog) (uint64, json.RawMessage, error)
 		return 0, nil, fmt.Errorf("catalog: open checkpoint: %w", err)
 	}
 	defer f.Close()
+	return LoadCheckpointFrom(f, into)
+}
 
+// LoadCheckpointFrom reads a checkpoint record stream (as written by
+// the compactor and served by a leader's checkpoint endpoint) into the
+// catalog and returns its generation stamp and sidecar. It is
+// loadCheckpoint over an arbitrary reader — the follower bootstrap
+// path, where the checkpoint arrives over HTTP instead of from disk.
+func LoadCheckpointFrom(f io.Reader, into *Catalog) (uint64, json.RawMessage, error) {
 	var (
 		gen     uint64
 		sidecar json.RawMessage

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -69,6 +70,9 @@ type admission struct {
 	// includes the network and both sides' scheduling.
 	shedFullSumNs atomic.Int64
 	shedFullMaxNs atomic.Int64
+	// serviceNs is an EWMA of admitted requests' slot-hold time — the
+	// observed drain rate the Retry-After derivation feeds on.
+	serviceNs atomic.Int64
 }
 
 // newAdmission builds the gate. max <= 0 disables admission control
@@ -149,7 +153,60 @@ func (a *admission) admit(queuedFirst bool) func() {
 	if n := int64(len(a.slots)); n > a.peakInFlight.Load() {
 		a.peakInFlight.Store(n)
 	}
-	return func() { <-a.slots }
+	t0 := time.Now()
+	return func() {
+		a.observeService(time.Since(t0).Nanoseconds())
+		<-a.slots
+	}
+}
+
+// observeService folds one admitted request's slot-hold time into the
+// service-time EWMA (α = 1/8). A lost CAS race just drops one sample.
+func (a *admission) observeService(ns int64) {
+	for range 4 {
+		old := a.serviceNs.Load()
+		next := old + (ns-old)/8
+		if old == 0 {
+			next = ns
+		}
+		if a.serviceNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// maxRetryAfterSeconds caps the derived Retry-After: past it the
+// backlog estimate says more about a stall than a drain rate, and
+// clients should not be told to go away for minutes.
+const maxRetryAfterSeconds = 30
+
+// retryAfterSeconds derives the Retry-After hint for a shed response
+// from the observed queue drain rate: the backlog ahead of a returning
+// client (requests holding slots plus requests queued) drains at max
+// slots per mean service time, so the expected wait is
+// backlog × mean / max, rounded up to whole seconds and clamped to
+// [1, maxRetryAfterSeconds]. Before any request has completed (no mean
+// yet) it falls back to 1.
+func (a *admission) retryAfterSeconds() int {
+	if a == nil {
+		return 1
+	}
+	mean := a.serviceNs.Load()
+	if mean <= 0 {
+		return 1
+	}
+	backlog := a.inFlight() + a.queued.Load()
+	if backlog < 1 {
+		backlog = 1
+	}
+	secs := int(math.Ceil(float64(backlog) * float64(mean) / float64(a.max) / float64(time.Second)))
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
 }
 
 func (a *admission) shed(counter *atomic.Uint64) {

@@ -29,8 +29,17 @@ type serveMetrics struct {
 	staleServed   atomic.Uint64
 	revalidations atomic.Uint64
 	partials      atomic.Uint64
-	endpoints     map[string]*endpointMetrics
-	names         []string // registration order, for stable /stats output
+	// ratelimitShed counts requests refused by the per-client token
+	// bucket — before the admission gate, so they never appear in shed.
+	ratelimitShed atomic.Uint64
+	// Read-your-writes counters: searches that waited for X-Min-Generation
+	// to arrive, and waits that expired into a 412.
+	minGenWaits atomic.Uint64
+	minGenStale atomic.Uint64
+	// tailsServed counts journal tail responses served to followers.
+	tailsServed atomic.Uint64
+	endpoints   map[string]*endpointMetrics
+	names       []string // registration order, for stable /stats output
 }
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds; an

@@ -204,6 +204,16 @@ func (s *Server) writeServerFamilies(w io.Writer) {
 	promUint(w, "dnh_cache_revalidations_total", "", s.metrics.revalidations.Load())
 	promFamily(w, "dnh_search_partial_total", "counter", "Deadline-expired searches answered with partial results.")
 	promUint(w, "dnh_search_partial_total", "", s.metrics.partials.Load())
+	promFamily(w, "dnh_ratelimit_shed_total", "counter", "Search requests refused by the per-client rate limit.")
+	promUint(w, "dnh_ratelimit_shed_total", "", s.metrics.ratelimitShed.Load())
+	promFamily(w, "dnh_ratelimit_clients", "gauge", "Clients with a resident rate-limit bucket.")
+	promInt(w, "dnh_ratelimit_clients", "", int64(s.limiter.clients()))
+	promFamily(w, "dnh_min_generation_waits_total", "counter", "Searches that waited for an X-Min-Generation to publish.")
+	promUint(w, "dnh_min_generation_waits_total", "", s.metrics.minGenWaits.Load())
+	promFamily(w, "dnh_min_generation_stale_total", "counter", "X-Min-Generation waits that expired into 412.")
+	promUint(w, "dnh_min_generation_stale_total", "", s.metrics.minGenStale.Load())
+	promFamily(w, "dnh_journal_tail_total", "counter", "Journal tail responses served to followers.")
+	promUint(w, "dnh_journal_tail_total", "", s.metrics.tailsServed.Load())
 
 	promFamily(w, "dnh_searches_total", "counter", "Searches executed against the catalog (cache hits excluded).")
 	promUint(w, "dnh_searches_total", "", s.metrics.searchesRun.Load())
@@ -236,6 +246,24 @@ func (s *Server) writeServerFamilies(w io.Writer) {
 			degraded = 1
 		}
 		promInt(w, "dnh_store_degraded", "", degraded)
+	}
+
+	if rep := s.replica; rep != nil {
+		rs := rep.Stats()
+		promFamily(w, "dnh_replica_lag_generations", "gauge", "Generations this follower is behind its leader.")
+		promUint(w, "dnh_replica_lag_generations", "", rs.LagGenerations)
+		promFamily(w, "dnh_replica_lag_seconds", "gauge", "Seconds since this follower was last caught up.")
+		promFloat(w, "dnh_replica_lag_seconds", "", rs.LagSeconds)
+		promFamily(w, "dnh_replica_applied_total", "counter", "Replicated records applied from the leader's journal.")
+		promUint(w, "dnh_replica_applied_total", "", rs.AppliedRecords)
+		promFamily(w, "dnh_replica_resyncs_total", "counter", "Checkpoint bootstraps after falling behind the journals.")
+		promUint(w, "dnh_replica_resyncs_total", "", rs.Resyncs)
+		promFamily(w, "dnh_replica_connected", "gauge", "1 while the last leader exchange succeeded.")
+		var connected int64
+		if rs.Connected {
+			connected = 1
+		}
+		promInt(w, "dnh_replica_connected", "", connected)
 	}
 
 	promFamily(w, "dnh_slowlog_entries", "gauge", "Slow-query log resident entries.")

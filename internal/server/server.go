@@ -59,10 +59,11 @@ const (
 	epStats       = "/stats"
 	epMetrics     = "/metrics"
 	epDebug       = "/debug"
+	epJournal     = "/journal"
 	endpointOther = "other"
 )
 
-var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epReadyz, epStats, epMetrics, epDebug, endpointOther}
+var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epReadyz, epStats, epMetrics, epDebug, epJournal, endpointOther}
 
 // DefaultCacheSize is the query-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 512
@@ -112,6 +113,19 @@ type Config struct {
 	// Partial: true — HTTP 200, never cached. 0 disables the server-side
 	// budget (client deadlines are always honored).
 	RequestTimeout time.Duration
+	// RateLimit caps each client's sustained search rate
+	// (requests/second), keyed by X-Client-Id or client IP; over-budget
+	// requests are shed with 429 and an accurate Retry-After before they
+	// can take an admission-queue position. 0 disables per-client
+	// limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst per client (0 = 2×RateLimit,
+	// minimum 1).
+	RateBurst int
+	// Replica, when set, marks this server as a follower: /readyz gates
+	// on its lag, and /stats + /metrics expose its replication state.
+	// The caller owns the replicator's lifecycle (Start/Stop).
+	Replica *Replicator
 	// StaleWindow enables stale-while-revalidate: for this long after a
 	// publish bumps the generation, a miss at the new generation may be
 	// served the previous generation's cached bytes (X-Dnhd-Cache:
@@ -135,6 +149,8 @@ type Server struct {
 	httpSrv *http.Server
 
 	adm         *admission
+	limiter     *rateLimiter
+	replica     *Replicator
 	flights     flightGroup
 	reqTimeout  time.Duration
 	staleWindow time.Duration
@@ -195,6 +211,8 @@ func New(cfg Config) (*Server, error) {
 		// the threshold went negative.
 		slow:        obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
 		adm:         newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait),
+		limiter:     newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		replica:     cfg.Replica,
 		reqTimeout:  cfg.RequestTimeout,
 		staleWindow: cfg.StaleWindow,
 		revalSem:    make(chan struct{}, maxRevalidations),
@@ -218,6 +236,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /debug/wrangletrace", s.handleWrangleTrace)
+	mux.HandleFunc("GET /journal/tail", s.handleJournalTail)
+	mux.HandleFunc("GET /journal/checkpoint", s.handleJournalCheckpoint)
 	return s.instrument(mux)
 }
 
@@ -330,18 +350,89 @@ func (req SearchRequest) toQuery() metamess.Query {
 
 // --- handlers --------------------------------------------------------
 
-// admitSearch runs the admission gate in front of a search endpoint.
-// A shed request is answered here — 429 with Retry-After, no parsing
-// and no executor work, microseconds end to end — and false returned.
+// admitSearch runs the pre-execution gates in front of a search
+// endpoint, cheapest-refusal first: the per-client rate limit (one hot
+// client must not take queue positions from the rest), then the
+// read-your-writes wait (X-Min-Generation — waiting must not hold an
+// admission slot), then the admission gate. A refused request is
+// answered here — 429/412 with headers, no parsing and no executor
+// work — and false returned.
 func (s *Server) admitSearch(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if wait, limited := s.limiter.take(clientKey(r), time.Now()); limited {
+		s.metrics.ratelimitShed.Add(1)
+		w.Header().Set("Retry-After", retryAfterHeader(wait))
+		writeError(w, http.StatusTooManyRequests, "client rate limit exceeded, retry later")
+		return nil, false
+	}
+	if !s.awaitMinGeneration(w, r) {
+		return nil, false
+	}
 	release, reason := s.adm.acquire(r.Context())
 	if reason == shedNone {
 		return release, true
 	}
 	s.metrics.shed.Add(1)
-	w.Header().Set("Retry-After", "1")
+	// Retry-After tracks the observed drain rate: backlog × mean
+	// service time / slots, not a hardcoded guess.
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 	writeError(w, http.StatusTooManyRequests, "server overloaded ("+reason.String()+"), retry later")
 	return nil, false
+}
+
+// DefaultMinGenWait bounds how long an X-Min-Generation request waits
+// for replication (or a local publish) to reach the demanded generation
+// when the request carries no deadline of its own.
+const DefaultMinGenWait = 2 * time.Second
+
+// awaitMinGeneration implements read-your-writes: a client that just
+// wrote through the leader sends the publish's generation in
+// X-Min-Generation, and a follower holds the search until its replica
+// catches up — up to the request's deadline (X-Deadline-Ms /
+// RequestTimeout, else DefaultMinGenWait) — or answers 412 with the
+// generation it does have, so the client can retry or fall back to the
+// leader. Runs before the admission gate: a waiting request must not
+// hold a slot. On a leader the demanded generation is usually already
+// current and this is one atomic load.
+func (s *Server) awaitMinGeneration(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get("X-Min-Generation")
+	if h == "" {
+		return true
+	}
+	min, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad X-Min-Generation: "+err.Error())
+		return false
+	}
+	if s.sys.SnapshotGeneration() >= min {
+		return true
+	}
+	s.metrics.minGenWaits.Add(1)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if _, bounded := ctx.Deadline(); !bounded {
+		var cancelWait context.CancelFunc
+		ctx, cancelWait = context.WithTimeout(ctx, DefaultMinGenWait)
+		defer cancelWait()
+	}
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.sys.SnapshotGeneration() >= min {
+			return true
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			gen := s.sys.SnapshotGeneration()
+			s.metrics.minGenStale.Add(1)
+			w.Header().Set("X-Dnhd-Generation", strconv.FormatUint(gen, 10))
+			writeJSON(w, http.StatusPreconditionFailed, map[string]any{
+				"error":      fmt.Sprintf("generation %d not yet available", min),
+				"generation": gen,
+			})
+			return false
+		}
+	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -682,6 +773,91 @@ func (s *Server) startRevalidate(gen uint64, key string, q metamess.Query) {
 	}()
 }
 
+// --- replication (leader side) ---------------------------------------
+
+// maxTailWait caps a tail request's long-poll hold, so a dead follower
+// cannot pin a connection indefinitely.
+const maxTailWait = 30 * time.Second
+
+// handleJournalTail streams journal frames to a follower:
+// GET /journal/tail?from=<gen>&wait_ms=<hold>&max_bytes=<cap>. The
+// response body is raw checksummed journal lines for every record past
+// from; X-Dnhd-Generation carries the leader's current generation, and
+// X-Dnhd-Resync: 1 (empty body) tells a follower whose from predates
+// the journals' reach to bootstrap from /journal/checkpoint instead.
+// With wait_ms, an empty tail long-polls until a publish lands or the
+// hold expires. Any durable node can serve tails — a durable follower
+// journals leader-stamped records, so chaining followers off followers
+// works unchanged.
+func (s *Server) handleJournalTail(w http.ResponseWriter, r *http.Request) {
+	if !s.sys.Durable() {
+		writeError(w, http.StatusNotFound, "journal tailing requires a durable node (-data)")
+		return
+	}
+	q := r.URL.Query()
+	var from uint64
+	if raw := q.Get("from"); raw != "" {
+		var err error
+		if from, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad from parameter: "+err.Error())
+			return
+		}
+	}
+	var wait time.Duration
+	if raw := q.Get("wait_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait_ms parameter")
+			return
+		}
+		if wait = time.Duration(ms) * time.Millisecond; wait > maxTailWait {
+			wait = maxTailWait
+		}
+	}
+	var maxBytes int64
+	if raw := q.Get("max_bytes"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad max_bytes parameter")
+			return
+		}
+		maxBytes = n
+	}
+	frames, gen, resync, err := s.sys.JournalTail(from, maxBytes)
+	if err == nil && len(frames) == 0 && !resync && wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		s.sys.AwaitPublish(ctx, from)
+		cancel()
+		frames, gen, resync, err = s.sys.JournalTail(from, maxBytes)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.tailsServed.Add(1)
+	w.Header().Set("X-Dnhd-Generation", strconv.FormatUint(gen, 10))
+	if resync {
+		w.Header().Set("X-Dnhd-Resync", "1")
+	}
+	w.Header().Set("Content-Type", "application/x-dnh-journal")
+	w.WriteHeader(http.StatusOK)
+	w.Write(frames)
+}
+
+// handleJournalCheckpoint streams the on-disk checkpoint — the
+// follower bootstrap download behind the resync signal.
+func (s *Server) handleJournalCheckpoint(w http.ResponseWriter, r *http.Request) {
+	rc, err := s.sys.CheckpointReader()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/x-dnh-checkpoint")
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, rc)
+}
+
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	path := r.PathValue("path")
 	summary, err := s.sys.DatasetSummary(path)
@@ -714,18 +890,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ReadyzResponse is the /readyz body — the load-balancer drain signal.
 type ReadyzResponse struct {
-	Status      string `json:"status"` // "ready" or "shedding"
+	Status      string `json:"status"` // "ready", "shedding", or "lagging"
 	Shedding    bool   `json:"shedding"`
 	InFlight    int64  `json:"inFlight"`
 	Queued      int64  `json:"queued"`
 	MaxInFlight int    `json:"maxInFlight,omitempty"`
 	QueueDepth  int    `json:"queueDepth,omitempty"`
+	// Replication is present on followers: /readyz answers 503 while the
+	// replica has never caught up or is beyond its MaxLag.
+	Replication *ReplicaStats `json:"replication,omitempty"`
 }
 
 // handleReadyz is readiness: 503 while the admission gate is shedding
 // (queue at capacity now, or a shed within the last few seconds), so a
-// balancer drains a saturated instance before more users see 429s.
-// Never gated by admission itself.
+// balancer drains a saturated instance before more users see 429s — or,
+// on a follower, while replication has never caught up or lags beyond
+// -max-lag. Never gated by admission itself.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := ReadyzResponse{Status: "ready", InFlight: s.adm.inFlight()}
 	if s.adm != nil {
@@ -738,6 +918,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "shedding"
 		resp.Shedding = true
 		status = http.StatusServiceUnavailable
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		resp.Replication = &rs
+		if !rs.Ready {
+			resp.Status = "lagging"
+			status = http.StatusServiceUnavailable
+		}
 	}
 	writeJSON(w, status, resp)
 }
@@ -757,6 +945,9 @@ type StatsResponse struct {
 	// Durability reports the publish journal + checkpoint store; absent
 	// when the system runs without a data directory.
 	Durability *metamess.DurabilityStats `json:"durability,omitempty"`
+	// Replication reports follower state (lag, applied records,
+	// resyncs); absent on nodes not following a leader.
+	Replication *ReplicaStats `json:"replication,omitempty"`
 }
 
 // SearchStats reports query-execution efficiency: scratch-pool reuse
@@ -839,6 +1030,17 @@ type OverloadStats struct {
 	StaleServed        uint64  `json:"staleServed"`
 	Revalidations      uint64  `json:"revalidations"`
 	PartialResults     uint64  `json:"partialResults"`
+	// RetryAfterSec is the Retry-After an overload shed would carry right
+	// now, derived from the observed drain rate.
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
+	// Per-client rate limiting (0/absent when -rate-limit is off).
+	RateLimitPerSec  float64 `json:"rateLimitPerSec,omitempty"`
+	RateLimited      uint64  `json:"rateLimited"`
+	RateLimitClients int     `json:"rateLimitClients,omitempty"`
+	// Read-your-writes: X-Min-Generation requests that had to wait, and
+	// those answered 412 because the generation never arrived in time.
+	MinGenWaits uint64 `json:"minGenWaits"`
+	MinGenStale uint64 `json:"minGenStale"`
 }
 
 func (s *Server) overloadStats() OverloadStats {
@@ -847,6 +1049,13 @@ func (s *Server) overloadStats() OverloadStats {
 		StaleServed:    s.metrics.staleServed.Load(),
 		Revalidations:  s.metrics.revalidations.Load(),
 		PartialResults: s.metrics.partials.Load(),
+		RateLimited:    s.metrics.ratelimitShed.Load(),
+		MinGenWaits:    s.metrics.minGenWaits.Load(),
+		MinGenStale:    s.metrics.minGenStale.Load(),
+	}
+	if l := s.limiter; l != nil {
+		st.RateLimitPerSec = l.rate
+		st.RateLimitClients = l.clients()
 	}
 	if a := s.adm; a != nil {
 		st.MaxInFlight = a.max
@@ -866,6 +1075,7 @@ func (s *Server) overloadStats() OverloadStats {
 			st.ShedDecisionMaxUs = float64(a.shedFullMaxNs.Load()) / 1e3
 		}
 		st.Shedding = a.shedding()
+		st.RetryAfterSec = a.retryAfterSeconds()
 	}
 	return st
 }
@@ -897,6 +1107,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ds, ok := s.sys.Durability(); ok {
 		resp.Durability = &ds
 	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		resp.Replication = &rs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -923,6 +1137,8 @@ func endpointLabel(path string) string {
 		return epMetrics
 	case path == epDebug || strings.HasPrefix(path, epDebug+"/"):
 		return epDebug
+	case path == epJournal || strings.HasPrefix(path, epJournal+"/"):
+		return epJournal
 	}
 	return endpointOther
 }

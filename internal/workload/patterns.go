@@ -39,6 +39,21 @@ func ZipfIndices(total, n int, s float64, seed int64) []int {
 	return out
 }
 
+// Rebase returns a copy of reqs with each URL's oldBase prefix swapped
+// for newBase — one node's request set replayed against another (e.g.
+// a leader-derived query pool aimed at its read replica). URLs outside
+// oldBase are kept as-is.
+func Rebase(reqs []HTTPRequest, oldBase, newBase string) []HTTPRequest {
+	out := make([]HTTPRequest, len(reqs))
+	for i, r := range reqs {
+		if strings.HasPrefix(r.URL, oldBase) {
+			r.URL = newBase + strings.TrimPrefix(r.URL, oldBase)
+		}
+		out[i] = r
+	}
+	return out
+}
+
 // SteadyArrivals returns n offsets at a constant qps — the open-loop
 // baseline schedule.
 func SteadyArrivals(n int, qps float64) []time.Duration {

@@ -192,3 +192,25 @@ func TestReplayArrivalsLengthMismatch(t *testing.T) {
 		t.Fatal("mismatched arrivals: want error")
 	}
 }
+
+func TestRebaseSwapsURLPrefix(t *testing.T) {
+	reqs := []HTTPRequest{
+		{Method: http.MethodPost, URL: "http://leader:8080/search", Body: []byte(`{}`)},
+		{Method: http.MethodGet, URL: "http://leader:8080/search/text?q=x"},
+		{Method: http.MethodGet, URL: "http://elsewhere:9/healthz"},
+	}
+	out := Rebase(reqs, "http://leader:8080", "http://replica:8081")
+	if out[0].URL != "http://replica:8081/search" || out[1].URL != "http://replica:8081/search/text?q=x" {
+		t.Errorf("rebased URLs = %q, %q", out[0].URL, out[1].URL)
+	}
+	if out[2].URL != "http://elsewhere:9/healthz" {
+		t.Errorf("foreign URL rewritten: %q", out[2].URL)
+	}
+	// The originals are untouched and the bodies ride along.
+	if reqs[0].URL != "http://leader:8080/search" {
+		t.Error("Rebase mutated its input")
+	}
+	if string(out[0].Body) != `{}` || out[0].Method != http.MethodPost {
+		t.Error("Rebase dropped method or body")
+	}
+}
