@@ -23,6 +23,7 @@ import (
 	"metamess/internal/catalog"
 	"metamess/internal/experiments"
 	"metamess/internal/geo"
+	"metamess/internal/scan"
 	"metamess/internal/search"
 )
 
@@ -939,5 +940,107 @@ func BenchmarkShardedPublish(b *testing.B) {
 		"generatedAt": benchStamp(),
 		"environment": benchEnvironment(),
 		"results":     groups,
+	})
+}
+
+// pushBenchFeature builds one push-batch feature. Distinct from
+// benchFeature: push batches clear wrangle-grade validation, so every
+// variable range stays inside the vocabulary's plausible bounds, and
+// the content hash varies with version so each publish is a real delta.
+func pushBenchFeature(i, version int) *catalog.Feature {
+	vars := []struct {
+		name, unit string
+		lo, hi     float64
+	}{
+		{"water_temperature", "C", 6, 18},
+		{"salinity", "PSU", 2, 30},
+		{"turbidity", "NTU", 1, 80},
+		{"dissolved_oxygen", "mg/L", 3, 12},
+	}
+	v := vars[i%len(vars)]
+	base := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	lat := 45 + float64(i%200)*0.01
+	lon := -125 + float64((i*3)%200)*0.01
+	path := fmt.Sprintf("push/%04d.csv", i)
+	return &catalog.Feature{
+		ID:     catalog.IDForPath(path),
+		Path:   path,
+		Source: "push",
+		Format: "csv",
+		BBox:   geo.BBox{MinLat: lat, MinLon: lon, MaxLat: lat + 0.05, MaxLon: lon + 0.05},
+		Time: geo.NewTimeRange(
+			base.AddDate(0, 0, i%90),
+			base.AddDate(0, 0, i%90+1)),
+		Variables: []catalog.VarFeature{{
+			RawName: v.name, Name: v.name, Unit: v.unit,
+			Range: geo.NewValueRange(v.lo, v.hi),
+			Count: 24,
+		}},
+		RowCount:    24 + version,
+		Bytes:       512,
+		ScannedAt:   base,
+		ModTime:     base.Add(time.Duration(version) * time.Second),
+		ContentHash: fmt.Sprintf("%016x", uint64(i)<<32|uint64(version&0xffffffff)),
+	}
+}
+
+// BenchmarkPushPublish measures the warm push-ingest cost: a producer
+// re-publishing a batch whose content changed since the last publish.
+// The timed path is PublishFeatures end to end — batch validation,
+// wrangle-grade checks over a scratch catalog, delta trim against the
+// served snapshot, sharded ApplyDelta, snapshot swap — and it must
+// perform zero filesystem stat calls: push-fed deployments have no
+// stat-call floor, which is the point of the connector refactor. The
+// exhibit lands in BENCH_wrangle.json under "pushPublish" with the
+// zeroStatCalls flag the CI bench smoke greps.
+func BenchmarkPushPublish(b *testing.B) {
+	const batch = 100
+	sys, err := New(Config{ArchiveRoot: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	build := func(version int) *PublishRequest {
+		req := &PublishRequest{Features: make([]*catalog.Feature, batch)}
+		for i := range req.Features {
+			req.Features[i] = pushBenchFeature(i, version)
+		}
+		return req
+	}
+	// Seed publish (the cold path), then two alternating versions: every
+	// timed publish replaces the whole batch with changed content.
+	if _, err := sys.PublishFeatures(build(0)); err != nil {
+		b.Fatal(err)
+	}
+	reqs := [2]*PublishRequest{build(1), build(2)}
+	gen0 := sys.SnapshotGeneration()
+	stat0 := scan.StatCalls()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.PublishFeatures(reqs[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	statCalls := scan.StatCalls() - stat0
+	genMoves := sys.SnapshotGeneration() - gen0
+	if statCalls != 0 {
+		b.Errorf("warm publish performed %d stat calls, want 0", statCalls)
+	}
+	if uint64(b.N) != genMoves {
+		b.Errorf("%d publishes moved the generation %d times", b.N, genMoves)
+	}
+	mergeBenchJSONAt(b, "BENCH_wrangle.json", []string{"pushPublish"}, map[string]any{
+		"benchmark": "BenchmarkPushPublish",
+		"description": fmt.Sprintf(
+			"Warm push-ingest cost: PublishFeatures re-publishing a %d-feature batch whose content changed since the last publish — batch validation, wrangle-grade checks, delta trim, sharded ApplyDelta, snapshot swap. The zeroStatCalls flag asserts the push path never touches the filesystem: unlike the walker, push-fed ingest has no stat-call floor.", batch),
+		"generatedAt":          benchStamp(),
+		"environment":          benchEnvironment(),
+		"batchFeatures":        batch,
+		"nsPerOp":              b.Elapsed().Nanoseconds() / int64(b.N),
+		"iters":                b.N,
+		"statCalls":            statCalls,
+		"zeroStatCalls":        statCalls == 0,
+		"generationPerPublish": genMoves == uint64(b.N),
 	})
 }

@@ -36,7 +36,14 @@
 // they can occupy an admission queue position; clients are keyed by
 // X-Client-Id when present, else client IP.
 //
-// Endpoints: POST /search, GET /search/text?q=..., GET /dataset/{path},
+// Push ingest: POST /publish accepts a batched feature delta from a
+// live producer — validated, journaled, and replicated exactly like a
+// wrangled publish, with zero filesystem stat calls. -max-publish caps
+// the body size (negative disables the endpoint); followers never mount
+// it — writes go to the leader and arrive here through the tail.
+//
+// Endpoints: POST /search, POST /publish, GET /search/text?q=...,
+// GET /dataset/{path},
 // GET /curator/queue, GET /healthz (liveness), GET /readyz (readiness:
 // 503 while shedding), GET /stats, GET /metrics (Prometheus text
 // format), GET /debug/slowlog, GET /debug/wrangletrace.
@@ -108,6 +115,7 @@ func main() {
 	maxLag := flag.Uint64("max-lag", 0, "follower /readyz reports 503 past this many generations behind the leader (0 = 16)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client search budget in requests/second (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client token-bucket burst (0 = 2x -rate-limit)")
+	maxPublish := flag.Int64("max-publish", 0, "POST /publish body cap in bytes (0 = 8 MiB, negative disables the endpoint)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -210,21 +218,32 @@ func main() {
 		}
 	}
 
+	pubBytes := *maxPublish
+	if rep != nil && pubBytes >= 0 {
+		// A follower's catalog mirrors its leader; a direct publish here
+		// would fork the replica. Writes go to the leader and arrive
+		// through the journal tail.
+		if pubBytes > 0 {
+			logger.Warn("-max-publish ignored on a follower (publish to the leader)")
+		}
+		pubBytes = -1
+	}
 	srv, err := server.New(server.Config{
-		Sys:            sys,
-		CacheSize:      *cacheSize,
-		RewrangleEvery: *rewrangle,
-		TraceSample:    *traceSample,
-		SlowThreshold:  *slowThreshold,
-		Logger:         logger,
-		MaxInFlight:    *maxInFlight,
-		QueueDepth:     *queueDepth,
-		QueueWait:      *queueWait,
-		RequestTimeout: *requestTimeout,
-		StaleWindow:    *staleWindow,
-		RateLimit:      *rateLimit,
-		RateBurst:      *rateBurst,
-		Replica:        rep,
+		Sys:             sys,
+		CacheSize:       *cacheSize,
+		RewrangleEvery:  *rewrangle,
+		TraceSample:     *traceSample,
+		SlowThreshold:   *slowThreshold,
+		Logger:          logger,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queueDepth,
+		QueueWait:       *queueWait,
+		RequestTimeout:  *requestTimeout,
+		StaleWindow:     *staleWindow,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		MaxPublishBytes: pubBytes,
+		Replica:         rep,
 	})
 	if err != nil {
 		fatal(err)

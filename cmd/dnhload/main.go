@@ -155,6 +155,131 @@ type replicationScenario struct {
 	ZeroErrors    bool `json:"zeroErrors"`
 }
 
+// pushIngestScenario is the push-storm row: a publish stream
+// interleaved into a query replay on one server. Producers land
+// feature-delta batches through POST /publish while readers search;
+// every batch must be accepted, every accepted batch must advance the
+// generation (so generation-keyed cached rankings can never go stale),
+// and the mixed stream must finish with zero errors.
+type pushIngestScenario struct {
+	Publishes int `json:"publishes"`
+	BatchSize int `json:"batchSize"`
+	Queries   int `json:"queries"`
+	// Stats is the interleaved replay (queries + publishes in one
+	// stream).
+	Stats workload.LoadStats `json:"stats"`
+	QPS   float64            `json:"qps"`
+	P99Ms float64            `json:"p99Ms"`
+	// GenerationBefore/After bracket the replay; Ingest is the server's
+	// own accounting.
+	GenerationBefore uint64             `json:"generationBefore"`
+	GenerationAfter  uint64             `json:"generationAfter"`
+	Ingest           server.IngestStats `json:"ingest"`
+	// Verdicts — all must hold or dnhload exits non-zero.
+	AllAccepted         bool `json:"allAccepted"`
+	GenerationAdvanced  bool `json:"generationAdvanced"`
+	ZeroErrors          bool `json:"zeroErrors"`
+	SearchableAfterPush bool `json:"searchableAfterPush"`
+}
+
+// runPushIngest builds a dedicated rig (its own archive and system, so
+// the pushed paths don't leak into other phases), interleaves a publish
+// stream into a query replay, and verifies the push-fed deltas are
+// accepted, generation-bumping, and immediately searchable.
+func runPushIngest(ctx context.Context, logger *slog.Logger, host *selfHosted, seed int64) (*pushIngestScenario, error) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	root, err := os.MkdirTemp("", "dnhload-push-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	m, err := archive.Generate(root, archive.DefaultGenConfig(200, seed+61))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := metamess.New(metamess.Config{ArchiveRoot: root})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	if _, err := sys.Wrangle(); err != nil {
+		return nil, err
+	}
+	base, stop, err := host.startServer(server.Config{Sys: sys, Logger: quiet, SlowThreshold: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	const (
+		publishes = 20
+		batchSize = 25
+		queryN    = 200
+	)
+	qs, err := workload.Queries(m, queryN, seed+67, workload.DefaultRelevance(), false)
+	if err != nil {
+		return nil, err
+	}
+	queryReqs, err := searchRequests(base, qs)
+	if err != nil {
+		return nil, err
+	}
+	pubReqs, err := workload.PublishRequests(base, publishes, batchSize, seed+71)
+	if err != nil {
+		return nil, err
+	}
+	stream := workload.InterleaveEvery(queryReqs, pubReqs, queryN/publishes)
+
+	sc := &pushIngestScenario{
+		Publishes:        publishes,
+		BatchSize:        batchSize,
+		Queries:          queryN,
+		GenerationBefore: sys.SnapshotGeneration(),
+	}
+	logger.Info("push-ingest phase", "requests", len(stream),
+		"publishes", publishes, "batch", batchSize)
+	stats, err := workload.Replay(ctx, stream, workload.LoadOptions{Concurrency: 8})
+	if err != nil {
+		return nil, err
+	}
+	sc.Stats = stats
+	sc.QPS = stats.QPS
+	sc.P99Ms = stats.P99Ms
+	sc.GenerationAfter = sys.SnapshotGeneration()
+	srvStats, err := fetchStats(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	sc.Ingest = srvStats.Ingest
+
+	// A post-storm probe: a pushed dataset must rank, at the final
+	// generation — the generation-keyed cache cannot serve a ranking
+	// that predates the publishes.
+	probeBody, err := json.Marshal(server.SearchRequest{
+		Near:      &server.LatLon{Lat: 46, Lon: -124},
+		Variables: []server.Variable{{Name: "water_temperature"}},
+		K:         100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	body, gen, err := fetchBody(ctx, workload.HTTPRequest{Method: http.MethodPost, URL: base + "/search", Body: probeBody})
+	if err != nil {
+		return nil, err
+	}
+	sc.SearchableAfterPush = gen == fmt.Sprint(sc.GenerationAfter) && bytes.Contains(body, []byte(`"push/`))
+
+	sc.AllAccepted = sc.Ingest.Publishes == publishes && sc.Ingest.Rejected == 0 &&
+		sc.Ingest.Features == uint64(publishes*batchSize)
+	sc.GenerationAdvanced = sc.GenerationAfter >= sc.GenerationBefore+publishes
+	sc.ZeroErrors = stats.Errors == 0 && stats.Status.Server5xx == 0
+	logger.Info("push-ingest: done",
+		"qps", sc.QPS, "p99Ms", sc.P99Ms,
+		"generation", sc.GenerationAfter, "published", sc.Ingest.Features,
+		"allAccepted", sc.AllAccepted, "searchable", sc.SearchableAfterPush)
+	return sc, nil
+}
+
 // hostileScenario replays fuzz-corpus garbage; rejections (4xx) are
 // expected, server errors are not.
 type hostileScenario struct {
@@ -187,6 +312,7 @@ type benchReport struct {
 	Deadline    *deadlineScenario    `json:"deadline,omitempty"`
 	Hostile     *hostileScenario     `json:"hostile,omitempty"`
 	Replication *replicationScenario `json:"replication,omitempty"`
+	PushIngest  *pushIngestScenario  `json:"pushIngest,omitempty"`
 }
 
 func main() {
@@ -300,6 +426,9 @@ func main() {
 		if rep.Replication, err = runReplication(ctx, logger, host, *seed); err != nil {
 			fatal(err)
 		}
+		if rep.PushIngest, err = runPushIngest(ctx, logger, host, *seed); err != nil {
+			fatal(err)
+		}
 		o := rep.Overload
 		if !o.ShedObserved || !o.CollapseObserved || !o.ZeroServerErrors || !o.AdmittedP99Within2x || !o.ShedsFast {
 			logger.Error("overload verdicts failed",
@@ -328,6 +457,14 @@ func main() {
 				"byteIdentical", rep.Replication.ByteIdentical,
 				"zeroErrors", rep.Replication.ZeroErrors,
 				"resyncs", rep.Replication.Resyncs)
+			failed = true
+		}
+		p := rep.PushIngest
+		if !p.AllAccepted || !p.GenerationAdvanced || !p.ZeroErrors || !p.SearchableAfterPush {
+			logger.Error("push-ingest verdicts failed",
+				"allAccepted", p.AllAccepted, "generationAdvanced", p.GenerationAdvanced,
+				"zeroErrors", p.ZeroErrors, "searchableAfterPush", p.SearchableAfterPush,
+				"ingest", p.Ingest)
 			failed = true
 		}
 	}

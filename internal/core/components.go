@@ -39,7 +39,11 @@ func (ScanArchive) Run(ctx *Context) (StepReport, error) {
 	if fp := knowledgeFingerprint(ctx.Knowledge, ctx.Units, len(ctx.PendingDecisions)); ctx.hasRun && fp != ctx.lastKnowledgeFP {
 		ctx.KnowledgeEpoch++
 	}
-	res, err := scan.New(ctx.ScanConfig).ScanInto(ctx.Working)
+	conn := ctx.Connector
+	if conn == nil {
+		conn = scan.New(ctx.ScanConfig)
+	}
+	res, err := conn.ScanInto(ctx.Working)
 	if err != nil {
 		return StepReport{}, err
 	}

@@ -94,6 +94,12 @@ type Context struct {
 	Units *units.Registry
 	// ScanConfig selects directories and file types.
 	ScanConfig scan.Config
+	// Connector, when set, replaces the filesystem walker as the scan
+	// component's ingest source — a streaming tar/zip archive, an HTTP
+	// object listing, or any other scan.Connector. The rest of the chain
+	// (transforms, validation, publish, journal, replication) is
+	// connector-agnostic: every source produces the same Delta shape.
+	Connector scan.Connector
 	// DiscoveredRules accumulates the mass edits produced by the
 	// discovery component, applied by PerformDiscovered and exportable as
 	// the poster's JSON rule files.

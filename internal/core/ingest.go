@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"metamess/internal/catalog"
+)
+
+// PublishDirect applies an externally produced feature delta — a push
+// from a live producer, not a wrangle over the working catalog — through
+// exactly the pipeline a chain Publish uses: the published catalog's
+// sharded ApplyDelta, the knowledge-epoch sidecar, and the durable
+// journal append. Durability, replication tailing, and generation-keyed
+// cache invalidation therefore work unchanged for pushed metadata.
+//
+// The working catalog is kept in sync so the next Wrangle's
+// DiffTo(Working) does not see the pushed features as drift and retract
+// them. (A later filesystem scan can still retract a pushed feature
+// whose path lies inside the scanned directories but has no backing
+// file — push paths should live outside the walker's scope.)
+//
+// The delta is trimmed to what actually differs: features content-equal
+// to their published predecessor and removals of absent IDs are dropped,
+// so a replayed push is a generation-stable no-op, exactly like a no-op
+// re-wrangle. Callers must serialize PublishDirect against chain runs;
+// the facade holds one publish lock across both.
+//
+// Every feature must already be validated — PublishDirect validates
+// again via the catalog (defense in depth) but performs no mutation
+// until the whole batch has been checked, so a rejected publish leaves
+// the catalogs, the generation, and the journal untouched.
+func (c *Context) PublishDirect(features []*catalog.Feature, removeIDs []string) (gen uint64, changed int, removed int, err error) {
+	if c.Published == nil {
+		return 0, 0, 0, fmt.Errorf("core: no published catalog configured")
+	}
+	for _, f := range features {
+		if f == nil {
+			return 0, 0, 0, fmt.Errorf("core: publish: nil feature")
+		}
+		if err := f.Validate(); err != nil {
+			return 0, 0, 0, fmt.Errorf("core: publish: %w", err)
+		}
+	}
+
+	// Trim to the real delta against the served snapshot. ByID reads the
+	// immutable snapshot without cloning.
+	snap := c.Published.Snapshot()
+	var applyChanged []*catalog.Feature
+	for _, f := range features {
+		if prev, ok := snap.ByID(f.ID); ok && prev.ContentEquals(f) {
+			continue
+		}
+		// Private clone: ApplyDelta takes ownership, and the caller's
+		// features must stay the caller's.
+		applyChanged = append(applyChanged, f.Clone())
+	}
+	var applyRemoved []string
+	for _, id := range removeIDs {
+		if _, ok := snap.ByID(id); ok {
+			applyRemoved = append(applyRemoved, id)
+		}
+	}
+
+	// Mirror the working catalog first: if an upsert fails here nothing
+	// has touched the served snapshot or the journal yet.
+	for _, f := range features {
+		if err := c.Working.Upsert(f); err != nil {
+			return 0, 0, 0, fmt.Errorf("core: publish: %w", err)
+		}
+	}
+	for _, id := range removeIDs {
+		c.Working.Delete(id)
+	}
+
+	if _, err := c.Published.ApplyDelta(applyChanged, applyRemoved); err != nil {
+		return 0, 0, 0, fmt.Errorf("core: publish: %w", err)
+	}
+	gen = c.Published.Generation()
+	if c.Journal != nil {
+		sidecar, err := c.EpochSidecar()
+		if err != nil {
+			return gen, len(applyChanged), len(applyRemoved), fmt.Errorf("core: publish: %w", err)
+		}
+		if err := c.Journal.AppendPublish(gen, applyChanged, applyRemoved, sidecar); err != nil {
+			return gen, len(applyChanged), len(applyRemoved), fmt.Errorf("core: publish: %w", err)
+		}
+	}
+	return gen, len(applyChanged), len(applyRemoved), nil
+}

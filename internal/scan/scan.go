@@ -25,11 +25,22 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metamess/internal/archive"
 	"metamess/internal/catalog"
 )
+
+// statCalls counts the os.Stat invocations the walker has made over the
+// process lifetime. Push-fed deployments care that their ingest path
+// never touches the filesystem: BenchmarkPushPublish asserts this
+// counter does not move across a publish storm.
+var statCalls atomic.Uint64
+
+// StatCalls returns the number of stat calls the filesystem walker has
+// performed so far in this process.
+func StatCalls() uint64 { return statCalls.Load() }
 
 // Config selects what to scan.
 type Config struct {
@@ -106,6 +117,10 @@ func New(cfg Config) *Scanner {
 	return &Scanner{cfg: cfg, exts: set, now: time.Now}
 }
 
+// Name implements Connector: the walker is the original, filesystem
+// ingest source.
+func (s *Scanner) Name() string { return "walker" }
+
 // ScanAll walks the configured directories and parses every candidate
 // file ("scan once").
 func (s *Scanner) ScanAll() (*Result, error) {
@@ -179,6 +194,7 @@ func (s *Scanner) scan(existing *catalog.Catalog) (*Result, error) {
 	if s.cfg.Root == "" {
 		return nil, fmt.Errorf("scan: config needs a root directory")
 	}
+	statCalls.Add(1)
 	if st, err := os.Stat(s.cfg.Root); err != nil {
 		return nil, fmt.Errorf("scan: root: %w", err)
 	} else if !st.IsDir() {
@@ -353,6 +369,7 @@ type fileOutcome struct {
 // a stat match inside it is read and the content hash arbitrates — the
 // path that catches edits preserving both size and mtime.
 func (s *Scanner) scanOne(abs, rel string, existing *catalog.Catalog) fileOutcome {
+	statCalls.Add(1)
 	st, err := os.Stat(abs)
 	if err != nil {
 		return fileOutcome{err: fmt.Errorf("scan: stat %s: %w", rel, err)}
@@ -398,6 +415,16 @@ func (s *Scanner) scanOne(abs, rel string, existing *catalog.Catalog) fileOutcom
 
 // parseData sniffs and parses one file's bytes into a feature.
 func (s *Scanner) parseData(rel string, data []byte) (*catalog.Feature, error) {
+	return ParseBytes(rel, data)
+}
+
+// ParseBytes sniffs and parses one dataset's raw bytes into a catalog
+// feature, exactly as the walker would for a file at the archive-relative
+// path rel. It is the shared parse core every connector — walker, tar,
+// HTTP — and every push producer goes through, so the three ingest paths
+// summarize identical bytes into identical features. The caller owns the
+// scan bookkeeping (Bytes, ModTime, ScannedAt).
+func ParseBytes(rel string, data []byte) (*catalog.Feature, error) {
 	format, ok := Sniff(rel, data)
 	if !ok {
 		return nil, fmt.Errorf("scan: %s: unrecognized format", rel)

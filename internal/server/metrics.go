@@ -38,8 +38,15 @@ type serveMetrics struct {
 	minGenStale atomic.Uint64
 	// tailsServed counts journal tail responses served to followers.
 	tailsServed atomic.Uint64
-	endpoints   map[string]*endpointMetrics
-	names       []string // registration order, for stable /stats output
+	// Push-ingest counters: accepted publishes (and how many arrived as
+	// generation-stable replays), plus batches rejected before any state
+	// change — malformed bodies, invalid features, validation errors.
+	publishes        atomic.Uint64
+	publishStable    atomic.Uint64
+	publishRejected  atomic.Uint64
+	publishFeaturesN atomic.Uint64
+	endpoints        map[string]*endpointMetrics
+	names            []string // registration order, for stable /stats output
 }
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds; an

@@ -214,6 +214,14 @@ func (s *Server) writeServerFamilies(w io.Writer) {
 	promUint(w, "dnh_min_generation_stale_total", "", s.metrics.minGenStale.Load())
 	promFamily(w, "dnh_journal_tail_total", "counter", "Journal tail responses served to followers.")
 	promUint(w, "dnh_journal_tail_total", "", s.metrics.tailsServed.Load())
+	promFamily(w, "dnh_publishes_total", "counter", "Accepted push publishes.")
+	promUint(w, "dnh_publishes_total", "", s.metrics.publishes.Load())
+	promFamily(w, "dnh_publishes_stable_total", "counter", "Accepted publishes whose delta was empty (generation unchanged).")
+	promUint(w, "dnh_publishes_stable_total", "", s.metrics.publishStable.Load())
+	promFamily(w, "dnh_publish_rejected_total", "counter", "Publish batches refused with no state change.")
+	promUint(w, "dnh_publish_rejected_total", "", s.metrics.publishRejected.Load())
+	promFamily(w, "dnh_publish_features_total", "counter", "Features upserted through push publishes.")
+	promUint(w, "dnh_publish_features_total", "", s.metrics.publishFeaturesN.Load())
 
 	promFamily(w, "dnh_searches_total", "counter", "Searches executed against the catalog (cache hits excluded).")
 	promUint(w, "dnh_searches_total", "", s.metrics.searchesRun.Load())

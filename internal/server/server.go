@@ -5,6 +5,7 @@
 // Endpoints:
 //
 //	POST /search          structured query (SearchRequest JSON body)
+//	POST /publish         push-ingest a batch of feature deltas
 //	GET  /search/text?q=  textual query ("near 45.5,-124.4 in mid-2010 ...")
 //	GET  /dataset/{path}  rendered summary page for an archive path
 //	GET  /curator/queue   names awaiting a curator decision
@@ -60,10 +61,11 @@ const (
 	epMetrics     = "/metrics"
 	epDebug       = "/debug"
 	epJournal     = "/journal"
+	epPublish     = "/publish"
 	endpointOther = "other"
 )
 
-var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epReadyz, epStats, epMetrics, epDebug, epJournal, endpointOther}
+var endpointNames = []string{epSearch, epSearchText, epDataset, epCurator, epHealthz, epReadyz, epStats, epMetrics, epDebug, epJournal, epPublish, endpointOther}
 
 // DefaultCacheSize is the query-cache capacity when Config leaves it 0.
 const DefaultCacheSize = 512
@@ -126,6 +128,12 @@ type Config struct {
 	// on its lag, and /stats + /metrics expose its replication state.
 	// The caller owns the replicator's lifecycle (Start/Stop).
 	Replica *Replicator
+	// MaxPublishBytes caps a POST /publish request body; larger bodies
+	// are refused with 413 before decoding. 0 means
+	// DefaultMaxPublishBytes, negative disables the endpoint (405-free:
+	// the route simply is not mounted — push-less deployments expose no
+	// write surface).
+	MaxPublishBytes int64
 	// StaleWindow enables stale-while-revalidate: for this long after a
 	// publish bumps the generation, a miss at the new generation may be
 	// served the previous generation's cached bytes (X-Dnhd-Cache:
@@ -148,12 +156,13 @@ type Server struct {
 	slow    *obs.SlowLog
 	httpSrv *http.Server
 
-	adm         *admission
-	limiter     *rateLimiter
-	replica     *Replicator
-	flights     flightGroup
-	reqTimeout  time.Duration
-	staleWindow time.Duration
+	adm             *admission
+	limiter         *rateLimiter
+	replica         *Replicator
+	maxPublishBytes int64
+	flights         flightGroup
+	reqTimeout      time.Duration
+	staleWindow     time.Duration
 	// revalSem bounds concurrent background revalidation flights; warms
 	// past the bound are skipped (the next stale hit re-triggers them),
 	// so a publish over a hot cache cannot stampede the executor.
@@ -200,6 +209,16 @@ func New(cfg Config) (*Server, error) {
 	if slowSize == 0 {
 		slowSize = DefaultSlowLogSize
 	}
+	maxPublish := cfg.MaxPublishBytes
+	if maxPublish == 0 {
+		maxPublish = DefaultMaxPublishBytes
+	}
+	if cfg.Replica != nil {
+		// A follower's catalog is a replica of the leader's journal; a
+		// direct publish would fork it. The endpoint exists only on
+		// leaders, whatever the configuration says.
+		maxPublish = -1
+	}
 	return &Server{
 		sys:     cfg.Sys,
 		cache:   newQueryCache(size),
@@ -209,14 +228,15 @@ func New(cfg Config) (*Server, error) {
 		sampler: obs.NewSampler(cfg.TraceSample),
 		// NewSlowLog returns nil (log disabled, all methods inert) when
 		// the threshold went negative.
-		slow:        obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
-		adm:         newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait),
-		limiter:     newRateLimiter(cfg.RateLimit, cfg.RateBurst),
-		replica:     cfg.Replica,
-		reqTimeout:  cfg.RequestTimeout,
-		staleWindow: cfg.StaleWindow,
-		revalSem:    make(chan struct{}, maxRevalidations),
-		curGen:      cfg.Sys.SnapshotGeneration(),
+		slow:            obs.NewSlowLog(slowSize, float64(slowThreshold)/float64(time.Millisecond)),
+		adm:             newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait),
+		limiter:         newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		replica:         cfg.Replica,
+		maxPublishBytes: maxPublish,
+		reqTimeout:      cfg.RequestTimeout,
+		staleWindow:     cfg.StaleWindow,
+		revalSem:        make(chan struct{}, maxRevalidations),
+		curGen:          cfg.Sys.SnapshotGeneration(),
 	}, nil
 }
 
@@ -238,6 +258,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/wrangletrace", s.handleWrangleTrace)
 	mux.HandleFunc("GET /journal/tail", s.handleJournalTail)
 	mux.HandleFunc("GET /journal/checkpoint", s.handleJournalCheckpoint)
+	if s.maxPublishBytes > 0 {
+		mux.HandleFunc("POST /publish", s.handlePublish)
+	}
 	return s.instrument(mux)
 }
 
@@ -942,6 +965,8 @@ type StatsResponse struct {
 	Search     SearchStats     `json:"search"`
 	Overload   OverloadStats   `json:"overload"`
 	Rewrangle  RewrangleStats  `json:"rewrangle"`
+	// Ingest reports push-publish activity (POST /publish).
+	Ingest IngestStats `json:"ingest"`
 	// Durability reports the publish journal + checkpoint store; absent
 	// when the system runs without a data directory.
 	Durability *metamess.DurabilityStats `json:"durability,omitempty"`
@@ -1080,6 +1105,27 @@ func (s *Server) overloadStats() OverloadStats {
 	return st
 }
 
+// IngestStats is the push-publish row in /stats.
+type IngestStats struct {
+	// Publishes counts accepted POST /publish batches; Stable counts the
+	// subset whose delta was empty (replays — generation unchanged).
+	Publishes uint64 `json:"publishes"`
+	Stable    uint64 `json:"stable,omitempty"`
+	// Rejected counts batches refused with no state change.
+	Rejected uint64 `json:"rejected,omitempty"`
+	// Features counts features actually upserted by accepted publishes.
+	Features uint64 `json:"features"`
+}
+
+func (s *Server) ingestStats() IngestStats {
+	return IngestStats{
+		Publishes: s.metrics.publishes.Load(),
+		Stable:    s.metrics.publishStable.Load(),
+		Rejected:  s.metrics.publishRejected.Load(),
+		Features:  s.metrics.publishFeaturesN.Load(),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.metrics.cacheHits.Load(), s.metrics.cacheMiss.Load()
 	cache := CacheStats{
@@ -1103,6 +1149,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Search:     s.sampleSearchStats(),
 		Overload:   s.overloadStats(),
 		Rewrangle:  s.rew.stats(),
+		Ingest:     s.ingestStats(),
 	}
 	if ds, ok := s.sys.Durability(); ok {
 		resp.Durability = &ds
@@ -1139,6 +1186,8 @@ func endpointLabel(path string) string {
 		return epDebug
 	case path == epJournal || strings.HasPrefix(path, epJournal+"/"):
 		return epJournal
+	case path == epPublish:
+		return epPublish
 	}
 	return endpointOther
 }

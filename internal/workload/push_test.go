@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"metamess/internal/catalog"
+)
+
+func TestPublishRequestsDeterministicAndValid(t *testing.T) {
+	a, err := PublishRequests("http://x", 3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PublishRequests("http://x", 3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("got %d requests, want 3", len(a))
+	}
+	seen := make(map[string]bool)
+	for i := range a {
+		if a[i].Method != "POST" || a[i].URL != "http://x/publish" {
+			t.Errorf("request %d: %s %s", i, a[i].Method, a[i].URL)
+		}
+		if !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Errorf("request %d not deterministic", i)
+		}
+		var wire struct {
+			Features []*catalog.Feature `json:"features"`
+		}
+		if err := json.Unmarshal(a[i].Body, &wire); err != nil {
+			t.Fatalf("request %d body: %v", i, err)
+		}
+		if len(wire.Features) != 4 {
+			t.Fatalf("request %d: %d features, want 4", i, len(wire.Features))
+		}
+		for _, f := range wire.Features {
+			if err := f.Validate(); err != nil {
+				t.Errorf("request %d: invalid feature: %v", i, err)
+			}
+			if seen[f.Path] {
+				t.Errorf("path %s repeats across batches — publishes would be no-ops", f.Path)
+			}
+			seen[f.Path] = true
+		}
+	}
+	if _, err := PublishRequests("http://x", 0, 4, 9); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestInterleaveEvery(t *testing.T) {
+	q := func(u string) HTTPRequest { return HTTPRequest{Method: "GET", URL: u} }
+	base := []HTTPRequest{q("a"), q("b"), q("c"), q("d"), q("e")}
+	ins := []HTTPRequest{q("P1"), q("P2"), q("P3")}
+	got := InterleaveEvery(base, ins, 2)
+	want := []string{"a", "b", "P1", "c", "d", "P2", "e", "P3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d requests, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].URL != w {
+			t.Errorf("position %d: %s, want %s", i, got[i].URL, w)
+		}
+	}
+	if got := InterleaveEvery(nil, ins, 2); len(got) != len(ins) {
+		t.Errorf("empty base: %d requests, want %d", len(got), len(ins))
+	}
+}

@@ -40,6 +40,7 @@ package metamess
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"metamess/internal/catalog"
@@ -109,6 +110,13 @@ type Config struct {
 	// KiB).
 	CompactRatio    float64
 	CompactMinBytes int64
+	// Connector replaces the filesystem walker as Wrangle's ingest
+	// source: a streaming archive (scan.TarConnector, scan.ZipConnector)
+	// or an object listing (scan.HTTPConnector). Nil keeps the walker
+	// over ArchiveRoot. Either way the connector feeds the same chain —
+	// transforms, validation, publish — and produces identical catalogs
+	// for identical logical content.
+	Connector scan.Connector
 }
 
 // System is a wired-up metadata wrangling pipeline plus search engine.
@@ -121,6 +129,11 @@ type System struct {
 	// store is the durable journal+checkpoint home (nil without
 	// Config.DataDir).
 	store *catalog.Store
+	// pubMu serializes the two writers of the published catalog and the
+	// journal — chain runs (Wrangle) and pushed batches
+	// (PublishFeatures) — so their apply/journal sequences never
+	// interleave. Searches read the immutable snapshot and never take it.
+	pubMu sync.Mutex
 }
 
 // New builds a system over an archive with the standard canonical
@@ -138,6 +151,7 @@ func New(cfg Config) (*System, error) {
 		cfg.SnapshotShards)
 	ctx.ExpectedPaths = cfg.ExpectedDatasets
 	ctx.ForceFullReprocess = cfg.FullReprocess
+	ctx.Connector = cfg.Connector
 	s := &System{cfg: cfg, ctx: ctx}
 
 	chain := []core.Component{
@@ -351,6 +365,8 @@ func (s *System) Wrangle() (*Report, error) {
 // Wrangle — every trace hook is nil-safe. The dnhd rewrangler uses it
 // so /debug/wrangletrace can serve the last run's span tree.
 func (s *System) WrangleWithTrace(tr *obs.Trace, parent int32) (*Report, error) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
 	s.ctx.Trace = tr
 	s.ctx.TraceSpan = parent
 	defer func() {
